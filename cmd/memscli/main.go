@@ -1,0 +1,278 @@
+// Command memscli answers interactive design questions about streaming MEMS
+// storage: how large a buffer a given design goal needs, which requirement
+// dictates it, where the goal becomes infeasible, and what the break-even
+// buffer is.
+//
+// Subcommands:
+//
+//	memscli info
+//	memscli dimension -rate 1024kbps -energy 70 -capacity 88 -lifetime 7
+//	memscli explore   -energy 70 -capacity 88 -lifetime 7 [-improved] [-points 25]
+//	memscli breakeven -rate 1024kbps
+//	memscli sweep     -rate 1024kbps -from 2KiB -to 45KiB -points 40
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"memstream"
+	"memstream/internal/report"
+	"memstream/internal/units"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage(os.Stderr)
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "info":
+		err = runInfo(os.Stdout)
+	case "dimension":
+		err = runDimension(os.Stdout, args)
+	case "explore":
+		err = runExplore(os.Stdout, args)
+	case "breakeven":
+		err = runBreakEven(os.Stdout, args)
+	case "sweep":
+		err = runSweep(os.Stdout, args)
+	case "help", "-h", "--help":
+		usage(os.Stdout)
+	default:
+		fmt.Fprintf(os.Stderr, "memscli: unknown command %q\n", cmd)
+		usage(os.Stderr)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "memscli:", err)
+		os.Exit(1)
+	}
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `memscli — buffer dimensioning for streaming MEMS storage
+
+Commands:
+  info        print the modelled device, workload and derived figures
+  dimension   buffer required for a goal at one streaming rate
+  explore     sweep the 32-4096 kbps range for a goal and show dominance regimes
+  breakeven   break-even buffer of the MEMS device and the 1.8-inch disk baseline
+  sweep       forward model curves over a buffer range at one rate (CSV)
+
+Run 'memscli <command> -h' for the flags of each command.`)
+}
+
+// goalFlags registers the E/C/L flags shared by dimension and explore.
+func goalFlags(fs *flag.FlagSet) (*float64, *float64, *float64) {
+	e := fs.Float64("energy", 70, "energy-saving goal E in percent")
+	c := fs.Float64("capacity", 88, "capacity-utilisation goal C in percent")
+	l := fs.Float64("lifetime", 7, "lifetime goal L in years")
+	return e, c, l
+}
+
+func buildGoal(e, c, l float64) memstream.Goal {
+	return memstream.Goal{
+		EnergySaving:        e / 100,
+		CapacityUtilisation: c / 100,
+		Lifetime:            memstream.Duration(l) * memstream.Year,
+	}
+}
+
+func runInfo(w io.Writer) error {
+	dev := memstream.DefaultDevice()
+	fmt.Fprintln(w, dev.String())
+	fmt.Fprintf(w, "media rate: %v, overhead: %v per cycle (%v)\n",
+		dev.MediaRate(), dev.OverheadTime(), dev.OverheadEnergy())
+	fmt.Fprintf(w, "workload: %+v\n\n", memstream.DefaultWorkload())
+	return memstream.RenderTableI(w)
+}
+
+func runDimension(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("dimension", flag.ExitOnError)
+	rateStr := fs.String("rate", "1024kbps", "streaming bit rate (e.g. 512kbps, 2Mbps)")
+	e, c, l := goalFlags(fs)
+	improved := fs.Bool("improved", false, "use the improved-durability device (Dpb=200, Dsp=1e12)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rate, err := units.ParseBitRate(*rateStr)
+	if err != nil {
+		return err
+	}
+	dev := memstream.DefaultDevice()
+	if *improved {
+		dev = memstream.ImprovedDevice()
+	}
+	model, err := memstream.New(dev, rate)
+	if err != nil {
+		return err
+	}
+	goal := buildGoal(*e, *c, *l)
+	dim, err := model.Dimension(goal)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "goal %v at %v\n\n", goal, rate)
+	tbl := report.NewTable("Per-constraint buffer requirements",
+		"Constraint", "Requirement", "Buffer", "Feasible", "Note")
+	for _, r := range dim.Requirements {
+		buffer := "-"
+		if r.Feasible {
+			buffer = r.Buffer.String()
+		}
+		if err := tbl.AddRow(r.Constraint.String(), r.Constraint.Description(), buffer,
+			fmt.Sprintf("%v", r.Feasible), r.Reason); err != nil {
+			return err
+		}
+	}
+	if err := tbl.Render(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	if !dim.Feasible {
+		fmt.Fprintf(w, "RESULT: the goal is INFEASIBLE at %v (blocking: %v)\n", rate, dim.Infeasible())
+		return nil
+	}
+	fmt.Fprintf(w, "RESULT: buffer %v (%.1f KiB), dictated by the %s requirement\n",
+		dim.Buffer, dim.Buffer.KiBytes(), dim.Dominant.Description())
+	pt, err := model.At(dim.Buffer)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "at that buffer: %.1f nJ/b (%.0f%% saving), %.1f%% utilisation (%.1f GB user), lifetime %.1f years (%s-limited)\n",
+		pt.EnergyPerBit.NanojoulesPerBit(), 100*pt.EnergySaving,
+		100*pt.Utilisation, pt.UserCapacity.GBytes(),
+		pt.Lifetime.Years(), pt.LimitedBy)
+	return nil
+}
+
+func runExplore(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("explore", flag.ExitOnError)
+	e, c, l := goalFlags(fs)
+	points := fs.Int("points", 25, "number of log-spaced rates")
+	improved := fs.Bool("improved", false, "use the improved-durability device")
+	minStr := fs.String("min", "32kbps", "lowest streaming rate")
+	maxStr := fs.String("max", "4096kbps", "highest streaming rate")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	minRate, err := units.ParseBitRate(*minStr)
+	if err != nil {
+		return err
+	}
+	maxRate, err := units.ParseBitRate(*maxStr)
+	if err != nil {
+		return err
+	}
+	dev := memstream.DefaultDevice()
+	if *improved {
+		dev = memstream.ImprovedDevice()
+	}
+	goal := buildGoal(*e, *c, *l)
+	sweep, err := memstream.Explore(dev, goal, minRate, maxRate, *points)
+	if err != nil {
+		return err
+	}
+	tbl := report.NewTable(fmt.Sprintf("Design-space exploration, goal %v", goal),
+		"Rate [kbps]", "Required buffer", "Energy buffer", "Dominant", "Feasible")
+	for _, p := range sweep.Points {
+		d := p.Dimensioning
+		required, energy, dominant := "-", "-", "X"
+		if d.Feasible {
+			required = fmt.Sprintf("%.1f KiB", d.Buffer.KiBytes())
+			dominant = d.Dominant.String()
+		}
+		if d.Requirements[memstream.ConstraintEnergy].Feasible {
+			energy = fmt.Sprintf("%.1f KiB", d.EnergyBuffer.KiBytes())
+		}
+		if err := tbl.AddRow(fmt.Sprintf("%.0f", p.Rate.Kilobits()), required, energy, dominant,
+			fmt.Sprintf("%v", d.Feasible)); err != nil {
+			return err
+		}
+	}
+	if err := tbl.Render(w); err != nil {
+		return err
+	}
+	fmt.Fprint(w, "\nDominance regimes: ")
+	for i, r := range sweep.Regimes() {
+		if i > 0 {
+			fmt.Fprint(w, " | ")
+		}
+		fmt.Fprintf(w, "%s (%.0f-%.0f kbps)", r.Label(), r.MinRate.Kilobits(), r.MaxRate.Kilobits())
+	}
+	fmt.Fprintln(w)
+	if limit, ok := sweep.FeasibilityLimit(); ok {
+		fmt.Fprintf(w, "Goal infeasible from about %.0f kbps upward\n", limit.Kilobits())
+	} else {
+		fmt.Fprintln(w, "Goal feasible over the whole range")
+	}
+	share := sweep.DominanceShare()
+	fmt.Fprintf(w, "Share of feasible rates dictated by capacity or lifetime: %.0f%%\n",
+		100*(share[memstream.ConstraintCapacity]+share[memstream.ConstraintSprings]+share[memstream.ConstraintProbes]))
+	return nil
+}
+
+func runBreakEven(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("breakeven", flag.ExitOnError)
+	rateStr := fs.String("rate", "", "single streaming rate (default: the paper's 32-4096 kbps set)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rates := memstream.PaperBreakEvenRates()
+	if *rateStr != "" {
+		rate, err := units.ParseBitRate(*rateStr)
+		if err != nil {
+			return err
+		}
+		rates = []memstream.BitRate{rate}
+	}
+	rows, err := memstream.BreakEvenTable(memstream.DefaultDevice(), memstream.DefaultDisk(), rates)
+	if err != nil {
+		return err
+	}
+	return memstream.RenderBreakEvenTable(w, rows)
+}
+
+func runSweep(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	rateStr := fs.String("rate", "1024kbps", "streaming bit rate")
+	fromStr := fs.String("from", "2KiB", "smallest buffer")
+	toStr := fs.String("to", "45KiB", "largest buffer")
+	points := fs.Int("points", 40, "number of buffer sizes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rate, err := units.ParseBitRate(*rateStr)
+	if err != nil {
+		return err
+	}
+	from, err := units.ParseSize(*fromStr)
+	if err != nil {
+		return err
+	}
+	to, err := units.ParseSize(*toStr)
+	if err != nil {
+		return err
+	}
+	curve, err := memstream.SweepBuffer(memstream.DefaultDevice(), rate, from, to, *points)
+	if err != nil {
+		return err
+	}
+	var energy, capacity, springs, probes report.Series
+	energy.Name, capacity.Name = "energy [nJ/b]", "user capacity [GB]"
+	springs.Name, probes.Name = "springs [years]", "probes [years]"
+	for _, pt := range curve.Points {
+		x := pt.Buffer.KiBytes()
+		energy.Append(x, pt.EnergyPerBit.NanojoulesPerBit())
+		capacity.Append(x, pt.UserCapacity.GBytes())
+		springs.Append(x, pt.SpringsLifetime.Years())
+		probes.Append(x, math.Min(pt.ProbesLifetime.Years(), 1e6))
+	}
+	return report.SeriesCSV(w, "buffer [KiB]", energy, capacity, springs, probes)
+}

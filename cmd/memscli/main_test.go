@@ -1,0 +1,145 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunInfo(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runInfo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"media rate", "Table I", "Active probes"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("info output missing %q", want)
+		}
+	}
+}
+
+func TestRunDimensionFeasible(t *testing.T) {
+	var buf bytes.Buffer
+	err := runDimension(&buf, []string{"-rate", "1024kbps", "-energy", "70", "-capacity", "88", "-lifetime", "7"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "RESULT: buffer") {
+		t.Errorf("no result line:\n%s", out)
+	}
+	if !strings.Contains(out, "springs lifetime") {
+		t.Errorf("expected springs to dominate at 1024 kbps:\n%s", out)
+	}
+}
+
+func TestRunDimensionInfeasible(t *testing.T) {
+	var buf bytes.Buffer
+	err := runDimension(&buf, []string{"-rate", "2048kbps", "-energy", "80"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "INFEASIBLE") {
+		t.Errorf("80%% goal at 2048 kbps should be reported infeasible:\n%s", buf.String())
+	}
+}
+
+func TestRunDimensionImprovedDevice(t *testing.T) {
+	var buf bytes.Buffer
+	err := runDimension(&buf, []string{"-rate", "4096kbps", "-improved"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "RESULT: buffer") {
+		t.Errorf("improved device at 4096 kbps should be feasible:\n%s", buf.String())
+	}
+}
+
+func TestRunDimensionBadRate(t *testing.T) {
+	if err := runDimension(&bytes.Buffer{}, []string{"-rate", "lots"}); err == nil {
+		t.Error("bogus rate accepted")
+	}
+}
+
+func TestRunExplore(t *testing.T) {
+	var buf bytes.Buffer
+	err := runExplore(&buf, []string{"-points", "9", "-energy", "70"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Design-space exploration", "Dominance regimes", "capacity or lifetime"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explore output missing %q", want)
+		}
+	}
+}
+
+func TestRunExploreBadRange(t *testing.T) {
+	if err := runExplore(&bytes.Buffer{}, []string{"-min", "oops"}); err == nil {
+		t.Error("bogus min rate accepted")
+	}
+	if err := runExplore(&bytes.Buffer{}, []string{"-max", "oops"}); err == nil {
+		t.Error("bogus max rate accepted")
+	}
+}
+
+func TestRunBreakEven(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runBreakEven(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Disk/MEMS") {
+		t.Error("break-even table missing ratio column")
+	}
+	buf.Reset()
+	if err := runBreakEven(&buf, []string{"-rate", "1024kbps"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 4 { // title + header + separator + 1 row
+		t.Errorf("single-rate break-even table has %d lines:\n%s", got, buf.String())
+	}
+	if err := runBreakEven(&bytes.Buffer{}, []string{"-rate", "never"}); err == nil {
+		t.Error("bogus rate accepted")
+	}
+}
+
+func TestRunSweep(t *testing.T) {
+	var buf bytes.Buffer
+	err := runSweep(&buf, []string{"-rate", "1024kbps", "-from", "3KiB", "-to", "45KiB", "-points", "10"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "buffer [KiB],energy [nJ/b]") {
+		t.Errorf("sweep CSV header wrong: %q", strings.SplitN(out, "\n", 2)[0])
+	}
+	if got := strings.Count(out, "\n"); got < 8 {
+		t.Errorf("sweep CSV has only %d lines", got)
+	}
+	for _, args := range [][]string{
+		{"-rate", "zzz"},
+		{"-from", "zzz"},
+		{"-to", "zzz"},
+	} {
+		if err := runSweep(&bytes.Buffer{}, args); err == nil {
+			t.Errorf("bogus args %v accepted", args)
+		}
+	}
+}
+
+func TestUsage(t *testing.T) {
+	var buf bytes.Buffer
+	usage(&buf)
+	if !strings.Contains(buf.String(), "dimension") || !strings.Contains(buf.String(), "explore") {
+		t.Error("usage text incomplete")
+	}
+}
+
+func TestBuildGoal(t *testing.T) {
+	g := buildGoal(70, 88, 7)
+	if g.EnergySaving != 0.70 || g.CapacityUtilisation != 0.88 || g.Lifetime.Years() != 7 {
+		t.Errorf("buildGoal = %+v", g)
+	}
+}

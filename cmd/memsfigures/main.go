@@ -1,0 +1,163 @@
+// Command memsfigures regenerates every table and figure of the paper's
+// evaluation section (plus this reproduction's validation and ablation
+// experiments) and prints them as ASCII plots, tables and CSV blocks.
+//
+// Usage:
+//
+//	memsfigures [-only id] [-points n] [-improved]
+//
+// where id is one of: tableI, breakeven, fig2a, fig2b, fig3a, fig3b, fig3c,
+// fig3d, ablations, validation, all (default all).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"memstream"
+)
+
+func main() {
+	only := flag.String("only", "all", "which experiment to regenerate: tableI, breakeven, fig2a, fig2b, fig3a, fig3b, fig3c, fig3d, ablations, validation, all")
+	points := flag.Int("points", 33, "number of sampled points per sweep")
+	improved := flag.Bool("improved", false, "use the improved-durability device (200 write cycles, 1e12 spring cycles) for figure 2 and the ablations")
+	flag.Parse()
+
+	if err := run(os.Stdout, strings.ToLower(*only), *points, *improved); err != nil {
+		fmt.Fprintln(os.Stderr, "memsfigures:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, only string, points int, improved bool) error {
+	dev := memstream.DefaultDevice()
+	if improved {
+		dev = memstream.ImprovedDevice()
+	}
+	all := only == "all"
+	ran := false
+
+	section := func(title string) {
+		fmt.Fprintf(w, "\n==== %s ====\n\n", title)
+	}
+
+	if all || only == "tablei" {
+		ran = true
+		section("Table I")
+		if err := memstream.RenderTableI(w); err != nil {
+			return err
+		}
+	}
+	if all || only == "breakeven" {
+		ran = true
+		section("Section III-A.1: break-even buffer, MEMS vs 1.8-inch disk")
+		rows, err := memstream.BreakEvenTable(dev, memstream.DefaultDisk(), memstream.PaperBreakEvenRates())
+		if err != nil {
+			return err
+		}
+		if err := memstream.RenderBreakEvenTable(w, rows); err != nil {
+			return err
+		}
+	}
+	if all || only == "fig2a" || only == "fig2b" {
+		ran = true
+		section("Figure 2: energy, capacity and lifetime vs buffer size (rs = 1024 kbps)")
+		fig, err := memstream.GenerateFigure2(dev, 1024*memstream.Kbps, points)
+		if err != nil {
+			return err
+		}
+		if err := fig.Render(w); err != nil {
+			return err
+		}
+	}
+	panels := []struct {
+		id       string
+		generate func(int) (*memstream.Figure3, error)
+		note     string
+	}{
+		{"fig3a", memstream.PaperFigure3a, "goal (E=80%, C=88%, L=7 y), Dpb=100, Dsp=1e8"},
+		{"fig3b", memstream.PaperFigure3b, "goal (70%, 88%, 7), Dpb=100, Dsp=1e8"},
+		{"fig3c", memstream.PaperFigure3c, "goal (70%, 88%, 7), Dpb=200, Dsp=1e12"},
+		{"fig3d", memstream.PaperFigure3dC85, "Section IV-C variant (80%, 85%, 7), Dpb=100, Dsp=1e8"},
+	}
+	for _, p := range panels {
+		if !all && only != p.id {
+			continue
+		}
+		ran = true
+		section(fmt.Sprintf("Figure 3 panel %s: %s", strings.TrimPrefix(p.id, "fig"), p.note))
+		fig, err := p.generate(points)
+		if err != nil {
+			return err
+		}
+		if err := fig.Render(w); err != nil {
+			return err
+		}
+	}
+	if all || only == "ablations" {
+		ran = true
+		section("Ablations at 1024 kbps, 20 KiB buffer")
+		results, err := memstream.Ablations(dev, 1024*memstream.Kbps, 20*memstream.KiB)
+		if err != nil {
+			return err
+		}
+		if err := memstream.RenderAblations(w, results); err != nil {
+			return err
+		}
+	}
+	if all || only == "validation" {
+		ran = true
+		section("Validation: discrete-event simulator vs analytical model")
+		if err := renderValidation(w, dev); err != nil {
+			return err
+		}
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", only)
+	}
+	return nil
+}
+
+// renderValidation compares the simulator with the analytical model at a few
+// operating points.
+func renderValidation(w io.Writer, dev memstream.Device) error {
+	type point struct {
+		rate   memstream.BitRate
+		buffer memstream.Size
+	}
+	points := []point{
+		{256 * memstream.Kbps, 10 * memstream.KiB},
+		{1024 * memstream.Kbps, 20 * memstream.KiB},
+		{1024 * memstream.Kbps, 45 * memstream.KiB},
+		{4096 * memstream.Kbps, 90 * memstream.KiB},
+	}
+	fmt.Fprintf(w, "%-12s %-12s %-16s %-16s %-10s\n", "rate", "buffer", "sim [nJ/b]", "model [nJ/b]", "diff")
+	for _, p := range points {
+		cfg := memstream.DefaultSimConfig(p.rate, p.buffer)
+		cfg.Device = dev
+		cfg.BestEffort = memstream.BestEffortProcess{}
+		cfg.Duration = 120 * memstream.Second
+		stats, err := memstream.Simulate(cfg)
+		if err != nil {
+			return err
+		}
+		wl := memstream.DefaultWorkload()
+		wl.BestEffortFraction = 0
+		model, err := memstream.NewWithOptions(dev, p.rate, memstream.Options{Workload: &wl})
+		if err != nil {
+			return err
+		}
+		pt, err := model.At(p.buffer)
+		if err != nil {
+			return err
+		}
+		simNJ := stats.PerBitEnergy().NanojoulesPerBit()
+		modelNJ := pt.EnergyPerBit.NanojoulesPerBit()
+		fmt.Fprintf(w, "%-12v %-12v %-16.2f %-16.2f %+.1f%%\n",
+			p.rate, p.buffer, simNJ, modelNJ, 100*(simNJ-modelNJ)/modelNJ)
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiments(t *testing.T) {
+	cases := []struct {
+		only string
+		want []string
+	}{
+		{"tablei", []string{"Table I", "Active probes", "1024"}},
+		{"breakeven", []string{"Break-even", "Disk/MEMS"}},
+		{"fig2a", []string{"Figure 2a", "Figure 2b", "buffer [kB]"}},
+		{"fig3a", []string{"Figure 3 panel", "Dominance regimes", "infeasible"}},
+		{"fig3b", []string{"Lsp", "rate [kbps]"}},
+		{"fig3c", []string{"feasible over the whole studied range"}},
+		{"fig3d", []string{"Dominance regimes"}},
+		{"ablations", []string{"Ablations", "synchronisation bits excluded"}},
+		{"validation", []string{"sim [nJ/b]", "model [nJ/b]"}},
+	}
+	for _, c := range cases {
+		t.Run(c.only, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run(&buf, c.only, 17, false); err != nil {
+				t.Fatalf("run(%s): %v", c.only, err)
+			}
+			out := buf.String()
+			for _, want := range c.want {
+				if !strings.Contains(out, want) {
+					t.Errorf("output of %s missing %q", c.only, want)
+				}
+			}
+		})
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "all", 9, false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table I", "Break-even", "Figure 2a", "Figure 3 panel", "Ablations", "Validation"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("full run missing %q", want)
+		}
+	}
+}
+
+func TestRunImprovedDevice(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "ablations", 9, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Ablations") {
+		t.Error("improved-device run produced no ablation table")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "fig9z", 9, false); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunBasic(t *testing.T) {
+	var buf bytes.Buffer
+	err := run(&buf, "1024kbps", "20KiB", "30s", false, false, 0.05, 0, false, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"refill cycles", "per-bit energy", "springs projection", "probes projection"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if strings.Contains(out, "validation") {
+		t.Error("validation printed without -validate")
+	}
+}
+
+func TestRunValidate(t *testing.T) {
+	var buf bytes.Buffer
+	err := run(&buf, "1024kbps", "20KiB", "30s", false, false, 0, 0, false, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "validation against the analytical model") {
+		t.Fatalf("validation section missing:\n%s", out)
+	}
+	if strings.Contains(out, "note: Eq. 6") {
+		t.Error("best-effort note printed although best-effort traffic was disabled")
+	}
+}
+
+func TestRunValidateWithBestEffortNote(t *testing.T) {
+	var buf bytes.Buffer
+	err := run(&buf, "1024kbps", "20KiB", "30s", false, false, 0.05, 0, false, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "note: Eq. 6") {
+		t.Error("best-effort wear note missing")
+	}
+}
+
+func TestRunVBRWithErrors(t *testing.T) {
+	var buf bytes.Buffer
+	err := run(&buf, "1024kbps", "45KiB", "30s", true, false, 0.05, 1e-4, false, 7, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "ECC activity") {
+		t.Error("ECC line missing for a run with a bit-error rate")
+	}
+}
+
+func TestRunImprovedDevice(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "1024kbps", "20KiB", "30s", false, false, 0, 0, true, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "springs projection") {
+		t.Error("improved-device run produced no projections")
+	}
+}
+
+func TestRunBadInputs(t *testing.T) {
+	cases := [][3]string{
+		{"oops", "20KiB", "30s"},
+		{"1024kbps", "oops", "30s"},
+		{"1024kbps", "20KiB", "oops"},
+	}
+	for _, c := range cases {
+		if err := run(&bytes.Buffer{}, c[0], c[1], c[2], false, false, 0, 0, false, 1, false); err == nil {
+			t.Errorf("bogus inputs %v accepted", c)
+		}
+	}
+	// A buffer too small for the seek time must surface the simulator error.
+	if err := run(&bytes.Buffer{}, "4096kbps", "1000bit", "30s", false, false, 0, 0, false, 1, false); err == nil {
+		t.Error("undersized buffer accepted")
+	}
+}
+
+func TestRunVideoTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "1024kbps", "64KiB", "30s", false, true, 0.05, 0, false, 3, false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "refill cycles") {
+		t.Errorf("video-trace run produced no statistics:\n%s", out)
+	}
+	if strings.Contains(out, "underruns: 0") == false {
+		t.Errorf("video trace through a 64 KiB buffer should not underrun:\n%s", out)
+	}
+}

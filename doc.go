@@ -1,0 +1,46 @@
+// Package memstream reproduces the study "Buffering Implications for the
+// Design Space of Streaming MEMS Storage" (Khatib & Abelmann, DATE 2011) as a
+// reusable Go library.
+//
+// MEMS probe-storage devices promise very dense, very low-power secondary
+// storage for mobile streaming systems. Because their mechanical overheads
+// are tiny, the streaming buffer they need for energy efficiency alone is
+// also tiny — but a tiny buffer forces a small storage sector, which wastes
+// capacity on per-subsector synchronisation bits, and it forces the device to
+// seek and shut down so often that the suspension springs and the write tips
+// wear out. This package models all three effects as functions of the buffer
+// size, inverts them, and answers the design question of the paper: how large
+// must the buffer be to reach a given energy saving E, capacity utilisation C
+// and lifetime L, and when is no buffer size enough?
+//
+// # Quick start
+//
+//	dev := memstream.DefaultDevice()
+//	model, err := memstream.New(dev, 1024*memstream.Kbps)
+//	if err != nil { ... }
+//	dim, err := model.Dimension(memstream.Goal{
+//		EnergySaving:        0.70,
+//		CapacityUtilisation: 0.88,
+//		Lifetime:            7 * memstream.Year,
+//	})
+//	fmt.Println(dim.Buffer, dim.Dominant)
+//
+// # Structure
+//
+// The root package is a facade over the internal packages:
+//
+//   - internal/units: physical quantities (sizes, rates, powers, energies)
+//   - internal/device: MEMS, 1.8-inch disk and DRAM parameter models
+//   - internal/format, internal/ecc, internal/media: formatting, ECC and
+//     layout substrates behind the capacity model
+//   - internal/energy, internal/lifetime: the forward models (Eqs. 1, 5, 6)
+//   - internal/core: the combined model and the inverse buffer dimensioning
+//   - internal/explore: design-space sweeps over streaming rates
+//   - internal/sim, internal/workload: a discrete-event simulator and its
+//     workload generators, used to validate the analytical models
+//   - internal/report, internal/config: tables, plots and configuration files
+//
+// The figure generators in this package regenerate every table and figure of
+// the paper's evaluation; cmd/memsfigures prints them, and the benchmarks in
+// bench_test.go time them.
+package memstream

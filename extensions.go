@@ -1,0 +1,157 @@
+package memstream
+
+// This file exposes the extensions this reproduction adds on top of the
+// paper's single-stream study:
+//
+//   - a shared-device (multi-stream) formulation of the same design question,
+//   - the disk baseline carried through the full energy model (not only the
+//     break-even point of Section III-A.1),
+//   - MPEG-like frame-accurate video traces for the simulator.
+
+import (
+	"memstream/internal/device"
+	"memstream/internal/energy"
+	"memstream/internal/lifetime"
+	"memstream/internal/multistream"
+	"memstream/internal/sim"
+	"memstream/internal/workload"
+)
+
+// Shared-device (multi-stream) extension.
+type (
+	// SharedSystem is a MEMS device shared by several concurrent streams.
+	SharedSystem = multistream.System
+	// StreamSpec describes one stream of a shared system.
+	StreamSpec = multistream.StreamSpec
+	// SharedPlan is the evaluation of a shared system at one super-cycle.
+	SharedPlan = multistream.Plan
+	// SharedDimensioning answers the shared-device design question.
+	SharedDimensioning = multistream.Dimensioning
+)
+
+// NewSharedSystem builds a shared-device system with the Table I workload
+// calendar and the default DRAM model.
+func NewSharedSystem(dev Device, streams []StreamSpec) (*SharedSystem, error) {
+	return multistream.NewSystem(dev, device.DefaultDRAM(), lifetime.DefaultWorkload(), streams)
+}
+
+// NewSharedSystemWithWorkload builds a shared-device system with an explicit
+// workload and DRAM model.
+func NewSharedSystemWithWorkload(dev Device, dram DRAM, wl Workload, streams []StreamSpec) (*SharedSystem, error) {
+	return multistream.NewSystem(dev, dram, wl, streams)
+}
+
+// Disk baseline carried through the full energy model.
+type (
+	// DiskEnergyModel applies the refill-cycle energy analysis to the
+	// 1.8-inch disk baseline.
+	DiskEnergyModel = energy.DiskModel
+)
+
+// NewDiskEnergyModel builds a disk streaming-energy model at the given rate.
+func NewDiskEnergyModel(d Disk, rate BitRate) (DiskEnergyModel, error) {
+	return energy.NewDiskModel(d, rate)
+}
+
+// Video-trace extension.
+type (
+	// VideoStream describes an MPEG-like encoded video stream (GOP
+	// structure, I/P/B frame weights, jitter).
+	VideoStream = workload.VideoStream
+	// VideoRatePattern samples the frame-accurate demand of a video stream;
+	// it plugs into SimConfig.RateSource.
+	VideoRatePattern = workload.VideoRatePattern
+	// Frame is one encoded frame of a generated trace.
+	Frame = workload.Frame
+	// FrameClass is the coding class of a frame (I, P or B).
+	FrameClass = workload.FrameClass
+	// SimRateSource is the demand-sampling interface the simulator accepts.
+	SimRateSource = sim.RateSource
+)
+
+// Video frame classes.
+const (
+	// FrameI is an intra-coded frame.
+	FrameI = workload.FrameI
+	// FrameP is a predicted frame.
+	FrameP = workload.FrameP
+	// FrameB is a bidirectionally predicted frame.
+	FrameB = workload.FrameB
+)
+
+// NewVideoStream returns an MPEG-like stream averaging the given rate
+// (12-frame GOP at 25 fps, 5:3:1 frame weights).
+func NewVideoStream(rate BitRate, seed uint64) VideoStream {
+	return workload.NewVideoStream(rate, seed)
+}
+
+// NewVideoRatePattern generates a frame trace covering the horizon and wraps
+// it as a rate source for the simulator.
+func NewVideoRatePattern(v VideoStream, horizon Duration) (*VideoRatePattern, error) {
+	return workload.NewVideoRatePattern(v, horizon)
+}
+
+// DiskEnergyRow is one row of the extended MEMS-versus-disk energy comparison.
+type DiskEnergyRow struct {
+	// Rate is the streaming bit rate.
+	Rate BitRate
+	// MEMSBuffer and DiskBuffer are the buffers needed for the target saving
+	// on each device (zero when unreachable).
+	MEMSBuffer Size
+	DiskBuffer Size
+	// MEMSPerBit and DiskPerBit are the per-bit energies at those buffers.
+	MEMSPerBit EnergyPerBit
+	DiskPerBit EnergyPerBit
+	// MEMSFeasible and DiskFeasible report whether the saving target is
+	// reachable at all.
+	MEMSFeasible bool
+	DiskFeasible bool
+}
+
+// DiskEnergyComparison dimensions the energy-only buffer of the MEMS device
+// and the disk baseline for the same saving target across the given rates —
+// the quantitative version of the paper's introduction argument.
+func DiskEnergyComparison(dev Device, d Disk, saving float64, rates []BitRate) ([]DiskEnergyRow, error) {
+	rows := make([]DiskEnergyRow, 0, len(rates))
+	for _, rate := range rates {
+		row := DiskEnergyRow{Rate: rate}
+
+		model, err := New(dev, rate)
+		if err != nil {
+			return nil, err
+		}
+		req, err := model.BufferForEnergySaving(saving)
+		if err != nil {
+			return nil, err
+		}
+		if req.Feasible {
+			row.MEMSFeasible = true
+			row.MEMSBuffer = req.Buffer
+			pt, err := model.At(req.Buffer)
+			if err != nil {
+				return nil, err
+			}
+			row.MEMSPerBit = pt.EnergyPerBit
+		}
+
+		diskModel, err := NewDiskEnergyModel(d, rate)
+		if err != nil {
+			return nil, err
+		}
+		diskBuf, err := diskModel.BufferForSaving(saving)
+		switch {
+		case err == nil:
+			row.DiskFeasible = true
+			row.DiskBuffer = diskBuf
+			bd, err := diskModel.PerBit(diskBuf)
+			if err != nil {
+				return nil, err
+			}
+			row.DiskPerBit = bd.Total()
+		default:
+			row.DiskFeasible = false
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,422 @@
+package memstream
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"memstream/internal/config"
+	"memstream/internal/core"
+	"memstream/internal/explore"
+	"memstream/internal/report"
+	"memstream/internal/units"
+)
+
+// This file contains the generators that regenerate every table and figure of
+// the paper's evaluation section (see EXPERIMENTS.md for the paper-versus-
+// measured record):
+//
+//	Table I           — TableIStudy / RenderTableI
+//	Section III-A.1   — BreakEvenTable (MEMS vs 1.8-inch disk break-even buffer)
+//	Figure 2a and 2b  — Figure2 (energy, capacity and lifetime vs buffer size)
+//	Figure 3a/3b/3c   — Figure3 (required buffer vs streaming rate per goal)
+
+// TableIStudy returns the Table I parameter set as a serialisable study
+// configuration.
+func TableIStudy() config.Study { return config.TableI() }
+
+// RenderTableI writes the Table I parameter listing as a plain-text table.
+func RenderTableI(w io.Writer) error {
+	s := config.TableI()
+	d := s.Device
+	wl := s.Workload
+	tbl := report.NewTable("Table I: settings of the modelled MEMS storage device and workload",
+		"Parameter", "Setting", "Unit")
+	rows := []struct {
+		name, setting, unit string
+	}{
+		{"Probe-array size", fmt.Sprintf("%d x %d", d.ProbeArrayRows, d.ProbeArrayCols), "probe"},
+		{"Active probes", fmt.Sprintf("%d", d.ActiveProbes), "probe"},
+		{"Probe-field area", fmt.Sprintf("%.0f x %.0f", d.ProbeFieldMicrons, d.ProbeFieldMicrons), "um^2"},
+		{"Capacity", fmt.Sprintf("%.0f", d.CapacityGB), "GB"},
+		{"Per-probe data rate", fmt.Sprintf("%.0f", d.PerProbeRateKbps), "kbps"},
+		{"Fast/Slow seek time", fmt.Sprintf("%.0f", d.SeekTimeMs), "ms"},
+		{"Shutdown time", fmt.Sprintf("%.0f", d.ShutdownTimeMs), "ms"},
+		{"I/O overhead time", fmt.Sprintf("%.0f", d.IOOverheadMs), "ms"},
+		{"Read/Write power", fmt.Sprintf("%.0f", d.ReadWritePowerMW), "mW"},
+		{"Fast/Slow seek power", fmt.Sprintf("%.0f", d.SeekPowerMW), "mW"},
+		{"Standby power", fmt.Sprintf("%.0f", d.StandbyPowerMW), "mW"},
+		{"Idle power", fmt.Sprintf("%.0f", d.IdlePowerMW), "mW"},
+		{"Shutdown power", fmt.Sprintf("%.0f", d.ShutdownPowerMW), "mW"},
+		{"Probe write cycles", "100 & 200", "cycles"},
+		{"Springs duty cycles", "1e8 & 1e12", "cycles"},
+		{"Hours per day", fmt.Sprintf("%.0f", wl.HoursPerDay), "hours"},
+		{"Writes percentage", fmt.Sprintf("%.0f", wl.WritesPercent), "%"},
+		{"Best-effort fraction", fmt.Sprintf("%.0f", wl.BestEffortPercent), "%"},
+		{"Stream bit rate", fmt.Sprintf("%.0f - %.0f", s.RateRange.MinKbps, s.RateRange.MaxKbps), "kbps"},
+	}
+	for _, r := range rows {
+		if err := tbl.AddRow(r.name, r.setting, r.unit); err != nil {
+			return err
+		}
+	}
+	return tbl.Render(w)
+}
+
+// BreakEvenRow is one row of the Section III-A.1 comparison.
+type BreakEvenRow struct {
+	// Rate is the streaming bit rate.
+	Rate BitRate
+	// MEMS is the MEMS break-even buffer.
+	MEMS Size
+	// Disk is the 1.8-inch drive break-even buffer.
+	Disk Size
+	// Ratio is Disk / MEMS.
+	Ratio float64
+}
+
+// BreakEvenTable computes the break-even buffer of the MEMS device and the
+// disk baseline over the given rates (Section III-A.1 of the paper: MEMS
+// needs 0.07-8.87 kB where the disk needs 0.08-9.29 MB).
+func BreakEvenTable(dev Device, disk Disk, rates []BitRate) ([]BreakEvenRow, error) {
+	if len(rates) == 0 {
+		return nil, errors.New("memstream: no rates supplied")
+	}
+	rows := make([]BreakEvenRow, 0, len(rates))
+	for _, rate := range rates {
+		m, err := BreakEvenBuffer(dev, rate)
+		if err != nil {
+			return nil, err
+		}
+		d, err := DiskBreakEvenBuffer(disk, rate)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, BreakEvenRow{Rate: rate, MEMS: m, Disk: d, Ratio: d.DivideBy(m)})
+	}
+	return rows, nil
+}
+
+// RenderBreakEvenTable writes the break-even comparison as a table.
+func RenderBreakEvenTable(w io.Writer, rows []BreakEvenRow) error {
+	tbl := report.NewTable("Break-even streaming buffer: MEMS vs 1.8-inch disk (Section III-A.1)",
+		"Rate [kbps]", "MEMS [kB]", "Disk [MB]", "Disk/MEMS")
+	for _, r := range rows {
+		if err := tbl.AddRow(
+			fmt.Sprintf("%.0f", r.Rate.Kilobits()),
+			fmt.Sprintf("%.2f", r.MEMS.KiBytes()),
+			fmt.Sprintf("%.2f", r.Disk.Bytes()/1e6),
+			fmt.Sprintf("%.0f", r.Ratio),
+		); err != nil {
+			return err
+		}
+	}
+	return tbl.Render(w)
+}
+
+// Figure2 holds the data behind Fig. 2a and 2b: the forward model curves
+// versus buffer size at a fixed streaming rate.
+type Figure2 struct {
+	// Rate is the fixed streaming rate (1024 kbps in the paper).
+	Rate BitRate
+	// BreakEven is the break-even buffer the x axis is scaled from.
+	BreakEven Size
+	// BufferKB is the x axis in binary kilobytes.
+	BufferKB []float64
+	// EnergyNJPerBit is the Fig. 2a left axis.
+	EnergyNJPerBit []float64
+	// UserCapacityGB is the Fig. 2a right axis.
+	UserCapacityGB []float64
+	// SpringsYears and ProbesYears are the Fig. 2b curves.
+	SpringsYears []float64
+	ProbesYears  []float64
+}
+
+// GenerateFigure2 evaluates the forward curves over 1-20 times the break-even
+// buffer at the given rate, as the paper does for Fig. 2.
+func GenerateFigure2(dev Device, rate BitRate, points int) (*Figure2, error) {
+	if points < 2 {
+		return nil, errors.New("memstream: need at least two points")
+	}
+	model, err := core.New(dev, rate)
+	if err != nil {
+		return nil, err
+	}
+	be, err := model.BreakEvenBuffer()
+	if err != nil {
+		return nil, err
+	}
+	lo := be
+	if min := model.MinimumBuffer(); lo < min {
+		lo = min
+	}
+	hi := be.Scale(20)
+	curve, err := explore.SweepBuffer(dev, rate, core.Options{}, lo, hi, points)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure2{Rate: rate, BreakEven: be}
+	for _, pt := range curve.Points {
+		fig.BufferKB = append(fig.BufferKB, pt.Buffer.KiBytes())
+		fig.EnergyNJPerBit = append(fig.EnergyNJPerBit, pt.EnergyPerBit.NanojoulesPerBit())
+		fig.UserCapacityGB = append(fig.UserCapacityGB, pt.UserCapacity.GBytes())
+		fig.SpringsYears = append(fig.SpringsYears, pt.SpringsLifetime.Years())
+		fig.ProbesYears = append(fig.ProbesYears, pt.ProbesLifetime.Years())
+	}
+	return fig, nil
+}
+
+// Series converts the figure into named report series sharing the buffer axis.
+func (f *Figure2) Series() (energySeries, capacitySeries, springsSeries, probesSeries report.Series) {
+	energySeries = report.Series{Name: "per-bit energy [nJ/b]", X: f.BufferKB, Y: f.EnergyNJPerBit}
+	capacitySeries = report.Series{Name: "user capacity [GB]", X: f.BufferKB, Y: f.UserCapacityGB}
+	springsSeries = report.Series{Name: "springs lifetime [years]", X: f.BufferKB, Y: f.SpringsYears}
+	probesSeries = report.Series{Name: "probes lifetime [years]", X: f.BufferKB, Y: f.ProbesYears}
+	return
+}
+
+// Render writes Fig. 2a and 2b as ASCII plots plus a CSV block.
+func (f *Figure2) Render(w io.Writer) error {
+	e, c, s, p := f.Series()
+	if err := report.Plot(w, report.PlotConfig{
+		Title:  fmt.Sprintf("Figure 2a: per-bit energy and capacity vs buffer size (rs = %v)", f.Rate),
+		XLabel: "buffer [kB]", YLabel: "nJ/b | GB",
+	}, e, c); err != nil {
+		return err
+	}
+	if err := report.Plot(w, report.PlotConfig{
+		Title:  fmt.Sprintf("Figure 2b: springs and probes lifetime vs buffer size (rs = %v)", f.Rate),
+		XLabel: "buffer [kB]", YLabel: "years",
+	}, s, p); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	return report.SeriesCSV(w, "buffer [kB]", e, c, s, p)
+}
+
+// Figure3 holds the data behind one panel of Fig. 3: buffer requirements
+// versus streaming rate for one design goal and device durability.
+type Figure3 struct {
+	// Goal is the design goal of the panel.
+	Goal Goal
+	// Device names the durability scenario.
+	Device string
+	// RateKbps is the x axis.
+	RateKbps []float64
+	// RequiredBufferKB is the "minimal required buffer" curve; NaN where the
+	// goal is infeasible.
+	RequiredBufferKB []float64
+	// EnergyBufferKB is the "energy-efficiency buffer" curve; NaN where the
+	// energy goal alone is unreachable.
+	EnergyBufferKB []float64
+	// Dominant labels the constraint dictating the buffer at each rate
+	// ("C", "E", "Lsp", "Lpb", or "X" when infeasible).
+	Dominant []string
+	// Regimes is the segmented dominance annotation shown on top of the
+	// paper's panels.
+	Regimes []Regime
+	// FeasibilityLimit is the lowest sampled rate at which the goal becomes
+	// infeasible; zero when the goal is feasible over the whole range.
+	FeasibilityLimit BitRate
+}
+
+// GenerateFigure3 sweeps the paper's 32-4096 kbps range for the given goal
+// and device at the given number of log-spaced points.
+func GenerateFigure3(dev Device, goal Goal, points int) (*Figure3, error) {
+	sweep, err := Explore(dev, goal, 32*units.Kbps, 4096*units.Kbps, points)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure3{Goal: goal, Device: dev.Name, Regimes: sweep.Regimes()}
+	for _, p := range sweep.Points {
+		fig.RateKbps = append(fig.RateKbps, p.Rate.Kilobits())
+		d := p.Dimensioning
+		if d.Feasible {
+			fig.RequiredBufferKB = append(fig.RequiredBufferKB, d.Buffer.KiBytes())
+			fig.Dominant = append(fig.Dominant, d.Dominant.String())
+		} else {
+			fig.RequiredBufferKB = append(fig.RequiredBufferKB, math.NaN())
+			fig.Dominant = append(fig.Dominant, "X")
+		}
+		if d.Requirements[core.ConstraintEnergy].Feasible {
+			fig.EnergyBufferKB = append(fig.EnergyBufferKB, d.EnergyBuffer.KiBytes())
+		} else {
+			fig.EnergyBufferKB = append(fig.EnergyBufferKB, math.NaN())
+		}
+	}
+	if limit, ok := sweep.FeasibilityLimit(); ok {
+		fig.FeasibilityLimit = limit
+	}
+	return fig, nil
+}
+
+// Series converts the figure into named report series sharing the rate axis.
+func (f *Figure3) Series() (required, energyOnly report.Series) {
+	required = report.Series{Name: "minimal required buffer [kB]", X: f.RateKbps, Y: f.RequiredBufferKB}
+	energyOnly = report.Series{Name: "energy-efficiency buffer [kB]", X: f.RateKbps, Y: f.EnergyBufferKB}
+	return
+}
+
+// Render writes the panel as a log-log ASCII plot with the regime annotation.
+func (f *Figure3) Render(w io.Writer) error {
+	required, energyOnly := f.Series()
+	title := fmt.Sprintf("Figure 3 panel: buffer vs streaming rate, goal %v, %s", f.Goal, f.Device)
+	if err := report.Plot(w, report.PlotConfig{
+		Title:  title,
+		XScale: report.Log10, YScale: report.Log10,
+		XLabel: "streaming rate [kbps]", YLabel: "buffer [kB]",
+	}, required, energyOnly); err != nil {
+		return err
+	}
+	fmt.Fprint(w, "Dominance regimes: ")
+	for i, r := range f.Regimes {
+		if i > 0 {
+			fmt.Fprint(w, " | ")
+		}
+		fmt.Fprintf(w, "%s (%.0f-%.0f kbps)", r.Label(), r.MinRate.Kilobits(), r.MaxRate.Kilobits())
+	}
+	fmt.Fprintln(w)
+	if f.FeasibilityLimit.Positive() {
+		fmt.Fprintf(w, "Goal infeasible from about %.0f kbps upward\n", f.FeasibilityLimit.Kilobits())
+	} else {
+		fmt.Fprintln(w, "Goal feasible over the whole studied range")
+	}
+	fmt.Fprintln(w)
+	return report.SeriesCSV(w, "rate [kbps]", required, energyOnly)
+}
+
+// PaperFigure3a generates the Fig. 3a panel: goal (80 %, 88 %, 7 years) on the
+// baseline device (Dpb = 100, Dsp = 1e8).
+func PaperFigure3a(points int) (*Figure3, error) {
+	return GenerateFigure3(DefaultDevice(), PaperGoalA(), points)
+}
+
+// PaperFigure3b generates the Fig. 3b panel: goal (70 %, 88 %, 7 years) on the
+// baseline device.
+func PaperFigure3b(points int) (*Figure3, error) {
+	return GenerateFigure3(DefaultDevice(), PaperGoalB(), points)
+}
+
+// PaperFigure3c generates the Fig. 3c panel: goal (70 %, 88 %, 7 years) on the
+// improved-durability device (Dpb = 200, Dsp = 1e12).
+func PaperFigure3c(points int) (*Figure3, error) {
+	return GenerateFigure3(ImprovedDevice(), PaperGoalB(), points)
+}
+
+// PaperFigure3dC85 generates the Section IV-C textual variant: goal
+// (80 %, 85 %, 7 years) on the baseline device.
+func PaperFigure3dC85(points int) (*Figure3, error) {
+	return GenerateFigure3(DefaultDevice(), PaperGoalC85(), points)
+}
+
+// PaperBreakEvenRates returns the rates used for the break-even comparison.
+func PaperBreakEvenRates() []BitRate {
+	return []BitRate{
+		32 * units.Kbps, 64 * units.Kbps, 128 * units.Kbps, 256 * units.Kbps,
+		512 * units.Kbps, 1024 * units.Kbps, 2048 * units.Kbps, 4096 * units.Kbps,
+	}
+}
+
+// AblationResult compares the full model against a variant with one effect
+// switched off, at one operating point.
+type AblationResult struct {
+	// Name identifies the ablation.
+	Name string
+	// Buffer is the evaluated operating point.
+	Buffer Size
+	// Rate is the streaming rate.
+	Rate BitRate
+	// Full and Ablated are the per-bit energies (or utilisations, see Unit)
+	// with and without the effect.
+	Full    float64
+	Ablated float64
+	// Unit names the compared quantity.
+	Unit string
+}
+
+// Ablations quantifies the design choices the paper calls out: the DRAM
+// energy contribution, the best-effort share, and the per-subsector
+// synchronisation bits.
+func Ablations(dev Device, rate BitRate, buffer Size) ([]AblationResult, error) {
+	full, err := core.New(dev, rate)
+	if err != nil {
+		return nil, err
+	}
+	fullPt, err := full.At(buffer)
+	if err != nil {
+		return nil, err
+	}
+
+	var results []AblationResult
+
+	// DRAM energy off.
+	noDRAM := false
+	mNoDRAM, err := core.NewWithOptions(dev, rate, core.Options{IncludeDRAMEnergy: &noDRAM})
+	if err != nil {
+		return nil, err
+	}
+	ptNoDRAM, err := mNoDRAM.At(buffer)
+	if err != nil {
+		return nil, err
+	}
+	results = append(results, AblationResult{
+		Name: "DRAM energy excluded", Buffer: buffer, Rate: rate,
+		Full: fullPt.EnergyPerBit.NanojoulesPerBit(), Ablated: ptNoDRAM.EnergyPerBit.NanojoulesPerBit(),
+		Unit: "nJ/b",
+	})
+
+	// Best-effort share off.
+	wl := DefaultWorkload()
+	wl.BestEffortFraction = 0
+	mNoBE, err := core.NewWithOptions(dev, rate, core.Options{Workload: &wl})
+	if err != nil {
+		return nil, err
+	}
+	ptNoBE, err := mNoBE.At(buffer)
+	if err != nil {
+		return nil, err
+	}
+	results = append(results, AblationResult{
+		Name: "best-effort traffic excluded", Buffer: buffer, Rate: rate,
+		Full: fullPt.EnergyPerBit.NanojoulesPerBit(), Ablated: ptNoBE.EnergyPerBit.NanojoulesPerBit(),
+		Unit: "nJ/b",
+	})
+
+	// Synchronisation bits off (capacity utilisation comparison).
+	noSync := dev
+	noSync.SyncBitsPerSubsector = 0
+	mNoSync, err := core.New(noSync, rate)
+	if err != nil {
+		return nil, err
+	}
+	ptNoSync, err := mNoSync.At(buffer)
+	if err != nil {
+		return nil, err
+	}
+	results = append(results, AblationResult{
+		Name: "synchronisation bits excluded", Buffer: buffer, Rate: rate,
+		Full: fullPt.Utilisation, Ablated: ptNoSync.Utilisation,
+		Unit: "utilisation",
+	})
+	return results, nil
+}
+
+// RenderAblations writes the ablation comparison as a table.
+func RenderAblations(w io.Writer, results []AblationResult) error {
+	tbl := report.NewTable("Ablations (full model vs effect removed)",
+		"Ablation", "Rate [kbps]", "Buffer [kB]", "Full", "Ablated", "Unit")
+	for _, r := range results {
+		if err := tbl.AddRow(
+			r.Name,
+			fmt.Sprintf("%.0f", r.Rate.Kilobits()),
+			fmt.Sprintf("%.1f", r.Buffer.KiBytes()),
+			fmt.Sprintf("%.4g", r.Full),
+			fmt.Sprintf("%.4g", r.Ablated),
+			r.Unit,
+		); err != nil {
+			return err
+		}
+	}
+	return tbl.Render(w)
+}

@@ -1,0 +1,225 @@
+// Package config bundles the parameter sets of the study — the Table I device
+// and workload, the DRAM buffer and the disk baseline — into a single
+// serialisable Study configuration, so that experiments can be described,
+// saved and reloaded as JSON.
+package config
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"memstream/internal/device"
+	"memstream/internal/lifetime"
+	"memstream/internal/units"
+)
+
+// Study is a complete, serialisable description of one study configuration.
+type Study struct {
+	// Name labels the configuration.
+	Name string `json:"name"`
+	// Device holds the MEMS device parameters in friendly units.
+	Device DeviceConfig `json:"device"`
+	// Workload holds the streaming usage pattern.
+	Workload WorkloadConfig `json:"workload"`
+	// RateRange holds the studied streaming-rate range in kbps.
+	RateRange RateRangeConfig `json:"rateRange"`
+}
+
+// DeviceConfig mirrors Table I in the units the paper uses.
+type DeviceConfig struct {
+	ProbeArrayRows       int     `json:"probeArrayRows"`
+	ProbeArrayCols       int     `json:"probeArrayCols"`
+	ActiveProbes         int     `json:"activeProbes"`
+	ProbeFieldMicrons    float64 `json:"probeFieldMicrons"`
+	CapacityGB           float64 `json:"capacityGB"`
+	PerProbeRateKbps     float64 `json:"perProbeRateKbps"`
+	SeekTimeMs           float64 `json:"seekTimeMs"`
+	ShutdownTimeMs       float64 `json:"shutdownTimeMs"`
+	IOOverheadMs         float64 `json:"ioOverheadMs"`
+	ReadWritePowerMW     float64 `json:"readWritePowerMW"`
+	SeekPowerMW          float64 `json:"seekPowerMW"`
+	StandbyPowerMW       float64 `json:"standbyPowerMW"`
+	IdlePowerMW          float64 `json:"idlePowerMW"`
+	ShutdownPowerMW      float64 `json:"shutdownPowerMW"`
+	ProbeWriteCycles     float64 `json:"probeWriteCycles"`
+	SpringDutyCycles     float64 `json:"springDutyCycles"`
+	SyncBitsPerSubsector int     `json:"syncBitsPerSubsector"`
+	ECCFraction          float64 `json:"eccFraction"`
+}
+
+// WorkloadConfig mirrors the workload rows of Table I.
+type WorkloadConfig struct {
+	HoursPerDay        float64 `json:"hoursPerDay"`
+	WritesPercent      float64 `json:"writesPercent"`
+	BestEffortPercent  float64 `json:"bestEffortPercent"`
+	StreamRateKbps     float64 `json:"streamRateKbps"`
+	LifetimeTargetYrs  float64 `json:"lifetimeTargetYears"`
+	EnergyTargetPct    float64 `json:"energyTargetPercent"`
+	CapacityTargetPct  float64 `json:"capacityTargetPercent"`
+	SpringRatingCycles float64 `json:"springRatingCycles"`
+	ProbeRatingCycles  float64 `json:"probeRatingCycles"`
+}
+
+// RateRangeConfig is the studied streaming-rate range.
+type RateRangeConfig struct {
+	MinKbps float64 `json:"minKbps"`
+	MaxKbps float64 `json:"maxKbps"`
+	Points  int     `json:"points"`
+}
+
+// TableI returns the study configuration of the paper's Table I with the
+// default design goal of Fig. 3a.
+func TableI() Study {
+	return Study{
+		Name: "Table I — IBM-class MEMS prototype, streaming workload",
+		Device: DeviceConfig{
+			ProbeArrayRows:       64,
+			ProbeArrayCols:       64,
+			ActiveProbes:         1024,
+			ProbeFieldMicrons:    100,
+			CapacityGB:           120,
+			PerProbeRateKbps:     100,
+			SeekTimeMs:           2,
+			ShutdownTimeMs:       1,
+			IOOverheadMs:         2,
+			ReadWritePowerMW:     316,
+			SeekPowerMW:          672,
+			StandbyPowerMW:       5,
+			IdlePowerMW:          120,
+			ShutdownPowerMW:      672,
+			ProbeWriteCycles:     100,
+			SpringDutyCycles:     1e8,
+			SyncBitsPerSubsector: 3,
+			ECCFraction:          0.125,
+		},
+		Workload: WorkloadConfig{
+			HoursPerDay:        8,
+			WritesPercent:      40,
+			BestEffortPercent:  5,
+			StreamRateKbps:     1024,
+			LifetimeTargetYrs:  7,
+			EnergyTargetPct:    80,
+			CapacityTargetPct:  88,
+			SpringRatingCycles: 1e8,
+			ProbeRatingCycles:  100,
+		},
+		RateRange: RateRangeConfig{MinKbps: 32, MaxKbps: 4096, Points: 25},
+	}
+}
+
+// MEMS converts the device section into a device.MEMS model.
+func (s Study) MEMS() device.MEMS {
+	d := s.Device
+	return device.MEMS{
+		Name:                 s.Name,
+		ProbeArrayRows:       d.ProbeArrayRows,
+		ProbeArrayCols:       d.ProbeArrayCols,
+		ActiveProbes:         d.ActiveProbes,
+		ProbeFieldWidth:      d.ProbeFieldMicrons * 1e-6,
+		ProbeFieldHeight:     d.ProbeFieldMicrons * 1e-6,
+		Capacity:             units.Size(d.CapacityGB) * units.GB,
+		PerProbeRate:         units.BitRate(d.PerProbeRateKbps) * units.Kbps,
+		SeekTime:             units.Duration(d.SeekTimeMs) * units.Millisecond,
+		ShutdownTime:         units.Duration(d.ShutdownTimeMs) * units.Millisecond,
+		IOOverheadTime:       units.Duration(d.IOOverheadMs) * units.Millisecond,
+		ReadWritePower:       units.Power(d.ReadWritePowerMW) * units.Milliwatt,
+		SeekPower:            units.Power(d.SeekPowerMW) * units.Milliwatt,
+		StandbyPower:         units.Power(d.StandbyPowerMW) * units.Milliwatt,
+		IdlePower:            units.Power(d.IdlePowerMW) * units.Milliwatt,
+		ShutdownPower:        units.Power(d.ShutdownPowerMW) * units.Milliwatt,
+		ProbeWriteCycles:     d.ProbeWriteCycles,
+		SpringDutyCycles:     d.SpringDutyCycles,
+		SyncBitsPerSubsector: d.SyncBitsPerSubsector,
+		ECCFraction:          d.ECCFraction,
+	}
+}
+
+// Lifetime converts the workload section into a lifetime.Workload.
+func (s Study) Lifetime() lifetime.Workload {
+	w := s.Workload
+	return lifetime.Workload{
+		HoursPerDay:        w.HoursPerDay,
+		WriteFraction:      w.WritesPercent / 100,
+		BestEffortFraction: w.BestEffortPercent / 100,
+	}
+}
+
+// StreamRate returns the workload's nominal streaming rate.
+func (s Study) StreamRate() units.BitRate {
+	return units.BitRate(s.Workload.StreamRateKbps) * units.Kbps
+}
+
+// Rates returns the studied rate range as (min, max, points).
+func (s Study) Rates() (units.BitRate, units.BitRate, int) {
+	return units.BitRate(s.RateRange.MinKbps) * units.Kbps,
+		units.BitRate(s.RateRange.MaxKbps) * units.Kbps,
+		s.RateRange.Points
+}
+
+// Validate checks that the configuration converts into valid models.
+func (s Study) Validate() error {
+	var errs []error
+	if s.Name == "" {
+		errs = append(errs, errors.New("config: study needs a name"))
+	}
+	if err := s.MEMS().Validate(); err != nil {
+		errs = append(errs, fmt.Errorf("config: device: %w", err))
+	}
+	if err := s.Lifetime().Validate(); err != nil {
+		errs = append(errs, fmt.Errorf("config: workload: %w", err))
+	}
+	if s.RateRange.MinKbps <= 0 || s.RateRange.MaxKbps <= s.RateRange.MinKbps {
+		errs = append(errs, errors.New("config: invalid rate range"))
+	}
+	if s.RateRange.Points < 2 {
+		errs = append(errs, errors.New("config: rate range needs at least two points"))
+	}
+	if !s.StreamRate().Positive() {
+		errs = append(errs, errors.New("config: stream rate must be positive"))
+	}
+	return errors.Join(errs...)
+}
+
+// Write serialises the study as indented JSON.
+func (s Study) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Read parses a study from JSON and validates it.
+func Read(r io.Reader) (Study, error) {
+	var s Study
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Study{}, fmt.Errorf("config: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return Study{}, err
+	}
+	return s, nil
+}
+
+// Load reads a study from a JSON file.
+func Load(path string) (Study, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Study{}, fmt.Errorf("config: %w", err)
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// Save writes a study to a JSON file.
+func (s Study) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("config: %w", err)
+	}
+	defer f.Close()
+	return s.Write(f)
+}

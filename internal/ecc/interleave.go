@@ -1,0 +1,50 @@
+package ecc
+
+import "fmt"
+
+// Interleaver distributes consecutive codeword bits across a set of probes so
+// that a burst of errors confined to one probe (for example a worn tip or a
+// scratched probe field) lands in different codewords and remains correctable.
+//
+// The interleaver is a simple bit-rotation scheme: bit j of stripe i is
+// written to probe (i + j) mod K. It is its own inverse given the stripe
+// index, so Deinterleave(Interleave(x)) == x.
+type Interleaver struct {
+	probes int
+}
+
+// NewInterleaver returns an interleaver across the given number of probes.
+func NewInterleaver(probes int) (*Interleaver, error) {
+	if probes <= 0 {
+		return nil, fmt.Errorf("ecc: interleaver needs at least one probe, got %d", probes)
+	}
+	return &Interleaver{probes: probes}, nil
+}
+
+// Probes returns the number of probes the interleaver spreads data over.
+func (il *Interleaver) Probes() int { return il.probes }
+
+// Interleave maps a stripe of per-probe bits (one bool per probe) written as
+// stripe index i to the physical probe assignment.
+func (il *Interleaver) Interleave(stripe int, bits []bool) ([]bool, error) {
+	if len(bits) != il.probes {
+		return nil, fmt.Errorf("ecc: stripe has %d bits, interleaver expects %d", len(bits), il.probes)
+	}
+	out := make([]bool, il.probes)
+	for j, b := range bits {
+		out[(stripe+j)%il.probes] = b
+	}
+	return out, nil
+}
+
+// Deinterleave reverses Interleave for the same stripe index.
+func (il *Interleaver) Deinterleave(stripe int, bits []bool) ([]bool, error) {
+	if len(bits) != il.probes {
+		return nil, fmt.Errorf("ecc: stripe has %d bits, interleaver expects %d", len(bits), il.probes)
+	}
+	out := make([]bool, il.probes)
+	for j := range out {
+		out[j] = bits[(stripe+j)%il.probes]
+	}
+	return out, nil
+}

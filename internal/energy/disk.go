@@ -1,0 +1,187 @@
+package energy
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"memstream/internal/device"
+	"memstream/internal/units"
+)
+
+// DiskModel applies the same refill-cycle energy analysis to the 1.8-inch
+// disk baseline: the drive fills the buffer at its media rate, spins down,
+// and waits in standby while the buffer drains. It exists so the comparison
+// of Section III-A.1 can be carried beyond the break-even buffer — the study's
+// point is precisely that for the disk the energy requirement dwarfs the
+// capacity and lifetime requirements, whereas for MEMS it does not.
+type DiskModel struct {
+	// Disk is the drive being modelled.
+	Disk device.Disk
+	// StreamRate is rs.
+	StreamRate units.BitRate
+	// BestEffortFraction is the share of each cycle spent on non-streaming
+	// requests (kept for symmetry with the MEMS model).
+	BestEffortFraction float64
+}
+
+// NewDiskModel builds a disk streaming-energy model.
+func NewDiskModel(d device.Disk, rate units.BitRate) (DiskModel, error) {
+	m := DiskModel{Disk: d, StreamRate: rate, BestEffortFraction: 0.05}
+	if err := m.Validate(); err != nil {
+		return DiskModel{}, err
+	}
+	return m, nil
+}
+
+// Validate checks the model parameters.
+func (m DiskModel) Validate() error {
+	var errs []error
+	if err := m.Disk.Validate(); err != nil {
+		errs = append(errs, err)
+	}
+	if !m.StreamRate.Positive() {
+		errs = append(errs, errors.New("energy: stream rate must be positive"))
+	} else if m.StreamRate >= m.Disk.MediaRate {
+		errs = append(errs, fmt.Errorf("%w: rs = %v, disk media rate = %v",
+			ErrRateTooHigh, m.StreamRate, m.Disk.MediaRate))
+	}
+	if m.BestEffortFraction < 0 || m.BestEffortFraction >= 1 {
+		errs = append(errs, errors.New("energy: best-effort fraction must be in [0, 1)"))
+	}
+	return errors.Join(errs...)
+}
+
+// MinimumBuffer returns the smallest buffer for which a spin-down cycle
+// closes: the slack must cover the spin-down/spin-up overhead, the average
+// seek back to the stream, and the best-effort share of the cycle.
+func (m DiskModel) MinimumBuffer() units.Size {
+	rm := m.Disk.MediaRate.BitsPerSecond()
+	rs := m.StreamRate.BitsPerSecond()
+	toh := m.Disk.OverheadTime().Add(m.Disk.SeekTime).Seconds()
+	numerator := rm*(1-m.BestEffortFraction) - rs
+	if numerator <= 0 {
+		return units.Size(math.Inf(1))
+	}
+	return units.Size(toh * (rm - rs) * rs / numerator)
+}
+
+// PerBit returns the per-bit energy of the shutdown (spin-down) architecture
+// for buffer size B, in the same decomposition as the MEMS model.
+func (m DiskModel) PerBit(b units.Size) (Breakdown, error) {
+	if err := m.Validate(); err != nil {
+		return Breakdown{}, err
+	}
+	if b < m.MinimumBuffer() {
+		return Breakdown{}, fmt.Errorf("%w: B = %v below the disk cycle minimum %v",
+			ErrBufferTooSmall, b, m.MinimumBuffer())
+	}
+	rm := m.Disk.MediaRate
+	rs := m.StreamRate
+	transfer := rm.Sub(rs).TimeFor(b)
+	period := units.Duration(transfer.Seconds() * rm.BitsPerSecond() / rs.BitsPerSecond())
+	overhead := m.Disk.OverheadTime().Add(m.Disk.SeekTime)
+	bestEffort := period.Scale(m.BestEffortFraction)
+
+	psb := m.Disk.StandbyPower
+	overheadE := m.Disk.OverheadEnergy().
+		Add(m.Disk.SeekPower.Times(m.Disk.SeekTime)).
+		Sub(psb.Times(overhead))
+	transferE := m.Disk.ReadWritePower.Sub(psb).Times(transfer)
+	standbyE := psb.Times(period)
+	bestEffortE := m.Disk.ReadWritePower.Sub(psb).Times(bestEffort)
+	return Breakdown{
+		Overhead:   overheadE.PerBit(b),
+		Transfer:   transferE.PerBit(b),
+		Standby:    standbyE.PerBit(b),
+		BestEffort: bestEffortE.PerBit(b),
+	}, nil
+}
+
+// AlwaysOnPerBit returns the per-bit energy of the never-spun-down reference.
+func (m DiskModel) AlwaysOnPerBit(b units.Size) (units.EnergyPerBit, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	if !b.Positive() {
+		return 0, fmt.Errorf("%w: B = %v", ErrBufferTooSmall, b)
+	}
+	rm := m.Disk.MediaRate
+	rs := m.StreamRate
+	transfer := rm.Sub(rs).TimeFor(b)
+	period := units.Duration(transfer.Seconds() * rm.BitsPerSecond() / rs.BitsPerSecond())
+	idle := m.Disk.IdlePower
+	total := m.Disk.ReadWritePower.Sub(idle).Times(transfer).Add(idle.Times(period))
+	return total.PerBit(b), nil
+}
+
+// Saving returns the relative energy saving of spinning down over staying on.
+func (m DiskModel) Saving(b units.Size) (float64, error) {
+	buffered, err := m.PerBit(b)
+	if err != nil {
+		return 0, err
+	}
+	on, err := m.AlwaysOnPerBit(b)
+	if err != nil {
+		return 0, err
+	}
+	if on <= 0 {
+		return 0, errors.New("energy: always-on reference energy is not positive")
+	}
+	return 1 - buffered.Total().JoulesPerBit()/on.JoulesPerBit(), nil
+}
+
+// BreakEvenBuffer returns the disk's break-even streaming buffer.
+func (m DiskModel) BreakEvenBuffer() (units.Size, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	return BreakEvenBuffer(DiskBreakEvenAdapter{Disk: m.Disk}, m.StreamRate)
+}
+
+// BufferForSaving returns the smallest buffer achieving the target energy
+// saving, or an error wrapping ErrNoSaving if the target is unreachable.
+var ErrNoSaving = errors.New("energy: saving target unreachable")
+
+// BufferForSaving inverts the disk saving curve by doubling the buffer from
+// the cycle minimum until the target is met (the curve is monotone; DRAM
+// retention is not modelled for the disk's megabyte-scale buffers because the
+// paper only uses the disk as a break-even reference).
+func (m DiskModel) BufferForSaving(target float64) (units.Size, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	if target < 0 || target >= 1 {
+		return 0, fmt.Errorf("energy: saving target %.3f out of range [0, 1)", target)
+	}
+	b := m.MinimumBuffer().Scale(1.0001)
+	limit := m.Disk.MediaRate.Times(600 * units.Second)
+	var lastBelow units.Size
+	for b <= limit {
+		s, err := m.Saving(b)
+		if err != nil {
+			return 0, err
+		}
+		if s >= target {
+			// Refine between the last known miss and this hit.
+			lo := lastBelow
+			if lo == 0 {
+				lo = m.MinimumBuffer()
+			}
+			hi := b
+			for i := 0; i < 60 && hi.Sub(lo).Bits() > 1; i++ {
+				mid := lo.Add(hi.Sub(lo).Scale(0.5))
+				sm, err := m.Saving(mid)
+				if err != nil || sm < target {
+					lo = mid
+				} else {
+					hi = mid
+				}
+			}
+			return hi, nil
+		}
+		lastBelow = b
+		b = b.Scale(2)
+	}
+	return 0, fmt.Errorf("%w: %.1f%% at %v", ErrNoSaving, 100*target, m.StreamRate)
+}

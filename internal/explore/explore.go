@@ -1,0 +1,269 @@
+// Package explore implements the design-space exploration of Section IV of
+// the paper: sweeping the streaming bit rate, dimensioning the buffer for a
+// design goal at every rate, identifying which requirement dominates where,
+// and locating the feasibility boundary.
+package explore
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"memstream/internal/core"
+	"memstream/internal/device"
+	"memstream/internal/units"
+)
+
+// RatePoint is the dimensioning result at one streaming rate.
+type RatePoint struct {
+	// Rate is the streaming bit rate.
+	Rate units.BitRate
+	// Dimensioning is the buffer requirement at that rate.
+	Dimensioning core.Dimensioning
+	// BreakEven is the break-even buffer at that rate (for reference curves).
+	BreakEven units.Size
+	// MinimumBuffer is the smallest buffer that closes a refill cycle.
+	MinimumBuffer units.Size
+}
+
+// Sweep is a design-space exploration result over a set of streaming rates.
+type Sweep struct {
+	// Goal is the design goal explored.
+	Goal core.Goal
+	// Points holds one entry per rate, in ascending rate order.
+	Points []RatePoint
+}
+
+// Config parameterises a sweep.
+type Config struct {
+	// Device is the MEMS device to explore.
+	Device device.MEMS
+	// Goal is the design goal.
+	Goal core.Goal
+	// Options forwards model construction options (workload, DRAM, ablations).
+	Options core.Options
+}
+
+// LogSpace returns n streaming rates spaced logarithmically between min and
+// max (inclusive), mirroring the log-scale x axis of Fig. 3.
+func LogSpace(min, max units.BitRate, n int) ([]units.BitRate, error) {
+	if n < 2 {
+		return nil, errors.New("explore: need at least two rates")
+	}
+	if !min.Positive() || max <= min {
+		return nil, fmt.Errorf("explore: invalid rate range [%v, %v]", min, max)
+	}
+	out := make([]units.BitRate, n)
+	logMin := math.Log(min.BitsPerSecond())
+	logMax := math.Log(max.BitsPerSecond())
+	for i := 0; i < n; i++ {
+		f := float64(i) / float64(n-1)
+		out[i] = units.BitRate(math.Exp(logMin + f*(logMax-logMin)))
+	}
+	return out, nil
+}
+
+// PaperRates returns the paper's studied rate range, 32-4096 kbps, sampled at
+// n log-spaced points.
+func PaperRates(n int) ([]units.BitRate, error) {
+	return LogSpace(32*units.Kbps, 4096*units.Kbps, n)
+}
+
+// Run dimensions the buffer for the goal at every supplied rate.
+func Run(cfg Config, rates []units.BitRate) (*Sweep, error) {
+	if err := cfg.Goal.Validate(); err != nil {
+		return nil, err
+	}
+	if len(rates) == 0 {
+		return nil, errors.New("explore: no rates supplied")
+	}
+	sorted := append([]units.BitRate(nil), rates...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	sweep := &Sweep{Goal: cfg.Goal, Points: make([]RatePoint, 0, len(sorted))}
+	for _, rate := range sorted {
+		model, err := core.NewWithOptions(cfg.Device, rate, cfg.Options)
+		if err != nil {
+			return nil, fmt.Errorf("explore: rate %v: %w", rate, err)
+		}
+		dim, err := model.Dimension(cfg.Goal)
+		if err != nil {
+			return nil, fmt.Errorf("explore: rate %v: %w", rate, err)
+		}
+		be, err := model.BreakEvenBuffer()
+		if err != nil {
+			return nil, fmt.Errorf("explore: rate %v: %w", rate, err)
+		}
+		sweep.Points = append(sweep.Points, RatePoint{
+			Rate:          rate,
+			Dimensioning:  dim,
+			BreakEven:     be,
+			MinimumBuffer: model.MinimumBuffer(),
+		})
+	}
+	return sweep, nil
+}
+
+// Regime is a contiguous range of streaming rates governed by the same
+// dominant constraint (or by infeasibility), matching the range annotations
+// on top of Fig. 3.
+type Regime struct {
+	// MinRate and MaxRate bound the regime (inclusive, over sampled rates).
+	MinRate units.BitRate
+	MaxRate units.BitRate
+	// Dominant is the constraint that dictates the buffer in this regime.
+	// Meaningless when Feasible is false.
+	Dominant core.Constraint
+	// Feasible is false for the "X" region where the goal cannot be met.
+	Feasible bool
+	// Points is the number of sampled rates in the regime.
+	Points int
+}
+
+// Label returns the paper-style annotation for the regime ("C", "E", "Lsp",
+// "Lpb" or "X").
+func (r Regime) Label() string {
+	if !r.Feasible {
+		return "X"
+	}
+	return r.Dominant.String()
+}
+
+// Regimes segments the sweep into dominance regimes in ascending rate order.
+func (s *Sweep) Regimes() []Regime {
+	var out []Regime
+	for _, p := range s.Points {
+		feasible := p.Dimensioning.Feasible
+		dominant := p.Dimensioning.Dominant
+		if n := len(out); n > 0 {
+			last := &out[n-1]
+			if last.Feasible == feasible && (!feasible || last.Dominant == dominant) {
+				last.MaxRate = p.Rate
+				last.Points++
+				continue
+			}
+		}
+		out = append(out, Regime{
+			MinRate:  p.Rate,
+			MaxRate:  p.Rate,
+			Dominant: dominant,
+			Feasible: feasible,
+			Points:   1,
+		})
+	}
+	return out
+}
+
+// FeasibilityLimit returns the lowest sampled rate at which the goal becomes
+// infeasible, and whether such a rate exists in the sweep. The paper marks
+// this limit with a vertical line in Fig. 3a/3b.
+func (s *Sweep) FeasibilityLimit() (units.BitRate, bool) {
+	for _, p := range s.Points {
+		if !p.Dimensioning.Feasible {
+			return p.Rate, true
+		}
+	}
+	return 0, false
+}
+
+// DominanceShare returns, per constraint, the fraction of sampled feasible
+// rates it dominates. It quantifies the paper's core claim that capacity and
+// lifetime — not energy — dictate the buffer most of the time.
+func (s *Sweep) DominanceShare() map[core.Constraint]float64 {
+	counts := make(map[core.Constraint]int)
+	feasible := 0
+	for _, p := range s.Points {
+		if !p.Dimensioning.Feasible {
+			continue
+		}
+		feasible++
+		counts[p.Dimensioning.Dominant]++
+	}
+	out := make(map[core.Constraint]float64, len(counts))
+	if feasible == 0 {
+		return out
+	}
+	for c, n := range counts {
+		out[c] = float64(n) / float64(feasible)
+	}
+	return out
+}
+
+// MaxBufferRatio returns the largest ratio between the required buffer and
+// the energy-efficiency buffer across feasible rates where both exist. The
+// paper highlights a 1-2 order-of-magnitude gap in Fig. 3b.
+func (s *Sweep) MaxBufferRatio() float64 {
+	max := 0.0
+	for _, p := range s.Points {
+		d := p.Dimensioning
+		if !d.Feasible || !d.EnergyBuffer.Positive() || !d.Buffer.Positive() {
+			continue
+		}
+		ratio := d.Buffer.DivideBy(d.EnergyBuffer)
+		if ratio > max {
+			max = ratio
+		}
+	}
+	return max
+}
+
+// BufferAt returns the required buffer at the sampled rate closest to the
+// requested one, and whether the goal is feasible there.
+func (s *Sweep) BufferAt(rate units.BitRate) (units.Size, bool, error) {
+	if len(s.Points) == 0 {
+		return 0, false, errors.New("explore: empty sweep")
+	}
+	best := 0
+	bestDist := math.Inf(1)
+	for i, p := range s.Points {
+		d := math.Abs(math.Log(p.Rate.BitsPerSecond()) - math.Log(rate.BitsPerSecond()))
+		if d < bestDist {
+			bestDist = d
+			best = i
+		}
+	}
+	p := s.Points[best]
+	return p.Dimensioning.Buffer, p.Dimensioning.Feasible, nil
+}
+
+// BufferCurve is a point of the Fig. 2 style forward sweep: every model
+// output evaluated over a range of buffer sizes at a fixed rate.
+type BufferCurve struct {
+	// Rate is the fixed streaming rate of the sweep.
+	Rate units.BitRate
+	// Points holds the model evaluation at each buffer size, ascending.
+	Points []core.Point
+}
+
+// SweepBuffer evaluates the model at n buffer sizes spaced linearly between
+// lo and hi (inclusive) at the configured device and rate.
+func SweepBuffer(dev device.MEMS, rate units.BitRate, opts core.Options, lo, hi units.Size, n int) (*BufferCurve, error) {
+	if n < 2 {
+		return nil, errors.New("explore: need at least two buffer sizes")
+	}
+	if !lo.Positive() || hi <= lo {
+		return nil, fmt.Errorf("explore: invalid buffer range [%v, %v]", lo, hi)
+	}
+	model, err := core.NewWithOptions(dev, rate, opts)
+	if err != nil {
+		return nil, err
+	}
+	curve := &BufferCurve{Rate: rate, Points: make([]core.Point, 0, n)}
+	for i := 0; i < n; i++ {
+		f := float64(i) / float64(n-1)
+		b := lo.Add(hi.Sub(lo).Scale(f))
+		if b < model.MinimumBuffer() {
+			continue
+		}
+		pt, err := model.At(b)
+		if err != nil {
+			return nil, fmt.Errorf("explore: buffer %v: %w", b, err)
+		}
+		curve.Points = append(curve.Points, pt)
+	}
+	if len(curve.Points) < 2 {
+		return nil, errors.New("explore: buffer range lies below the minimum refill buffer")
+	}
+	return curve, nil
+}

@@ -1,0 +1,215 @@
+// Package media models the physical layout of the MEMS probe-storage medium:
+// the grid of probe fields, the mapping from logical block addresses to
+// per-probe positions, and the positioning (seek) time of the sled.
+//
+// The analytical study in the paper only needs the aggregate seek time from
+// Table I; this package exists so that the discrete-event simulator and the
+// examples can derive seek times from actual sled displacements, and so that
+// layout-level experiments (for example the sync-bit ablation) have a concrete
+// address map to work against.
+package media
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"memstream/internal/device"
+	"memstream/internal/units"
+)
+
+// Position is a physical sled position within a probe field, in metres,
+// relative to the field origin. Because all probes move together, one sled
+// position addresses the same offset in every probe field.
+type Position struct {
+	X float64
+	Y float64
+}
+
+// Geometry describes the physical layout of the medium.
+type Geometry struct {
+	// FieldWidth and FieldHeight are the probe-field dimensions in metres.
+	FieldWidth  float64
+	FieldHeight float64
+	// BitPitch is the spacing between bits along a track, in metres.
+	BitPitch float64
+	// TrackPitch is the spacing between adjacent tracks, in metres.
+	TrackPitch float64
+	// Probes is the number of simultaneously active probes (parallelism).
+	Probes int
+	// Fields is the total number of probe fields holding data (the full
+	// probe array; data sits under every probe even though only Probes of
+	// them transfer at once).
+	Fields int
+}
+
+// NewGeometry derives a Geometry from the device description, inferring the
+// bit and track pitch from the per-field capacity share.
+func NewGeometry(m device.MEMS) (Geometry, error) {
+	if err := m.Validate(); err != nil {
+		return Geometry{}, fmt.Errorf("media: invalid device: %w", err)
+	}
+	fields := m.TotalProbes()
+	bitsPerField := m.Capacity.Bits() / float64(fields)
+	if bitsPerField <= 0 {
+		return Geometry{}, errors.New("media: device stores no bits per probe field")
+	}
+	// Assume a square bit cell: area per bit = field area / bits per field.
+	area := m.ProbeFieldWidth * m.ProbeFieldHeight
+	cell := math.Sqrt(area / bitsPerField)
+	return Geometry{
+		FieldWidth:  m.ProbeFieldWidth,
+		FieldHeight: m.ProbeFieldHeight,
+		BitPitch:    cell,
+		TrackPitch:  cell,
+		Probes:      m.ActiveProbes,
+		Fields:      fields,
+	}, nil
+}
+
+// TracksPerField returns the number of tracks in one probe field.
+func (g Geometry) TracksPerField() int {
+	if g.TrackPitch <= 0 {
+		return 0
+	}
+	return int(g.FieldHeight / g.TrackPitch)
+}
+
+// BitsPerTrack returns the number of bit positions along one track.
+func (g Geometry) BitsPerTrack() int {
+	if g.BitPitch <= 0 {
+		return 0
+	}
+	return int(g.FieldWidth / g.BitPitch)
+}
+
+// BitsPerField returns the number of bit positions in one probe field.
+func (g Geometry) BitsPerField() int { return g.TracksPerField() * g.BitsPerTrack() }
+
+// Capacity returns the total number of bit positions across all probe fields.
+func (g Geometry) Capacity() units.Size {
+	return units.Size(float64(g.BitsPerField()) * float64(g.Fields))
+}
+
+// PositionOfBit returns the sled position of the k-th bit within a probe
+// field, following a serpentine track layout (even tracks scan left to right,
+// odd tracks right to left) so that consecutive bits never require a
+// full-width flyback.
+func (g Geometry) PositionOfBit(k int64) (Position, error) {
+	perField := int64(g.BitsPerField())
+	if perField <= 0 {
+		return Position{}, errors.New("media: geometry holds no bits")
+	}
+	if k < 0 || k >= perField {
+		return Position{}, fmt.Errorf("media: bit index %d outside field (0-%d)", k, perField-1)
+	}
+	perTrack := int64(g.BitsPerTrack())
+	track := k / perTrack
+	offset := k % perTrack
+	if track%2 == 1 {
+		offset = perTrack - 1 - offset
+	}
+	return Position{
+		X: (float64(offset) + 0.5) * g.BitPitch,
+		Y: (float64(track) + 0.5) * g.TrackPitch,
+	}, nil
+}
+
+// SeekModel converts sled displacements into seek times. The sled is driven
+// by electromagnetic actuators with a finite maximum excursion; the paper's
+// Table I quotes a single fast/slow seek figure, which this model reproduces
+// for full-stroke seeks while allowing shorter seeks to complete faster
+// (settle-time bounded below).
+type SeekModel struct {
+	// FullStrokeTime is the seek time for a corner-to-corner displacement.
+	FullStrokeTime units.Duration
+	// SettleTime is the minimum time of any repositioning.
+	SettleTime units.Duration
+	// Geometry provides the maximum displacement for normalisation.
+	Geometry Geometry
+}
+
+// NewSeekModel builds a seek model matching the device's Table I seek time.
+func NewSeekModel(m device.MEMS, g Geometry) SeekModel {
+	return SeekModel{
+		FullStrokeTime: m.SeekTime,
+		SettleTime:     m.SeekTime.Scale(0.25),
+		Geometry:       g,
+	}
+}
+
+// SeekTime returns the time to move the sled between two positions. The model
+// follows the square-root (bang-bang acceleration) law used for nanopositioner
+// sleds, normalised so that a full-stroke diagonal seek takes FullStrokeTime.
+func (s SeekModel) SeekTime(from, to Position) units.Duration {
+	dx := to.X - from.X
+	dy := to.Y - from.Y
+	dist := math.Hypot(dx, dy)
+	maxDist := math.Hypot(s.Geometry.FieldWidth, s.Geometry.FieldHeight)
+	if maxDist <= 0 || dist <= 0 {
+		return s.SettleTime
+	}
+	t := s.FullStrokeTime.Scale(math.Sqrt(dist / maxDist))
+	if t < s.SettleTime {
+		return s.SettleTime
+	}
+	return t
+}
+
+// AddressMap maps logical block addresses (in units of per-probe subsector
+// stripes) to sled positions. Stripes are laid out sequentially along the
+// serpentine tracks so that streaming access is (near-)sequential.
+type AddressMap struct {
+	geometry      Geometry
+	stripeBits    int64 // bits per probe per stripe (the subsector size)
+	stripesPer    int64 // stripes per field
+	totalStripes  int64
+	bitsPerStripe int64 // across all probes
+}
+
+// NewAddressMap creates an address map for subsectors of the given per-probe
+// size (in bits).
+func NewAddressMap(g Geometry, subsectorBits int64) (*AddressMap, error) {
+	if subsectorBits <= 0 {
+		return nil, errors.New("media: subsector must hold at least one bit")
+	}
+	perField := int64(g.BitsPerField())
+	if perField < subsectorBits {
+		return nil, fmt.Errorf("media: subsector of %d bits exceeds field capacity %d", subsectorBits, perField)
+	}
+	stripes := perField / subsectorBits
+	return &AddressMap{
+		geometry:      g,
+		stripeBits:    subsectorBits,
+		stripesPer:    stripes,
+		totalStripes:  stripes,
+		bitsPerStripe: subsectorBits * int64(g.Probes),
+	}, nil
+}
+
+// Stripes returns the number of addressable stripes (subsector rows).
+func (a *AddressMap) Stripes() int64 { return a.totalStripes }
+
+// StripeCapacity returns the user-addressable bits per stripe across all probes.
+func (a *AddressMap) StripeCapacity() units.Size { return units.Size(a.bitsPerStripe) }
+
+// PositionOfStripe returns the sled position at which the given stripe starts.
+func (a *AddressMap) PositionOfStripe(stripe int64) (Position, error) {
+	if stripe < 0 || stripe >= a.totalStripes {
+		return Position{}, fmt.Errorf("media: stripe %d outside device (0-%d)", stripe, a.totalStripes-1)
+	}
+	return a.geometry.PositionOfBit(stripe * a.stripeBits)
+}
+
+// StripeOfByteOffset returns the stripe that holds the given byte offset of a
+// sequential stream laid out from stripe 0.
+func (a *AddressMap) StripeOfByteOffset(offset units.Size) (int64, error) {
+	if offset < 0 {
+		return 0, errors.New("media: negative offset")
+	}
+	stripe := int64(offset.Bits()) / a.bitsPerStripe
+	if stripe >= a.totalStripes {
+		return 0, fmt.Errorf("media: offset %v beyond device end", offset)
+	}
+	return stripe, nil
+}

@@ -1,0 +1,247 @@
+package media
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"memstream/internal/device"
+	"memstream/internal/units"
+)
+
+func testGeometry(t *testing.T) Geometry {
+	t.Helper()
+	g, err := NewGeometry(device.DefaultMEMS())
+	if err != nil {
+		t.Fatalf("NewGeometry: %v", err)
+	}
+	return g
+}
+
+func TestNewGeometryFromDevice(t *testing.T) {
+	g := testGeometry(t)
+	if g.Probes != 1024 {
+		t.Errorf("Probes = %d, want 1024", g.Probes)
+	}
+	if g.BitPitch <= 0 || g.TrackPitch <= 0 {
+		t.Errorf("pitches must be positive: %+v", g)
+	}
+	// 120 GB over 1024 probes is ~937.5 Mbit per 100x100 um field, i.e. a bit
+	// cell around 10 nm — consistent with the paper's >1 Tb/in^2 density claim.
+	if g.BitPitch > 15e-9 || g.BitPitch < 5e-9 {
+		t.Errorf("bit pitch = %g m, want around 10 nm", g.BitPitch)
+	}
+}
+
+func TestNewGeometryRejectsInvalidDevice(t *testing.T) {
+	m := device.DefaultMEMS()
+	m.ActiveProbes = 0
+	if _, err := NewGeometry(m); err == nil {
+		t.Error("NewGeometry accepted an invalid device")
+	}
+}
+
+func TestGeometryDensityMatchesCapacityOrder(t *testing.T) {
+	g := testGeometry(t)
+	// The integer truncation of tracks/bits loses a little capacity but the
+	// modelled medium must still hold the same order of bits as the device
+	// claims (within 5%).
+	claimed := device.DefaultMEMS().Capacity.Bits()
+	got := g.Capacity().Bits()
+	if got < 0.95*claimed || got > 1.05*claimed {
+		t.Errorf("geometry capacity %g bits vs claimed %g bits", got, claimed)
+	}
+}
+
+func TestPositionOfBitSerpentine(t *testing.T) {
+	g := testGeometry(t)
+	perTrack := int64(g.BitsPerTrack())
+
+	first, err := g.PositionOfBit(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastOfTrack0, err := g.PositionOfBit(perTrack - 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstOfTrack1, err := g.PositionOfBit(perTrack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Y >= firstOfTrack1.Y {
+		t.Errorf("track 1 must sit above track 0: %g vs %g", first.Y, firstOfTrack1.Y)
+	}
+	// Serpentine: the first bit of track 1 is physically adjacent (same X) to
+	// the last bit of track 0, so sequential streaming needs no flyback.
+	if math.Abs(lastOfTrack0.X-firstOfTrack1.X) > g.BitPitch/2 {
+		t.Errorf("serpentine discontinuity: %g vs %g", lastOfTrack0.X, firstOfTrack1.X)
+	}
+}
+
+func TestPositionOfBitBounds(t *testing.T) {
+	g := testGeometry(t)
+	if _, err := g.PositionOfBit(-1); err == nil {
+		t.Error("negative bit index accepted")
+	}
+	if _, err := g.PositionOfBit(int64(g.BitsPerField())); err == nil {
+		t.Error("out-of-field bit index accepted")
+	}
+	pos, err := g.PositionOfBit(int64(g.BitsPerField()) - 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pos.X < 0 || pos.X > g.FieldWidth || pos.Y < 0 || pos.Y > g.FieldHeight {
+		t.Errorf("position %+v outside the field", pos)
+	}
+}
+
+func TestSeekModelFullStroke(t *testing.T) {
+	m := device.DefaultMEMS()
+	g := testGeometry(t)
+	s := NewSeekModel(m, g)
+	corner := Position{X: 0, Y: 0}
+	opposite := Position{X: g.FieldWidth, Y: g.FieldHeight}
+	if got := s.SeekTime(corner, opposite); !almostEqual(got.Seconds(), m.SeekTime.Seconds(), 1e-9) {
+		t.Errorf("full-stroke seek = %v, want %v", got, m.SeekTime)
+	}
+}
+
+func TestSeekModelShortSeeksAreFaster(t *testing.T) {
+	m := device.DefaultMEMS()
+	g := testGeometry(t)
+	s := NewSeekModel(m, g)
+	a := Position{X: 10e-6, Y: 10e-6}
+	b := Position{X: 12e-6, Y: 10e-6}
+	short := s.SeekTime(a, b)
+	full := s.SeekTime(Position{}, Position{X: g.FieldWidth, Y: g.FieldHeight})
+	if short.Seconds() >= full.Seconds() {
+		t.Errorf("short seek %v not faster than full stroke %v", short, full)
+	}
+	if short.Seconds() < s.SettleTime.Seconds() {
+		t.Errorf("seek %v below settle time %v", short, s.SettleTime)
+	}
+	// Zero-displacement repositioning still pays the settle time.
+	if got := s.SeekTime(a, a); !almostEqual(got.Seconds(), s.SettleTime.Seconds(), 1e-12) {
+		t.Errorf("zero-distance seek = %v, want settle time %v", got, s.SettleTime)
+	}
+}
+
+func TestAddressMapStripes(t *testing.T) {
+	g := testGeometry(t)
+	const subsector = 66 // bits per probe, the Table I formatting at ~7 KiB sectors
+	am, err := NewAddressMap(g, subsector)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if am.Stripes() <= 0 {
+		t.Fatalf("no stripes: %d", am.Stripes())
+	}
+	if got := am.StripeCapacity().Bits(); got != subsector*1024 {
+		t.Errorf("StripeCapacity = %g bits, want %d", got, subsector*1024)
+	}
+	// First and last stripes must map to positions inside the field.
+	for _, stripe := range []int64{0, am.Stripes() / 2, am.Stripes() - 1} {
+		pos, err := am.PositionOfStripe(stripe)
+		if err != nil {
+			t.Errorf("stripe %d: %v", stripe, err)
+			continue
+		}
+		if pos.X < 0 || pos.X > g.FieldWidth || pos.Y < 0 || pos.Y > g.FieldHeight {
+			t.Errorf("stripe %d maps outside the field: %+v", stripe, pos)
+		}
+	}
+	if _, err := am.PositionOfStripe(am.Stripes()); err == nil {
+		t.Error("out-of-range stripe accepted")
+	}
+	if _, err := am.PositionOfStripe(-1); err == nil {
+		t.Error("negative stripe accepted")
+	}
+}
+
+func TestAddressMapByteOffsets(t *testing.T) {
+	g := testGeometry(t)
+	am, err := NewAddressMap(g, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripe, err := am.StripeOfByteOffset(0)
+	if err != nil || stripe != 0 {
+		t.Errorf("offset 0 -> stripe %d, err %v", stripe, err)
+	}
+	// One full stripe of data across 1024 probes at 128 bits each.
+	oneStripe := units.Size(128 * 1024)
+	stripe, err = am.StripeOfByteOffset(oneStripe)
+	if err != nil || stripe != 1 {
+		t.Errorf("offset %v -> stripe %d, err %v, want 1", oneStripe, stripe, err)
+	}
+	if _, err := am.StripeOfByteOffset(-1); err == nil {
+		t.Error("negative offset accepted")
+	}
+	huge := units.Size(1e18)
+	if _, err := am.StripeOfByteOffset(huge); err == nil {
+		t.Error("offset beyond device end accepted")
+	}
+}
+
+func TestNewAddressMapErrors(t *testing.T) {
+	g := testGeometry(t)
+	if _, err := NewAddressMap(g, 0); err == nil {
+		t.Error("zero subsector accepted")
+	}
+	if _, err := NewAddressMap(g, int64(g.BitsPerField())+1); err == nil {
+		t.Error("subsector larger than a field accepted")
+	}
+}
+
+func almostEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale == 0 {
+		return diff < tol
+	}
+	return diff/scale < tol
+}
+
+// Property: every valid bit index maps inside the field and consecutive bits
+// are never farther apart than one track pitch plus one bit pitch.
+func TestQuickSequentialBitsAreAdjacent(t *testing.T) {
+	g := testGeometry(t)
+	perField := int64(g.BitsPerField())
+	f := func(raw uint32) bool {
+		k := int64(raw) % (perField - 1)
+		a, err1 := g.PositionOfBit(k)
+		b, err2 := g.PositionOfBit(k + 1)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		dist := math.Hypot(a.X-b.X, a.Y-b.Y)
+		return dist <= g.BitPitch+g.TrackPitch+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: seek time is symmetric and bounded by the full-stroke time.
+func TestQuickSeekSymmetricAndBounded(t *testing.T) {
+	m := device.DefaultMEMS()
+	g := testGeometry(t)
+	s := NewSeekModel(m, g)
+	f := func(ax, ay, bx, by float64) bool {
+		a := Position{X: math.Mod(math.Abs(ax), g.FieldWidth), Y: math.Mod(math.Abs(ay), g.FieldHeight)}
+		b := Position{X: math.Mod(math.Abs(bx), g.FieldWidth), Y: math.Mod(math.Abs(by), g.FieldHeight)}
+		ab := s.SeekTime(a, b)
+		ba := s.SeekTime(b, a)
+		if !almostEqual(ab.Seconds(), ba.Seconds(), 1e-9) {
+			return false
+		}
+		return ab.Seconds() <= m.SeekTime.Seconds()+1e-12 && ab.Seconds() >= s.SettleTime.Seconds()-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

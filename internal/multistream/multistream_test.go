@@ -1,0 +1,363 @@
+package multistream
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"memstream/internal/core"
+	"memstream/internal/device"
+	"memstream/internal/lifetime"
+	"memstream/internal/units"
+)
+
+func playbackAndRecord(t *testing.T) *System {
+	t.Helper()
+	s, err := NewSystem(device.DefaultMEMS(), device.DefaultDRAM(), lifetime.DefaultWorkload(),
+		[]StreamSpec{
+			{Name: "playback", Rate: 1024 * units.Kbps, WriteFraction: 0},
+			{Name: "recording", Rate: 512 * units.Kbps, WriteFraction: 1},
+		})
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	return s
+}
+
+func singleStream(t *testing.T, rate units.BitRate, write float64) *System {
+	t.Helper()
+	s, err := NewSystem(device.DefaultMEMS(), device.DefaultDRAM(), lifetime.DefaultWorkload(),
+		[]StreamSpec{{Name: "only", Rate: rate, WriteFraction: write}})
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	return s
+}
+
+func TestStreamSpecValidation(t *testing.T) {
+	bad := []StreamSpec{
+		{Name: "", Rate: units.Kbps},
+		{Name: "x", Rate: 0},
+		{Name: "x", Rate: units.Kbps, WriteFraction: 1.5},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("spec %d validated unexpectedly: %+v", i, s)
+		}
+	}
+	if err := (StreamSpec{Name: "ok", Rate: units.Kbps, WriteFraction: 0.4}).Validate(); err != nil {
+		t.Errorf("good spec rejected: %v", err)
+	}
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	dev := device.DefaultMEMS()
+	dram := device.DefaultDRAM()
+	wl := lifetime.DefaultWorkload()
+	if _, err := NewSystem(dev, dram, wl, nil); err == nil {
+		t.Error("empty stream set accepted")
+	}
+	if _, err := NewSystem(dev, dram, wl, []StreamSpec{{Name: "x", Rate: 0}}); err == nil {
+		t.Error("invalid stream accepted")
+	}
+	broken := dev
+	broken.ActiveProbes = 0
+	if _, err := NewSystem(broken, dram, wl, []StreamSpec{{Name: "x", Rate: units.Kbps}}); err == nil {
+		t.Error("invalid device accepted")
+	}
+	// Aggregate rate above the admissible media share must be rejected.
+	if _, err := NewSystem(dev, dram, wl, []StreamSpec{
+		{Name: "a", Rate: 60 * units.Mbps},
+		{Name: "b", Rate: 60 * units.Mbps},
+	}); err == nil {
+		t.Error("inadmissible aggregate rate accepted")
+	}
+}
+
+func TestAggregateAndAdmissible(t *testing.T) {
+	s := playbackAndRecord(t)
+	if got := s.AggregateRate().Kilobits(); math.Abs(got-1536) > 1e-9 {
+		t.Errorf("aggregate rate = %g kbps, want 1536", got)
+	}
+	if !s.Admissible() {
+		t.Error("1.5 Mbps aggregate should be admissible on a 102.4 Mbps device")
+	}
+}
+
+func TestAtBasicPlan(t *testing.T) {
+	s := playbackAndRecord(t)
+	plan, err := s.At(units.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Buffers) != 2 {
+		t.Fatalf("expected 2 buffers, got %d", len(plan.Buffers))
+	}
+	// Buffers are rate-proportional: 1024 kbps for 1 s and 512 kbps for 1 s.
+	if got := plan.Buffers[0].Bits(); math.Abs(got-1.024e6) > 1 {
+		t.Errorf("playback buffer = %g bits", got)
+	}
+	if got := plan.Buffers[1].Bits(); math.Abs(got-5.12e5) > 1 {
+		t.Errorf("recording buffer = %g bits", got)
+	}
+	if plan.TotalBuffer != plan.Buffers[0].Add(plan.Buffers[1]) {
+		t.Error("total buffer is not the sum of the per-stream buffers")
+	}
+	if plan.Standby <= 0 {
+		t.Errorf("standby = %v, want positive for a 1 s cycle", plan.Standby)
+	}
+	if plan.EnergySaving < 0.5 || plan.EnergySaving >= 1 {
+		t.Errorf("energy saving = %g", plan.EnergySaving)
+	}
+	if plan.Utilisation <= 0.8 {
+		t.Errorf("utilisation = %g, want above 0.8 for half-megabit buffers", plan.Utilisation)
+	}
+	if plan.Lifetime != plan.SpringsLifetime && plan.Lifetime != plan.ProbesLifetime {
+		t.Error("lifetime is not the minimum of springs and probes")
+	}
+}
+
+func TestAtRejectsTooShortPeriods(t *testing.T) {
+	s := playbackAndRecord(t)
+	if _, err := s.At(0); err == nil {
+		t.Error("zero period accepted")
+	}
+	if _, err := s.At(units.Millisecond); err == nil {
+		t.Error("period below the schedulable minimum accepted")
+	}
+}
+
+func TestSingleStreamMatchesCoreModel(t *testing.T) {
+	// With one stream the shared-device formulation must agree with the
+	// single-stream core model: same springs lifetime for the same buffer and
+	// a per-bit energy within a few percent.
+	rate := 1024 * units.Kbps
+	s := singleStream(t, rate, 0.4)
+	buffer := 20 * units.KiB
+	period := rate.TimeFor(buffer)
+	plan, err := s.At(period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := core.New(device.DefaultMEMS(), rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := model.At(buffer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(plan.SpringsLifetime.Years()-pt.SpringsLifetime.Years()) / pt.SpringsLifetime.Years(); rel > 0.01 {
+		t.Errorf("springs: multistream %g vs core %g years", plan.SpringsLifetime.Years(), pt.SpringsLifetime.Years())
+	}
+	if rel := math.Abs(plan.ProbesLifetime.Years()-pt.ProbesLifetime.Years()) / pt.ProbesLifetime.Years(); rel > 0.01 {
+		t.Errorf("probes: multistream %g vs core %g years", plan.ProbesLifetime.Years(), pt.ProbesLifetime.Years())
+	}
+	simPerBit := plan.EnergyPerBit.NanojoulesPerBit()
+	corePerBit := pt.EnergyPerBit.NanojoulesPerBit()
+	if rel := math.Abs(simPerBit-corePerBit) / corePerBit; rel > 0.10 {
+		t.Errorf("per-bit energy: multistream %g vs core %g nJ/b", simPerBit, corePerBit)
+	}
+	if math.Abs(plan.Utilisation-pt.Utilisation) > 1e-9 {
+		t.Errorf("utilisation: multistream %g vs core %g", plan.Utilisation, pt.Utilisation)
+	}
+}
+
+func TestEnergyImprovesWithLongerCycles(t *testing.T) {
+	s := playbackAndRecord(t)
+	short, err := s.At(100 * units.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := s.At(2 * units.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long.EnergyPerBit >= short.EnergyPerBit {
+		t.Errorf("per-bit energy did not fall with a longer cycle: %v -> %v",
+			short.EnergyPerBit, long.EnergyPerBit)
+	}
+	if long.SpringsLifetime <= short.SpringsLifetime {
+		t.Error("springs lifetime did not grow with a longer cycle")
+	}
+}
+
+func TestInterStreamSeekAccounting(t *testing.T) {
+	s := playbackAndRecord(t)
+	plain, err := s.At(units.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.CountInterStreamSeeks = true
+	conservative, err := s.At(units.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Charging both seeks halves the springs lifetime for two streams.
+	want := plain.SpringsLifetime.Years() / 2
+	if got := conservative.SpringsLifetime.Years(); math.Abs(got-want)/want > 1e-9 {
+		t.Errorf("conservative springs lifetime = %g years, want %g", got, want)
+	}
+}
+
+func TestDimensionSharedDevice(t *testing.T) {
+	s := playbackAndRecord(t)
+	goal := core.Goal{EnergySaving: 0.70, CapacityUtilisation: 0.88, Lifetime: 7 * units.Year}
+	d, err := s.Dimension(goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Feasible {
+		t.Fatalf("shared playback+recording at 1.5 Mbps aggregate should be feasible: %+v", d.Reasons)
+	}
+	// The plan at the dimensioned period meets every target.
+	if d.Plan.EnergySaving < goal.EnergySaving-1e-6 {
+		t.Errorf("saving %g below goal", d.Plan.EnergySaving)
+	}
+	if d.Plan.Utilisation < goal.CapacityUtilisation-1e-9 {
+		t.Errorf("utilisation %g below goal", d.Plan.Utilisation)
+	}
+	if d.Plan.Lifetime.Years() < goal.Lifetime.Years()-1e-6 {
+		t.Errorf("lifetime %g below goal", d.Plan.Lifetime.Years())
+	}
+	// The springs see the combined wake-up frequency, so they dominate, and
+	// the total buffer exceeds what the 1024 kbps stream alone would need.
+	if d.Dominant != core.ConstraintSprings {
+		t.Errorf("dominant constraint = %v, want springs", d.Dominant)
+	}
+	single, err := core.New(device.DefaultMEMS(), 1024*units.Kbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	singleDim, err := single.Dimension(goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Plan.TotalBuffer <= singleDim.Buffer {
+		t.Errorf("shared-device total buffer %v should exceed the single-stream buffer %v",
+			d.Plan.TotalBuffer, singleDim.Buffer)
+	}
+	// The dimensioned period is the largest per-constraint demand.
+	maxDemand := 0.0
+	for _, p := range d.PeriodFor {
+		if !math.IsInf(p.Seconds(), 1) && p.Seconds() > maxDemand {
+			maxDemand = p.Seconds()
+		}
+	}
+	if math.Abs(d.Period.Seconds()-maxDemand)/maxDemand > 1e-6 {
+		t.Errorf("period %g does not match the binding demand %g", d.Period.Seconds(), maxDemand)
+	}
+}
+
+func TestDimensionInfeasibleProbes(t *testing.T) {
+	// Three simultaneous HD recordings wear the probes out long before seven
+	// years no matter how large the buffers are.
+	s, err := NewSystem(device.DefaultMEMS(), device.DefaultDRAM(), lifetime.DefaultWorkload(),
+		[]StreamSpec{
+			{Name: "cam1", Rate: 4096 * units.Kbps, WriteFraction: 1},
+			{Name: "cam2", Rate: 4096 * units.Kbps, WriteFraction: 1},
+			{Name: "cam3", Rate: 4096 * units.Kbps, WriteFraction: 1},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := s.Dimension(core.Goal{EnergySaving: 0.5, CapacityUtilisation: 0.8, Lifetime: 7 * units.Year})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Feasible {
+		t.Fatal("triple HD recording for seven years should be infeasible")
+	}
+	if _, ok := d.Reasons[core.ConstraintProbes]; !ok {
+		t.Errorf("probes infeasibility not reported: %+v", d.Reasons)
+	}
+}
+
+func TestDimensionRejectsInvalidGoal(t *testing.T) {
+	s := playbackAndRecord(t)
+	if _, err := s.Dimension(core.Goal{EnergySaving: 2}); err == nil {
+		t.Error("invalid goal accepted")
+	}
+}
+
+func TestDimensionReadOnlyStreams(t *testing.T) {
+	// Pure playback never wears the probes; the probes constraint asks for
+	// nothing and the springs dominate.
+	s, err := NewSystem(device.DefaultMEMS(), device.DefaultDRAM(), lifetime.DefaultWorkload(),
+		[]StreamSpec{
+			{Name: "a", Rate: 512 * units.Kbps, WriteFraction: 0},
+			{Name: "b", Rate: 256 * units.Kbps, WriteFraction: 0},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := s.Dimension(core.Goal{EnergySaving: 0.70, CapacityUtilisation: 0.88, Lifetime: 7 * units.Year})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Feasible {
+		t.Fatalf("read-only workload should be feasible: %+v", d.Reasons)
+	}
+	if !math.IsInf(d.Plan.ProbesLifetime.Seconds(), 1) {
+		t.Errorf("probes lifetime = %v, want unbounded without writes", d.Plan.ProbesLifetime)
+	}
+	// With no writes the probes never bind; at these low rates the capacity
+	// requirement (the slow 256 kbps stream needs a long cycle to reach an
+	// 88% sector) outweighs even the springs.
+	if d.Dominant == core.ConstraintProbes {
+		t.Errorf("dominant = %v, probes cannot dominate a read-only workload", d.Dominant)
+	}
+	if d.PeriodFor[core.ConstraintCapacity] <= d.PeriodFor[core.ConstraintSprings] {
+		t.Errorf("capacity demand %v should exceed the springs demand %v for the slow read-only mix",
+			d.PeriodFor[core.ConstraintCapacity], d.PeriodFor[core.ConstraintSprings])
+	}
+}
+
+// Property: per-stream buffers are proportional to the stream rates and the
+// total buffer grows linearly with the period.
+func TestQuickBufferProportionality(t *testing.T) {
+	s := playbackAndRecord(t)
+	f := func(raw uint8) bool {
+		period := units.Duration(0.2+float64(raw%40)/10) * units.Second
+		plan, err := s.At(period)
+		if err != nil {
+			return false
+		}
+		ratio := plan.Buffers[0].DivideBy(plan.Buffers[1])
+		if math.Abs(ratio-2) > 1e-9 { // 1024 kbps vs 512 kbps
+			return false
+		}
+		double, err := s.At(period.Scale(2))
+		if err != nil {
+			return false
+		}
+		return math.Abs(double.TotalBuffer.DivideBy(plan.TotalBuffer)-2) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the springs lifetime grows linearly with the period for any
+// admissible stream mix.
+func TestQuickSpringsLinearInPeriod(t *testing.T) {
+	f := func(rawA, rawB uint8) bool {
+		streams := []StreamSpec{
+			{Name: "a", Rate: units.BitRate(int(rawA%30)+1) * 64 * units.Kbps, WriteFraction: 0.5},
+			{Name: "b", Rate: units.BitRate(int(rawB%30)+1) * 64 * units.Kbps, WriteFraction: 0},
+		}
+		s, err := NewSystem(device.DefaultMEMS(), device.DefaultDRAM(), lifetime.DefaultWorkload(), streams)
+		if err != nil {
+			return false
+		}
+		p1, err1 := s.At(units.Second)
+		p3, err3 := s.At(3 * units.Second)
+		if err1 != nil || err3 != nil {
+			return false
+		}
+		return math.Abs(p3.SpringsLifetime.Years()-3*p1.SpringsLifetime.Years()) < 1e-6*p1.SpringsLifetime.Years()+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,477 @@
+// Package sim contains a discrete-event simulator of the streaming
+// MEMS + DRAM architecture of Fig. 1: a stream drains (or fills) the DRAM
+// buffer continuously while the MEMS device wakes up periodically to seek,
+// refill the buffer at the media rate, serve queued best-effort requests,
+// and shut down again.
+//
+// The simulator exists to validate the analytical models of internal/energy
+// and internal/lifetime against an executable system model, to support
+// workloads the closed forms cannot express (variable-bit-rate streams,
+// bursty best-effort traffic), and to exercise the ECC substrate end to end
+// through an optional media bit-error model.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"memstream/internal/device"
+	"memstream/internal/ecc"
+	"memstream/internal/format"
+	"memstream/internal/units"
+	"memstream/internal/workload"
+)
+
+// RateSource samples the instantaneous demand of a stream. workload's
+// RatePattern (CBR/VBR) and VideoRatePattern (MPEG-like frame traces) both
+// implement it.
+type RateSource interface {
+	// RateAt returns the demand in effect at time t.
+	RateAt(t units.Duration) units.BitRate
+	// PeakRate returns the largest demand the source can produce; the
+	// simulator provisions its wake-up threshold against it.
+	PeakRate() units.BitRate
+}
+
+// Config describes one simulation run.
+type Config struct {
+	// Device is the MEMS storage device.
+	Device device.MEMS
+	// DRAM is the buffer in front of it.
+	DRAM device.DRAM
+	// Buffer is the streaming-buffer capacity B.
+	Buffer units.Size
+	// Stream is the streaming session to play or record.
+	Stream workload.Stream
+	// RateSource optionally overrides the demand sampling of Stream (for
+	// example with a frame-accurate video trace). Stream still provides the
+	// nominal rate and the write fraction.
+	RateSource RateSource
+	// BestEffort is the background request process. Leave the zero value for
+	// a clean stream with no best-effort traffic.
+	BestEffort workload.BestEffortProcess
+	// Duration is the simulated streaming time.
+	Duration units.Duration
+	// BitErrorRate is the raw media bit-error rate exercised through the ECC
+	// codec (zero disables the error model).
+	BitErrorRate float64
+	// ECCSampleWords is the number of codewords sampled per refill for the
+	// error model (defaults to 8 when the error model is active).
+	ECCSampleWords int
+	// Seed makes the run reproducible.
+	Seed uint64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	var errs []error
+	if err := c.Device.Validate(); err != nil {
+		errs = append(errs, err)
+	}
+	if err := c.DRAM.Validate(); err != nil {
+		errs = append(errs, err)
+	}
+	if err := c.Stream.Validate(); err != nil {
+		errs = append(errs, err)
+	}
+	if c.BestEffort.TargetFraction > 0 {
+		if err := c.BestEffort.Validate(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	if !c.Buffer.Positive() {
+		errs = append(errs, errors.New("sim: buffer must be positive"))
+	}
+	if !c.Duration.Positive() {
+		errs = append(errs, errors.New("sim: duration must be positive"))
+	}
+	if c.Stream.NominalRate >= c.Device.MediaRate() {
+		errs = append(errs, errors.New("sim: stream rate must be below the media rate"))
+	}
+	if c.RateSource != nil && c.RateSource.PeakRate() >= c.Device.MediaRate() {
+		errs = append(errs, errors.New("sim: the rate source's peak demand must be below the media rate"))
+	}
+	if c.BitErrorRate < 0 || c.BitErrorRate >= 1 {
+		errs = append(errs, errors.New("sim: bit-error rate must be in [0, 1)"))
+	}
+	return errors.Join(errs...)
+}
+
+// Stats accumulates everything observed during a run.
+type Stats struct {
+	// SimulatedTime is the wall-clock time covered by the run.
+	SimulatedTime units.Duration
+	// StateTime is the residency per device power state.
+	StateTime [device.NumStates]units.Duration
+	// StateEnergy is the device energy per power state.
+	StateEnergy [device.NumStates]units.Energy
+	// DRAMEnergy is the buffer retention plus access energy.
+	DRAMEnergy units.Energy
+	// StreamedBits is the data delivered to (or taken from) the application.
+	StreamedBits units.Size
+	// MediaBits is the data moved between the device and the buffer for the
+	// stream (excludes best-effort traffic).
+	MediaBits units.Size
+	// BestEffortBits is the best-effort data served.
+	BestEffortBits units.Size
+	// WrittenUserBits is the user data written to the device.
+	WrittenUserBits units.Size
+	// WrittenPhysicalBits includes the formatting overhead actually written.
+	WrittenPhysicalBits units.Size
+	// RefillCycles counts completed seek-refill-shutdown cycles.
+	RefillCycles int
+	// BestEffortRequests counts served background requests.
+	BestEffortRequests int
+	// Underruns counts moments the buffer ran dry while the stream drained.
+	Underruns int
+	// MinBufferLevel is the lowest buffer fill level observed.
+	MinBufferLevel units.Size
+	// ECCCorrected counts single-bit errors repaired by the codec.
+	ECCCorrected int
+	// ECCUncorrectable counts codewords the codec had to give up on.
+	ECCUncorrectable int
+}
+
+// DeviceEnergy returns the total energy drawn by the MEMS device.
+func (s *Stats) DeviceEnergy() units.Energy {
+	var total units.Energy
+	for _, e := range s.StateEnergy {
+		total = total.Add(e)
+	}
+	return total
+}
+
+// TotalEnergy returns device plus DRAM energy.
+func (s *Stats) TotalEnergy() units.Energy {
+	return s.DeviceEnergy().Add(s.DRAMEnergy)
+}
+
+// PerBitEnergy returns the total energy per streamed bit.
+func (s *Stats) PerBitEnergy() units.EnergyPerBit {
+	return s.TotalEnergy().PerBit(s.StreamedBits)
+}
+
+// AverageDevicePower returns the mean device power over the run.
+func (s *Stats) AverageDevicePower() units.Power {
+	return s.DeviceEnergy().DividedBy(s.SimulatedTime)
+}
+
+// RefillsPerSecond returns the observed refill-cycle frequency.
+func (s *Stats) RefillsPerSecond() float64 {
+	if !s.SimulatedTime.Positive() {
+		return 0
+	}
+	return float64(s.RefillCycles) / s.SimulatedTime.Seconds()
+}
+
+// DutyCycle returns the fraction of time the device was active (not in
+// standby).
+func (s *Stats) DutyCycle() float64 {
+	if !s.SimulatedTime.Positive() {
+		return 0
+	}
+	active := s.SimulatedTime.Sub(s.StateTime[device.StateStandby])
+	return active.Seconds() / s.SimulatedTime.Seconds()
+}
+
+// ProjectedSpringsLifetime extrapolates the observed seek/shutdown frequency
+// to the springs duty-cycle rating under the given playback calendar.
+func (s *Stats) ProjectedSpringsLifetime(dev device.MEMS, cal workload.PlaybackCalendar) units.Duration {
+	perYear := s.RefillsPerSecond() * cal.SecondsPerYear().Seconds()
+	if perYear <= 0 {
+		return units.Duration(math.Inf(1))
+	}
+	return units.Duration(dev.SpringDutyCycles / perYear * units.Year.Seconds())
+}
+
+// ProjectedProbesLifetime extrapolates the observed physical write volume to
+// the probes write-cycle rating under the given playback calendar.
+func (s *Stats) ProjectedProbesLifetime(dev device.MEMS, cal workload.PlaybackCalendar) units.Duration {
+	if !s.SimulatedTime.Positive() {
+		return 0
+	}
+	writtenPerSecond := s.WrittenPhysicalBits.Bits() / s.SimulatedTime.Seconds()
+	writtenPerYear := writtenPerSecond * cal.SecondsPerYear().Seconds()
+	if writtenPerYear <= 0 {
+		return units.Duration(math.Inf(1))
+	}
+	endurance := dev.Capacity.Scale(dev.ProbeWriteCycles)
+	return units.Duration(endurance.Bits() / writtenPerYear * units.Year.Seconds())
+}
+
+// Simulator runs the refill-cycle state machine.
+type Simulator struct {
+	cfg    Config
+	layout format.Layout
+	source RateSource
+	// variableRate marks demand that changes over time, requiring the drain
+	// and refill integrations to proceed in small slices.
+	variableRate bool
+	rng          *workload.Rng
+
+	// live state
+	now      units.Duration
+	level    units.Size
+	requests []workload.BestEffortRequest
+	nextReq  int
+	stats    Stats
+}
+
+// New builds a simulator from a validated configuration.
+func New(cfg Config) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	var source RateSource
+	variable := false
+	if cfg.RateSource != nil {
+		source = cfg.RateSource
+		variable = true
+	} else {
+		pattern, err := workload.NewRatePattern(cfg.Stream)
+		if err != nil {
+			return nil, err
+		}
+		source = pattern
+		variable = cfg.Stream.Kind == workload.VBR
+	}
+	var requests []workload.BestEffortRequest
+	if cfg.BestEffort.TargetFraction > 0 {
+		var err error
+		requests, err = cfg.BestEffort.Generate(cfg.Duration)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if cfg.BitErrorRate > 0 && cfg.ECCSampleWords <= 0 {
+		cfg.ECCSampleWords = 8
+	}
+	s := &Simulator{
+		cfg:          cfg,
+		layout:       format.NewLayout(cfg.Device),
+		source:       source,
+		variableRate: variable,
+		rng:          workload.NewRng(cfg.Seed ^ 0xdeadbeefcafef00d),
+		level:        cfg.Buffer,
+		requests:     requests,
+	}
+	s.stats.MinBufferLevel = cfg.Buffer
+	return s, nil
+}
+
+// account records dt seconds in the given device state while the stream
+// drains the buffer.
+func (s *Simulator) account(state device.PowerState, dt units.Duration) {
+	if dt <= 0 {
+		return
+	}
+	rate := s.source.RateAt(s.now)
+	drained := rate.Times(dt)
+	s.level = s.level.Sub(drained)
+	if s.level < 0 {
+		s.stats.Underruns++
+		drained = drained.Add(s.level) // only what was actually there
+		s.level = 0
+	}
+	s.stats.StreamedBits = s.stats.StreamedBits.Add(drained)
+	if s.level < s.stats.MinBufferLevel {
+		s.stats.MinBufferLevel = s.level
+	}
+	s.now = s.now.Add(dt)
+	s.stats.StateTime[state] = s.stats.StateTime[state].Add(dt)
+	s.stats.StateEnergy[state] = s.stats.StateEnergy[state].Add(s.cfg.Device.StatePower(state).Times(dt))
+}
+
+// drainInState stays in the given state until the buffer reaches the target
+// level or the deadline passes, respecting VBR segment boundaries.
+func (s *Simulator) drainInState(state device.PowerState, target units.Size, deadline units.Duration) {
+	// Integration slice for time-varying demand: half a video frame interval,
+	// so that per-frame rate changes (25 fps traces) are resolved and the
+	// left-endpoint sampling does not bias the drained volume.
+	const step = 0.02 // seconds
+	for s.level > target && s.now < deadline {
+		rate := s.source.RateAt(s.now)
+		if !rate.Positive() {
+			break
+		}
+		dt := rate.TimeFor(s.level.Sub(target))
+		if remaining := deadline.Sub(s.now); dt > remaining {
+			dt = remaining
+		}
+		if s.variableRate && dt.Seconds() > step {
+			dt = units.Duration(step)
+		}
+		s.account(state, dt)
+	}
+}
+
+// refillToFull runs the device in the given active state until the buffer is
+// full, crediting the transferred media bits.
+func (s *Simulator) refillToFull(state device.PowerState) {
+	for s.level < s.cfg.Buffer {
+		rate := s.source.RateAt(s.now)
+		net := s.cfg.Device.MediaRate().Sub(rate)
+		if net <= 0 {
+			// The stream momentarily outruns the media rate; nothing refills.
+			s.account(state, units.Duration(1e-3))
+			continue
+		}
+		dt := net.TimeFor(s.cfg.Buffer.Sub(s.level))
+		if s.variableRate && dt.Seconds() > 0.25 {
+			dt = units.Duration(0.25)
+		}
+		transferred := s.cfg.Device.MediaRate().Times(dt)
+		s.stats.MediaBits = s.stats.MediaBits.Add(transferred)
+		s.creditWrites(transferred)
+		// The refill and the drain happen concurrently: credit the incoming
+		// data before accounting the drain so the net fill never reads as an
+		// artificial underrun. The true occupancy minimum of a cycle occurs
+		// at the end of the seek, which account() has already tracked.
+		s.level = s.level.Add(transferred)
+		s.account(state, dt)
+		if s.level > s.cfg.Buffer {
+			s.level = s.cfg.Buffer
+		}
+	}
+}
+
+// creditWrites attributes the write share of transferred stream data to probe
+// wear, inflated by the formatting overhead.
+func (s *Simulator) creditWrites(transferred units.Size) {
+	userWritten := transferred.Scale(s.cfg.Stream.WriteFraction)
+	s.stats.WrittenUserBits = s.stats.WrittenUserBits.Add(userWritten)
+	sector := s.layout.FormatSector(s.cfg.Buffer)
+	inflation := 1.0
+	if sector.UserBits.Positive() {
+		inflation = sector.EffectiveBits.DivideBy(sector.UserBits)
+	}
+	s.stats.WrittenPhysicalBits = s.stats.WrittenPhysicalBits.Add(userWritten.Scale(inflation))
+}
+
+// serveBestEffort serves every queued request that has arrived by now.
+func (s *Simulator) serveBestEffort() {
+	for s.nextReq < len(s.requests) && s.requests[s.nextReq].Arrival <= s.now {
+		req := s.requests[s.nextReq]
+		s.nextReq++
+		serviceTime := s.cfg.BestEffort.ServiceTime(req.Size)
+		s.account(device.StateBestEffort, serviceTime)
+		s.stats.BestEffortBits = s.stats.BestEffortBits.Add(req.Size)
+		s.stats.BestEffortRequests++
+		if req.Write {
+			s.stats.WrittenPhysicalBits = s.stats.WrittenPhysicalBits.Add(req.Size)
+		}
+	}
+}
+
+// injectErrors exercises the ECC codec with the configured raw bit-error rate
+// on a sample of codewords for this refill.
+func (s *Simulator) injectErrors() {
+	if s.cfg.BitErrorRate <= 0 || s.cfg.ECCSampleWords <= 0 {
+		return
+	}
+	expectedFlipsPerWord := s.cfg.BitErrorRate * float64(ecc.CodewordBits)
+	for i := 0; i < s.cfg.ECCSampleWords; i++ {
+		word := s.rng.Uint64()
+		cw := ecc.Encode(word)
+		flips := poissonSample(s.rng, expectedFlipsPerWord)
+		for f := 0; f < flips; f++ {
+			pos := s.rng.Intn(ecc.CodewordBits)
+			if pos < ecc.DataBits {
+				cw = cw.FlipDataBit(pos)
+			} else {
+				cw = cw.FlipParityBit(pos - ecc.DataBits)
+			}
+		}
+		decoded, corrected, err := ecc.Decode(cw)
+		if err != nil {
+			s.stats.ECCUncorrectable++
+			continue
+		}
+		s.stats.ECCCorrected += corrected
+		if flips == 0 && decoded != word {
+			// This cannot happen with a correct codec; record it as an
+			// uncorrectable event so tests would catch a regression.
+			s.stats.ECCUncorrectable++
+		}
+	}
+}
+
+// poissonSample draws a Poisson-distributed count with the given mean using
+// Knuth's method (the means used here are far below one).
+func poissonSample(rng *workload.Rng, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	limit := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= limit {
+			return k
+		}
+		k++
+		if k > 1000 {
+			return k
+		}
+	}
+}
+
+// Run executes the simulation and returns the collected statistics.
+func (s *Simulator) Run() (*Stats, error) {
+	dev := s.cfg.Device
+	end := s.cfg.Duration
+	lastCycleEnd := units.Duration(0)
+	// Wake the device early enough that the buffer survives the seek at the
+	// current drain rate, with a small safety margin.
+	for s.now < end {
+		// Provision the wake threshold against the stream's peak rate so a
+		// VBR rate jump during the seek cannot drain the buffer dry.
+		wakeLevel := s.source.PeakRate().Times(dev.SeekTime).Scale(1.05)
+		if wakeLevel >= s.cfg.Buffer {
+			return nil, fmt.Errorf("sim: buffer %v cannot even cover the seek time at %v",
+				s.cfg.Buffer, s.source.PeakRate())
+		}
+
+		// Standby while the buffer drains towards the wake level.
+		s.drainInState(device.StateStandby, wakeLevel, end)
+		if s.now >= end {
+			break
+		}
+
+		// Seek back to the stream position.
+		s.account(device.StateSeek, dev.SeekTime)
+
+		// Refill to full, serve queued best-effort work, top off, shut down.
+		s.refillToFull(device.StateReadWrite)
+		s.serveBestEffort()
+		s.refillToFull(device.StateReadWrite)
+		s.injectErrors()
+		s.account(device.StateShutdown, dev.ShutdownTime)
+
+		s.stats.RefillCycles++
+
+		// DRAM energy for this cycle: retention over the cycle plus one pass
+		// in and one pass out for the refilled data (best-effort traffic is
+		// accounted once at the end of the run).
+		cycleTime := s.now.Sub(lastCycleEnd)
+		s.stats.DRAMEnergy = s.stats.DRAMEnergy.
+			Add(s.cfg.DRAM.BackgroundPower(s.cfg.Buffer).Times(cycleTime)).
+			Add(s.cfg.DRAM.AccessEnergy(s.cfg.Buffer.Scale(2)))
+		lastCycleEnd = s.now
+	}
+	s.stats.SimulatedTime = s.now
+	// Best-effort data passes through the buffer once in and once out.
+	s.stats.DRAMEnergy = s.stats.DRAMEnergy.Add(s.cfg.DRAM.AccessEnergy(s.stats.BestEffortBits.Scale(2)))
+	return &s.stats, nil
+}
+
+// RunConfig is a convenience wrapper: build a simulator and run it.
+func RunConfig(cfg Config) (*Stats, error) {
+	s, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run()
+}

@@ -1,0 +1,331 @@
+// Package units provides the physical quantities used throughout memstream:
+// data sizes, bit rates, durations, powers and energies.
+//
+// All quantities are stored in SI base units as float64 values (bits, seconds,
+// watts, joules, bits per second). The types exist to make the public API
+// self-documenting and to prevent accidental unit mix-ups; arithmetic that
+// crosses unit boundaries is expressed through named methods (for example
+// BitRate.Times(Duration) returning a Size) rather than raw multiplication.
+//
+// The package follows the storage-industry convention that "kB" and "MB" in
+// buffer contexts mean 1024-based units (KiB, MiB) — the paper's 90 kB /
+// 7-year data point is only consistent with 1024-byte kilobytes — while bit
+// rates use decimal multiples (1 kbps = 1000 bit/s), matching streaming-rate
+// conventions.
+package units
+
+import (
+	"fmt"
+	"math"
+)
+
+// Size is an amount of data, stored in bits.
+type Size float64
+
+// Common size units.
+const (
+	Bit  Size = 1
+	Byte Size = 8 * Bit
+
+	// Binary (1024-based) byte multiples, used for buffer and sector sizes.
+	KiB Size = 1024 * Byte
+	MiB Size = 1024 * KiB
+	GiB Size = 1024 * MiB
+
+	// Decimal byte multiples, used for advertised device capacities
+	// (the modelled device stores "120 GB" in the decimal sense).
+	KB Size = 1000 * Byte
+	MB Size = 1000 * KB
+	GB Size = 1000 * MB
+	TB Size = 1000 * GB
+)
+
+// Bits returns the size in bits.
+func (s Size) Bits() float64 { return float64(s) }
+
+// Bytes returns the size in bytes.
+func (s Size) Bytes() float64 { return float64(s) / 8 }
+
+// KiBytes returns the size in binary kilobytes (1024 bytes).
+func (s Size) KiBytes() float64 { return float64(s / KiB) }
+
+// MiBytes returns the size in binary megabytes.
+func (s Size) MiBytes() float64 { return float64(s / MiB) }
+
+// GBytes returns the size in decimal gigabytes.
+func (s Size) GBytes() float64 { return float64(s / GB) }
+
+// IsZero reports whether the size is exactly zero.
+func (s Size) IsZero() bool { return s == 0 }
+
+// Positive reports whether the size is strictly greater than zero.
+func (s Size) Positive() bool { return s > 0 }
+
+// DivideBy returns the ratio s/other as a dimensionless float.
+func (s Size) DivideBy(other Size) float64 { return float64(s) / float64(other) }
+
+// Scale returns the size multiplied by a dimensionless factor.
+func (s Size) Scale(f float64) Size { return Size(float64(s) * f) }
+
+// Add returns the sum of two sizes.
+func (s Size) Add(other Size) Size { return s + other }
+
+// Sub returns the difference of two sizes.
+func (s Size) Sub(other Size) Size { return s - other }
+
+// CeilBits rounds the size up to a whole number of bits.
+func (s Size) CeilBits() Size { return Size(math.Ceil(float64(s))) }
+
+// String formats the size with an automatically chosen binary unit.
+func (s Size) String() string {
+	b := s.Bytes()
+	abs := math.Abs(b)
+	switch {
+	case abs >= float64(GiB/Byte):
+		return fmt.Sprintf("%.3g GiB", b/float64(GiB/Byte))
+	case abs >= float64(MiB/Byte):
+		return fmt.Sprintf("%.3g MiB", b/float64(MiB/Byte))
+	case abs >= float64(KiB/Byte):
+		return fmt.Sprintf("%.3g KiB", b/float64(KiB/Byte))
+	case abs >= 1:
+		return fmt.Sprintf("%.3g B", b)
+	default:
+		return fmt.Sprintf("%.3g bit", float64(s))
+	}
+}
+
+// BitRate is a data rate, stored in bits per second.
+type BitRate float64
+
+// Common bit-rate units (decimal, as customary for streaming rates).
+const (
+	BitPerSecond BitRate = 1
+	Kbps         BitRate = 1000 * BitPerSecond
+	Mbps         BitRate = 1000 * Kbps
+	Gbps         BitRate = 1000 * Mbps
+)
+
+// BitsPerSecond returns the rate in bit/s.
+func (r BitRate) BitsPerSecond() float64 { return float64(r) }
+
+// Kilobits returns the rate in kbit/s.
+func (r BitRate) Kilobits() float64 { return float64(r / Kbps) }
+
+// Megabits returns the rate in Mbit/s.
+func (r BitRate) Megabits() float64 { return float64(r / Mbps) }
+
+// Positive reports whether the rate is strictly greater than zero.
+func (r BitRate) Positive() bool { return r > 0 }
+
+// Times returns the amount of data transferred at rate r during d.
+func (r BitRate) Times(d Duration) Size { return Size(float64(r) * float64(d)) }
+
+// TimeFor returns how long transferring s at rate r takes.
+func (r BitRate) TimeFor(s Size) Duration {
+	if r <= 0 {
+		return Duration(math.Inf(1))
+	}
+	return Duration(float64(s) / float64(r))
+}
+
+// Sub returns the difference of two rates.
+func (r BitRate) Sub(other BitRate) BitRate { return r - other }
+
+// Add returns the sum of two rates.
+func (r BitRate) Add(other BitRate) BitRate { return r + other }
+
+// Scale returns the rate multiplied by a dimensionless factor.
+func (r BitRate) Scale(f float64) BitRate { return BitRate(float64(r) * f) }
+
+// String formats the rate with an automatically chosen unit.
+func (r BitRate) String() string {
+	abs := math.Abs(float64(r))
+	switch {
+	case abs >= float64(Gbps):
+		return fmt.Sprintf("%.3g Gbps", float64(r/Gbps))
+	case abs >= float64(Mbps):
+		return fmt.Sprintf("%.3g Mbps", float64(r/Mbps))
+	case abs >= float64(Kbps):
+		return fmt.Sprintf("%.3g kbps", float64(r/Kbps))
+	default:
+		return fmt.Sprintf("%.3g bps", float64(r))
+	}
+}
+
+// Duration is a span of time, stored in seconds.
+//
+// A dedicated floating-point type (rather than time.Duration) is used because
+// the models routinely manipulate sub-microsecond per-bit times and multi-year
+// lifetimes in the same expression, which exceed time.Duration's comfortable
+// range and granularity.
+type Duration float64
+
+// Common duration units.
+const (
+	Second      Duration = 1
+	Millisecond Duration = 1e-3 * Second
+	Microsecond Duration = 1e-6 * Second
+	Minute      Duration = 60 * Second
+	Hour        Duration = 60 * Minute
+	Day         Duration = 24 * Hour
+	Year        Duration = 365 * Day
+)
+
+// Seconds returns the duration in seconds.
+func (d Duration) Seconds() float64 { return float64(d) }
+
+// Milliseconds returns the duration in milliseconds.
+func (d Duration) Milliseconds() float64 { return float64(d / Millisecond) }
+
+// Hours returns the duration in hours.
+func (d Duration) Hours() float64 { return float64(d / Hour) }
+
+// Years returns the duration in (365-day) years.
+func (d Duration) Years() float64 { return float64(d / Year) }
+
+// Positive reports whether the duration is strictly greater than zero.
+func (d Duration) Positive() bool { return d > 0 }
+
+// Add returns the sum of two durations.
+func (d Duration) Add(other Duration) Duration { return d + other }
+
+// Sub returns the difference of two durations.
+func (d Duration) Sub(other Duration) Duration { return d - other }
+
+// Scale returns the duration multiplied by a dimensionless factor.
+func (d Duration) Scale(f float64) Duration { return Duration(float64(d) * f) }
+
+// String formats the duration with an automatically chosen unit.
+func (d Duration) String() string {
+	abs := math.Abs(float64(d))
+	switch {
+	case abs >= float64(Year):
+		return fmt.Sprintf("%.3g y", d.Years())
+	case abs >= float64(Hour):
+		return fmt.Sprintf("%.3g h", d.Hours())
+	case abs >= float64(Second):
+		return fmt.Sprintf("%.3g s", d.Seconds())
+	case abs >= float64(Millisecond):
+		return fmt.Sprintf("%.3g ms", d.Milliseconds())
+	default:
+		return fmt.Sprintf("%.3g us", float64(d/Microsecond))
+	}
+}
+
+// Power is a rate of energy use, stored in watts.
+type Power float64
+
+// Common power units.
+const (
+	Watt      Power = 1
+	Milliwatt Power = 1e-3 * Watt
+	Microwatt Power = 1e-6 * Watt
+)
+
+// Watts returns the power in watts.
+func (p Power) Watts() float64 { return float64(p) }
+
+// Milliwatts returns the power in milliwatts.
+func (p Power) Milliwatts() float64 { return float64(p / Milliwatt) }
+
+// Times returns the energy consumed at power p over duration d.
+func (p Power) Times(d Duration) Energy { return Energy(float64(p) * float64(d)) }
+
+// Sub returns the difference of two powers.
+func (p Power) Sub(other Power) Power { return p - other }
+
+// Add returns the sum of two powers.
+func (p Power) Add(other Power) Power { return p + other }
+
+// Scale returns the power multiplied by a dimensionless factor.
+func (p Power) Scale(f float64) Power { return Power(float64(p) * f) }
+
+// String formats the power with an automatically chosen unit.
+func (p Power) String() string {
+	abs := math.Abs(float64(p))
+	switch {
+	case abs >= float64(Watt):
+		return fmt.Sprintf("%.3g W", float64(p))
+	case abs >= float64(Milliwatt):
+		return fmt.Sprintf("%.3g mW", p.Milliwatts())
+	default:
+		return fmt.Sprintf("%.3g uW", float64(p/Microwatt))
+	}
+}
+
+// Energy is an amount of energy, stored in joules.
+type Energy float64
+
+// Common energy units.
+const (
+	Joule      Energy = 1
+	Millijoule Energy = 1e-3 * Joule
+	Microjoule Energy = 1e-6 * Joule
+	Nanojoule  Energy = 1e-9 * Joule
+)
+
+// Joules returns the energy in joules.
+func (e Energy) Joules() float64 { return float64(e) }
+
+// Millijoules returns the energy in millijoules.
+func (e Energy) Millijoules() float64 { return float64(e / Millijoule) }
+
+// Nanojoules returns the energy in nanojoules.
+func (e Energy) Nanojoules() float64 { return float64(e / Nanojoule) }
+
+// Add returns the sum of two energies.
+func (e Energy) Add(other Energy) Energy { return e + other }
+
+// Sub returns the difference of two energies.
+func (e Energy) Sub(other Energy) Energy { return e - other }
+
+// Scale returns the energy multiplied by a dimensionless factor.
+func (e Energy) Scale(f float64) Energy { return Energy(float64(e) * f) }
+
+// PerBit returns the per-bit energy when e is spent transferring s.
+func (e Energy) PerBit(s Size) EnergyPerBit {
+	if s <= 0 {
+		return EnergyPerBit(math.Inf(1))
+	}
+	return EnergyPerBit(float64(e) / float64(s))
+}
+
+// DividedBy returns the average power when e is spent over d.
+func (e Energy) DividedBy(d Duration) Power {
+	if d <= 0 {
+		return Power(math.Inf(1))
+	}
+	return Power(float64(e) / float64(d))
+}
+
+// String formats the energy with an automatically chosen unit.
+func (e Energy) String() string {
+	abs := math.Abs(float64(e))
+	switch {
+	case abs >= float64(Joule):
+		return fmt.Sprintf("%.3g J", float64(e))
+	case abs >= float64(Millijoule):
+		return fmt.Sprintf("%.3g mJ", e.Millijoules())
+	case abs >= float64(Microjoule):
+		return fmt.Sprintf("%.3g uJ", float64(e/Microjoule))
+	default:
+		return fmt.Sprintf("%.3g nJ", e.Nanojoules())
+	}
+}
+
+// EnergyPerBit is a per-bit energy figure, stored in joules per bit.
+type EnergyPerBit float64
+
+// NanojoulesPerBit returns the figure in nJ/bit, the unit used in Fig. 2a.
+func (e EnergyPerBit) NanojoulesPerBit() float64 { return float64(e) * 1e9 }
+
+// JoulesPerBit returns the figure in J/bit.
+func (e EnergyPerBit) JoulesPerBit() float64 { return float64(e) }
+
+// Times returns the total energy for transferring s at this per-bit cost.
+func (e EnergyPerBit) Times(s Size) Energy { return Energy(float64(e) * float64(s)) }
+
+// String formats the per-bit energy in nJ/b.
+func (e EnergyPerBit) String() string {
+	return fmt.Sprintf("%.4g nJ/b", e.NanojoulesPerBit())
+}

@@ -1,0 +1,269 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+
+	"memstream/internal/units"
+)
+
+// FrameClass is the coding class of a video frame.
+type FrameClass int
+
+// Video frame classes in an MPEG-style group of pictures.
+const (
+	// FrameI is an intra-coded frame (largest).
+	FrameI FrameClass = iota
+	// FrameP is a predicted frame.
+	FrameP
+	// FrameB is a bidirectionally predicted frame (smallest).
+	FrameB
+)
+
+// String names the frame class.
+func (c FrameClass) String() string {
+	switch c {
+	case FrameI:
+		return "I"
+	case FrameP:
+		return "P"
+	case FrameB:
+		return "B"
+	default:
+		return fmt.Sprintf("FrameClass(%d)", int(c))
+	}
+}
+
+// Frame is one encoded video frame of a trace.
+type Frame struct {
+	// Index is the display order of the frame.
+	Index int
+	// Timestamp is the frame's display time.
+	Timestamp units.Duration
+	// Class is the coding class.
+	Class FrameClass
+	// Size is the encoded frame size.
+	Size units.Size
+}
+
+// VideoStream describes an MPEG-like encoded video stream with a periodic
+// group-of-pictures (GOP) structure. It refines the coarse VBR model of
+// Stream: the instantaneous demand now follows the I/P/B frame pattern of
+// real encoders, which is the traffic shape a streaming buffer actually sees.
+type VideoStream struct {
+	// NominalRate is the long-run average bit rate.
+	NominalRate units.BitRate
+	// FrameRate is the display rate in frames per second.
+	FrameRate float64
+	// GOPLength is the number of frames per GOP (N, typically 12 or 15).
+	GOPLength int
+	// IPDistance is the distance between anchor (I or P) frames (M,
+	// typically 3: two B frames between anchors).
+	IPDistance int
+	// WeightI, WeightP and WeightB are the relative encoded sizes of the
+	// frame classes (typical ratios around 5 : 3 : 1).
+	WeightI float64
+	WeightP float64
+	WeightB float64
+	// Jitter is the relative standard deviation applied to every frame size
+	// (scene-activity noise), in [0, 1).
+	Jitter float64
+	// WriteFraction is the share of the stream written to the device.
+	WriteFraction float64
+	// Seed makes the trace reproducible.
+	Seed uint64
+}
+
+// NewVideoStream returns an MPEG-like stream with a 12-frame GOP (IBBPBBPBBPBB)
+// at 25 frames per second, 5:3:1 frame weights and 20 % size jitter.
+func NewVideoStream(rate units.BitRate, seed uint64) VideoStream {
+	return VideoStream{
+		NominalRate:   rate,
+		FrameRate:     25,
+		GOPLength:     12,
+		IPDistance:    3,
+		WeightI:       5,
+		WeightP:       3,
+		WeightB:       1,
+		Jitter:        0.2,
+		WriteFraction: 0.4,
+		Seed:          seed,
+	}
+}
+
+// Validate checks the stream description.
+func (v VideoStream) Validate() error {
+	var errs []error
+	if !v.NominalRate.Positive() {
+		errs = append(errs, errors.New("workload: video nominal rate must be positive"))
+	}
+	if v.FrameRate <= 0 {
+		errs = append(errs, errors.New("workload: frame rate must be positive"))
+	}
+	if v.GOPLength < 1 {
+		errs = append(errs, errors.New("workload: GOP length must be at least 1"))
+	}
+	if v.IPDistance < 1 || v.IPDistance > v.GOPLength {
+		errs = append(errs, errors.New("workload: anchor distance must be in [1, GOP length]"))
+	}
+	if v.WeightI <= 0 || v.WeightP <= 0 || v.WeightB <= 0 {
+		errs = append(errs, errors.New("workload: frame weights must be positive"))
+	}
+	if v.Jitter < 0 || v.Jitter >= 1 {
+		errs = append(errs, errors.New("workload: jitter must be in [0, 1)"))
+	}
+	if v.WriteFraction < 0 || v.WriteFraction > 1 {
+		errs = append(errs, errors.New("workload: write fraction must be in [0, 1]"))
+	}
+	return errors.Join(errs...)
+}
+
+// classOf returns the coding class of the frame at the given position within
+// a GOP (position 0 is the I frame; every IPDistance-th frame is an anchor).
+func (v VideoStream) classOf(positionInGOP int) FrameClass {
+	if positionInGOP == 0 {
+		return FrameI
+	}
+	if positionInGOP%v.IPDistance == 0 {
+		return FrameP
+	}
+	return FrameB
+}
+
+// meanFrameSizes returns the mean encoded size per class such that the
+// long-run average rate equals the nominal rate.
+func (v VideoStream) meanFrameSizes() (i, p, b units.Size) {
+	// Count frames per class in one GOP.
+	var nI, nP, nB float64
+	for k := 0; k < v.GOPLength; k++ {
+		switch v.classOf(k) {
+		case FrameI:
+			nI++
+		case FrameP:
+			nP++
+		default:
+			nB++
+		}
+	}
+	gopDuration := float64(v.GOPLength) / v.FrameRate
+	gopBits := v.NominalRate.BitsPerSecond() * gopDuration
+	unit := gopBits / (nI*v.WeightI + nP*v.WeightP + nB*v.WeightB)
+	return units.Size(unit * v.WeightI), units.Size(unit * v.WeightP), units.Size(unit * v.WeightB)
+}
+
+// GenerateTrace produces the frame sequence covering [0, horizon).
+func (v VideoStream) GenerateTrace(horizon units.Duration) ([]Frame, error) {
+	if err := v.Validate(); err != nil {
+		return nil, err
+	}
+	if !horizon.Positive() {
+		return nil, errors.New("workload: horizon must be positive")
+	}
+	meanI, meanP, meanB := v.meanFrameSizes()
+	rng := NewRng(v.Seed ^ 0x9e3779b97f4a7c15)
+	frameInterval := units.Duration(1 / v.FrameRate)
+	total := int(horizon.Seconds() * v.FrameRate)
+	frames := make([]Frame, 0, total)
+	for idx := 0; idx < total; idx++ {
+		class := v.classOf(idx % v.GOPLength)
+		var mean units.Size
+		switch class {
+		case FrameI:
+			mean = meanI
+		case FrameP:
+			mean = meanP
+		default:
+			mean = meanB
+		}
+		// Symmetric jitter keeps the long-run mean on target.
+		factor := 1 + v.Jitter*(2*rng.Float64()-1)
+		size := mean.Scale(factor)
+		if size < 8 {
+			size = 8
+		}
+		frames = append(frames, Frame{
+			Index:     idx,
+			Timestamp: frameInterval.Scale(float64(idx)),
+			Class:     class,
+			Size:      size,
+		})
+	}
+	return frames, nil
+}
+
+// VideoRatePattern samples the instantaneous demand of a video trace: within
+// each frame interval the rate is the frame size divided by the interval.
+type VideoRatePattern struct {
+	stream        VideoStream
+	frames        []Frame
+	frameInterval units.Duration
+	horizon       units.Duration
+	peak          units.BitRate
+}
+
+// NewVideoRatePattern builds a demand sampler covering the given horizon. The
+// pattern repeats (wraps around) beyond the horizon, so simulations longer
+// than the generated trace remain well defined.
+func NewVideoRatePattern(v VideoStream, horizon units.Duration) (*VideoRatePattern, error) {
+	frames, err := v.GenerateTrace(horizon)
+	if err != nil {
+		return nil, err
+	}
+	if len(frames) == 0 {
+		return nil, errors.New("workload: horizon too short for a single frame")
+	}
+	p := &VideoRatePattern{
+		stream:        v,
+		frames:        frames,
+		frameInterval: units.Duration(1 / v.FrameRate),
+		horizon:       units.Duration(float64(len(frames)) / v.FrameRate),
+	}
+	for _, f := range frames {
+		if rate := p.frameInterval; rate.Positive() {
+			r := units.BitRate(f.Size.Bits() / p.frameInterval.Seconds())
+			if r > p.peak {
+				p.peak = r
+			}
+		}
+	}
+	return p, nil
+}
+
+// RateAt returns the demand in effect at time t.
+func (p *VideoRatePattern) RateAt(t units.Duration) units.BitRate {
+	if t < 0 {
+		t = 0
+	}
+	wrapped := units.Duration(mod(t.Seconds(), p.horizon.Seconds()))
+	idx := int(wrapped.Seconds() / p.frameInterval.Seconds())
+	if idx >= len(p.frames) {
+		idx = len(p.frames) - 1
+	}
+	return units.BitRate(p.frames[idx].Size.Bits() / p.frameInterval.Seconds())
+}
+
+// PeakRate returns the largest instantaneous demand of the trace.
+func (p *VideoRatePattern) PeakRate() units.BitRate { return p.peak }
+
+// AverageRate returns the long-run average demand of the trace.
+func (p *VideoRatePattern) AverageRate() units.BitRate {
+	var total units.Size
+	for _, f := range p.frames {
+		total = total.Add(f.Size)
+	}
+	return units.BitRate(total.Bits() / p.horizon.Seconds())
+}
+
+// Frames exposes the generated trace (for analyses and reports).
+func (p *VideoRatePattern) Frames() []Frame { return p.frames }
+
+func mod(a, b float64) float64 {
+	if b <= 0 {
+		return 0
+	}
+	m := a - b*float64(int(a/b))
+	if m < 0 {
+		m += b
+	}
+	return m
+}

@@ -1,0 +1,197 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"memstream/internal/units"
+)
+
+func TestVideoStreamValidation(t *testing.T) {
+	good := NewVideoStream(1024*units.Kbps, 1)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default video stream invalid: %v", err)
+	}
+	mutations := []func(*VideoStream){
+		func(v *VideoStream) { v.NominalRate = 0 },
+		func(v *VideoStream) { v.FrameRate = 0 },
+		func(v *VideoStream) { v.GOPLength = 0 },
+		func(v *VideoStream) { v.IPDistance = 0 },
+		func(v *VideoStream) { v.IPDistance = v.GOPLength + 1 },
+		func(v *VideoStream) { v.WeightI = 0 },
+		func(v *VideoStream) { v.Jitter = 1 },
+		func(v *VideoStream) { v.WriteFraction = -0.1 },
+	}
+	for i, mutate := range mutations {
+		v := NewVideoStream(1024*units.Kbps, 1)
+		mutate(&v)
+		if err := v.Validate(); err == nil {
+			t.Errorf("mutation %d validated unexpectedly", i)
+		}
+	}
+}
+
+func TestFrameClassString(t *testing.T) {
+	if FrameI.String() != "I" || FrameP.String() != "P" || FrameB.String() != "B" {
+		t.Error("frame class names wrong")
+	}
+	if FrameClass(9).String() == "" {
+		t.Error("unknown frame class has empty name")
+	}
+}
+
+func TestGOPStructure(t *testing.T) {
+	v := NewVideoStream(1024*units.Kbps, 1)
+	// IBBPBBPBBPBB with N=12, M=3.
+	want := []FrameClass{FrameI, FrameB, FrameB, FrameP, FrameB, FrameB, FrameP, FrameB, FrameB, FrameP, FrameB, FrameB}
+	for k, w := range want {
+		if got := v.classOf(k); got != w {
+			t.Errorf("frame %d class = %v, want %v", k, got, w)
+		}
+	}
+}
+
+func TestGenerateTraceAveragesToNominalRate(t *testing.T) {
+	v := NewVideoStream(1024*units.Kbps, 3)
+	horizon := 60 * units.Second
+	frames, err := v.GenerateTrace(horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 1500 { // 25 fps * 60 s
+		t.Fatalf("got %d frames, want 1500", len(frames))
+	}
+	var total units.Size
+	for i, f := range frames {
+		if f.Index != i {
+			t.Fatalf("frame %d has index %d", i, f.Index)
+		}
+		if !f.Size.Positive() {
+			t.Fatalf("frame %d has non-positive size", i)
+		}
+		total = total.Add(f.Size)
+	}
+	avg := total.Bits() / horizon.Seconds()
+	if math.Abs(avg-1.024e6)/1.024e6 > 0.03 {
+		t.Errorf("average rate = %g bps, want within 3%% of 1.024e6", avg)
+	}
+	// I frames are larger than P frames, which are larger than B frames
+	// (compare class means, the per-frame jitter is ±20%).
+	var sumI, sumP, sumB float64
+	var nI, nP, nB int
+	for _, f := range frames {
+		switch f.Class {
+		case FrameI:
+			sumI += f.Size.Bits()
+			nI++
+		case FrameP:
+			sumP += f.Size.Bits()
+			nP++
+		default:
+			sumB += f.Size.Bits()
+			nB++
+		}
+	}
+	if nI == 0 || nP == 0 || nB == 0 {
+		t.Fatal("some frame class never appeared")
+	}
+	if !(sumI/float64(nI) > sumP/float64(nP) && sumP/float64(nP) > sumB/float64(nB)) {
+		t.Errorf("mean frame sizes not ordered I > P > B: %g %g %g",
+			sumI/float64(nI), sumP/float64(nP), sumB/float64(nB))
+	}
+}
+
+func TestGenerateTraceErrors(t *testing.T) {
+	v := NewVideoStream(1024*units.Kbps, 1)
+	if _, err := v.GenerateTrace(0); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	v.GOPLength = 0
+	if _, err := v.GenerateTrace(units.Second); err == nil {
+		t.Error("invalid stream accepted")
+	}
+}
+
+func TestVideoRatePattern(t *testing.T) {
+	v := NewVideoStream(1024*units.Kbps, 5)
+	p, err := NewVideoRatePattern(v, 30*units.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Frames()) == 0 {
+		t.Fatal("pattern holds no frames")
+	}
+	// The average demand stays near nominal and the peak exceeds it (I frames).
+	if got := p.AverageRate().BitsPerSecond(); math.Abs(got-1.024e6)/1.024e6 > 0.05 {
+		t.Errorf("average rate = %g, want near 1.024e6", got)
+	}
+	if p.PeakRate() <= v.NominalRate {
+		t.Errorf("peak rate %v not above nominal %v", p.PeakRate(), v.NominalRate)
+	}
+	if p.PeakRate().BitsPerSecond() > 5*v.NominalRate.BitsPerSecond() {
+		t.Errorf("peak rate %v implausibly high", p.PeakRate())
+	}
+	// Sampling at any time returns a positive rate bounded by the peak, and
+	// times beyond the horizon wrap around rather than failing.
+	for _, at := range []units.Duration{0, units.Second, 29 * units.Second, 45 * units.Second, 300 * units.Second, -1} {
+		r := p.RateAt(at)
+		if !r.Positive() || r > p.PeakRate() {
+			t.Errorf("rate at %v = %v outside (0, peak]", at, r)
+		}
+	}
+}
+
+func TestVideoRatePatternRejectsInvalid(t *testing.T) {
+	v := NewVideoStream(1024*units.Kbps, 1)
+	v.FrameRate = 0
+	if _, err := NewVideoRatePattern(v, 10*units.Second); err == nil {
+		t.Error("invalid stream accepted")
+	}
+	good := NewVideoStream(1024*units.Kbps, 1)
+	if _, err := NewVideoRatePattern(good, units.Duration(0.001)); err == nil {
+		t.Error("horizon shorter than one frame accepted")
+	}
+}
+
+func TestVideoTraceDeterministic(t *testing.T) {
+	v := NewVideoStream(2048*units.Kbps, 11)
+	a, err := v.GenerateTrace(10 * units.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := v.GenerateTrace(10 * units.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different traces")
+		}
+	}
+}
+
+// Property: for any seed and rate, the trace average stays within 5% of the
+// nominal rate and every frame is positive.
+func TestQuickVideoTraceAverage(t *testing.T) {
+	f := func(seed uint64, rawRate uint16) bool {
+		rate := units.BitRate(int(rawRate%4000)+64) * units.Kbps
+		v := NewVideoStream(rate, seed)
+		frames, err := v.GenerateTrace(20 * units.Second)
+		if err != nil {
+			return false
+		}
+		var total units.Size
+		for _, f := range frames {
+			if !f.Size.Positive() {
+				return false
+			}
+			total = total.Add(f.Size)
+		}
+		avg := total.Bits() / 20
+		return math.Abs(avg-rate.BitsPerSecond())/rate.BitsPerSecond() < 0.05
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,354 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"memstream/internal/units"
+)
+
+func TestRngDeterministic(t *testing.T) {
+	a, b := NewRng(42), NewRng(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced different sequences")
+		}
+	}
+	c := NewRng(43)
+	same := true
+	a = NewRng(42)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical sequences")
+	}
+}
+
+func TestRngFloat64Range(t *testing.T) {
+	r := NewRng(7)
+	var sum float64
+	const n = 10000
+	for i := 0; i < n; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %g", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; mean < 0.45 || mean > 0.55 {
+		t.Errorf("Float64 mean = %g, want about 0.5", mean)
+	}
+}
+
+func TestRngExpMean(t *testing.T) {
+	r := NewRng(11)
+	const n = 20000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Exp(3.0)
+	}
+	if mean := sum / n; mean < 2.8 || mean > 3.2 {
+		t.Errorf("Exp mean = %g, want about 3", mean)
+	}
+}
+
+func TestRngIntn(t *testing.T) {
+	r := NewRng(5)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Errorf("Intn(10) covered only %d values", len(seen))
+	}
+	if r.Intn(0) != 0 {
+		t.Error("Intn(0) should return 0")
+	}
+}
+
+func TestStreamValidation(t *testing.T) {
+	good := NewCBRStream(1024 * units.Kbps)
+	if err := good.Validate(); err != nil {
+		t.Errorf("CBR stream invalid: %v", err)
+	}
+	vbr := NewVBRStream(1024*units.Kbps, 1)
+	if err := vbr.Validate(); err != nil {
+		t.Errorf("VBR stream invalid: %v", err)
+	}
+	bad := []Stream{
+		{Kind: CBR, NominalRate: 0},
+		{Kind: CBR, NominalRate: 1024 * units.Kbps, WriteFraction: 1.5},
+		{Kind: VBR, NominalRate: 1024 * units.Kbps, SegmentLength: 0, Variability: 0.3},
+		{Kind: VBR, NominalRate: 1024 * units.Kbps, SegmentLength: units.Second, Variability: 1.2},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("stream %d validated unexpectedly: %+v", i, s)
+		}
+	}
+}
+
+func TestCBRPatternIsConstant(t *testing.T) {
+	p, err := NewRatePattern(NewCBRStream(1024 * units.Kbps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, at := range []units.Duration{0, units.Second, units.Hour} {
+		if got := p.RateAt(at); got != 1024*units.Kbps {
+			t.Errorf("CBR rate at %v = %v", at, got)
+		}
+	}
+	if p.AverageRate() != 1024*units.Kbps {
+		t.Errorf("AverageRate = %v", p.AverageRate())
+	}
+}
+
+func TestVBRPatternBoundedAndVarying(t *testing.T) {
+	stream := NewVBRStream(1024*units.Kbps, 99)
+	p, err := NewRatePattern(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo := stream.NominalRate.Scale(1 - stream.Variability)
+	hi := stream.NominalRate.Scale(1 + stream.Variability)
+	seen := make(map[int64]bool)
+	var sum float64
+	const samples = 500
+	for i := 0; i < samples; i++ {
+		at := units.Duration(i) * stream.SegmentLength
+		rate := p.RateAt(at)
+		if rate < lo-1 || rate > hi+1 {
+			t.Fatalf("VBR rate %v outside [%v, %v]", rate, lo, hi)
+		}
+		seen[int64(rate)] = true
+		sum += rate.BitsPerSecond()
+	}
+	if len(seen) < 10 {
+		t.Errorf("VBR pattern produced only %d distinct rates", len(seen))
+	}
+	mean := sum / samples
+	if mean < 0.9*stream.NominalRate.BitsPerSecond() || mean > 1.1*stream.NominalRate.BitsPerSecond() {
+		t.Errorf("VBR mean rate = %g, want near nominal %g", mean, stream.NominalRate.BitsPerSecond())
+	}
+}
+
+func TestVBRPatternDeterministicPerSeed(t *testing.T) {
+	a, _ := NewRatePattern(NewVBRStream(1024*units.Kbps, 7))
+	b, _ := NewRatePattern(NewVBRStream(1024*units.Kbps, 7))
+	for i := 0; i < 50; i++ {
+		at := units.Duration(i) * units.Second
+		if a.RateAt(at) != b.RateAt(at) {
+			t.Fatal("same seed produced different VBR patterns")
+		}
+	}
+}
+
+func TestNewRatePatternRejectsInvalid(t *testing.T) {
+	if _, err := NewRatePattern(Stream{Kind: CBR}); err == nil {
+		t.Error("invalid stream accepted")
+	}
+}
+
+func TestBestEffortProcessValidation(t *testing.T) {
+	good := NewBestEffortProcess(0.05, 102.4*units.Mbps, 1)
+	if err := good.Validate(); err != nil {
+		t.Errorf("default process invalid: %v", err)
+	}
+	bad := []BestEffortProcess{
+		{TargetFraction: -0.1},
+		{TargetFraction: 1.0},
+		{TargetFraction: 0.05, MeanSize: 0, ServiceRate: units.Mbps},
+		{TargetFraction: 0.05, MeanSize: units.KiB, WriteFraction: 2, ServiceRate: units.Mbps},
+		{TargetFraction: 0.05, MeanSize: units.KiB, ServiceRate: 0},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("process %d validated unexpectedly: %+v", i, p)
+		}
+	}
+	// A zero-fraction process is valid and generates nothing.
+	idle := BestEffortProcess{TargetFraction: 0}
+	if err := idle.Validate(); err != nil {
+		t.Errorf("zero-fraction process invalid: %v", err)
+	}
+	reqs, err := idle.Generate(units.Hour)
+	if err != nil || len(reqs) != 0 {
+		t.Errorf("zero-fraction process generated %d requests, err %v", len(reqs), err)
+	}
+}
+
+func TestBestEffortMeanInterarrival(t *testing.T) {
+	p := NewBestEffortProcess(0.05, 102.4*units.Mbps, 1)
+	mean, err := p.MeanInterarrival()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Service per request: 2 ms positioning + 4 KiB / 102.4 Mbps = 2.32 ms;
+	// at 5% load the mean interarrival is 46.4 ms.
+	want := (0.002 + 4.0*1024*8/102.4e6) / 0.05
+	if math.Abs(mean.Seconds()-want)/want > 1e-9 {
+		t.Errorf("mean interarrival = %g s, want %g", mean.Seconds(), want)
+	}
+	if got := p.ServiceTime(4 * units.KiB).Seconds(); math.Abs(got-(want*0.05)) > 1e-12 {
+		t.Errorf("ServiceTime = %g s, want %g", got, want*0.05)
+	}
+	idle := BestEffortProcess{TargetFraction: 0}
+	m, err := idle.MeanInterarrival()
+	if err != nil || !math.IsInf(m.Seconds(), 1) {
+		t.Errorf("idle interarrival = %v, %v", m, err)
+	}
+}
+
+func TestBestEffortGenerateMatchesTargetFraction(t *testing.T) {
+	serviceRate := 102.4 * units.Mbps
+	p := NewBestEffortProcess(0.05, serviceRate, 3)
+	horizon := 10 * units.Minute
+	reqs, err := p.Generate(horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) == 0 {
+		t.Fatal("no requests generated")
+	}
+	var busy units.Duration
+	prev := units.Duration(-1)
+	for _, r := range reqs {
+		if r.Arrival < 0 || r.Arrival >= horizon {
+			t.Fatalf("arrival %v outside horizon", r.Arrival)
+		}
+		if r.Arrival < prev {
+			t.Fatal("arrivals not sorted")
+		}
+		prev = r.Arrival
+		if !r.Size.Positive() {
+			t.Fatal("non-positive request size")
+		}
+		busy = busy.Add(p.ServiceTime(r.Size))
+	}
+	fraction := busy.Seconds() / horizon.Seconds()
+	if fraction < 0.03 || fraction > 0.07 {
+		t.Errorf("generated best-effort load = %g of time, want about 0.05", fraction)
+	}
+	// Both read and write requests appear.
+	writes := 0
+	for _, r := range reqs {
+		if r.Write {
+			writes++
+		}
+	}
+	if writes == 0 || writes == len(reqs) {
+		t.Errorf("write mix degenerate: %d of %d", writes, len(reqs))
+	}
+}
+
+func TestBestEffortGenerateDeterministic(t *testing.T) {
+	p := NewBestEffortProcess(0.05, 102.4*units.Mbps, 9)
+	a, err := p.Generate(units.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Generate(units.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("different request counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different request streams")
+		}
+	}
+}
+
+func TestBestEffortGenerateRejectsInvalid(t *testing.T) {
+	p := BestEffortProcess{TargetFraction: 0.5, MeanSize: 0}
+	if _, err := p.Generate(units.Minute); err == nil {
+		t.Error("invalid process accepted")
+	}
+}
+
+func TestPlaybackCalendar(t *testing.T) {
+	c := DefaultCalendar()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.SecondsPerYear().Seconds(); math.Abs(got-1.0512e7) > 1 {
+		t.Errorf("SecondsPerYear = %g, want 1.0512e7", got)
+	}
+	if c.String() == "" {
+		t.Error("empty calendar string")
+	}
+	bad := []PlaybackCalendar{
+		{HoursPerDay: 0, DaysPerYear: 365},
+		{HoursPerDay: 25, DaysPerYear: 365},
+		{HoursPerDay: 8, DaysPerYear: 0},
+		{HoursPerDay: 8, DaysPerYear: 400},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("calendar %d validated unexpectedly: %+v", i, c)
+		}
+	}
+}
+
+// Property: VBR rates always stay within the configured variability band.
+func TestQuickVBRBounds(t *testing.T) {
+	f := func(seed uint64, rawVar uint8) bool {
+		variability := float64(rawVar%90) / 100
+		s := Stream{
+			Kind:          VBR,
+			NominalRate:   1024 * units.Kbps,
+			WriteFraction: 0.4,
+			SegmentLength: units.Second,
+			Variability:   variability,
+			Seed:          seed,
+		}
+		p, err := NewRatePattern(s)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 50; i++ {
+			rate := p.RateAt(units.Duration(i) * units.Second)
+			lo := s.NominalRate.Scale(1 - variability)
+			hi := s.NominalRate.Scale(1 + variability)
+			if rate < lo-1 || rate > hi+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: best-effort arrivals are sorted and within the horizon for any seed.
+func TestQuickBestEffortArrivalsSorted(t *testing.T) {
+	f := func(seed uint64) bool {
+		p := NewBestEffortProcess(0.05, 102.4*units.Mbps, seed)
+		reqs, err := p.Generate(30 * units.Second)
+		if err != nil {
+			return false
+		}
+		prev := units.Duration(-1)
+		for _, r := range reqs {
+			if r.Arrival < prev || r.Arrival >= 30*units.Second {
+				return false
+			}
+			prev = r.Arrival
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,243 @@
+package memstream
+
+import (
+	"memstream/internal/core"
+	"memstream/internal/device"
+	"memstream/internal/energy"
+	"memstream/internal/explore"
+	"memstream/internal/lifetime"
+	"memstream/internal/sim"
+	"memstream/internal/units"
+	"memstream/internal/workload"
+)
+
+// Physical quantity types, re-exported so that users of the public API never
+// have to reach into internal packages.
+type (
+	// Size is an amount of data (internally stored in bits).
+	Size = units.Size
+	// BitRate is a data rate in bits per second.
+	BitRate = units.BitRate
+	// Duration is a time span in seconds (floating point; spans from
+	// microsecond overheads to multi-year lifetimes).
+	Duration = units.Duration
+	// Power is a power in watts.
+	Power = units.Power
+	// Energy is an energy in joules.
+	Energy = units.Energy
+	// EnergyPerBit is a per-bit energy in joules per bit.
+	EnergyPerBit = units.EnergyPerBit
+)
+
+// Common units, re-exported from internal/units.
+const (
+	// Bit is one bit.
+	Bit = units.Bit
+	// Byte is eight bits.
+	Byte = units.Byte
+	// KiB is 1024 bytes (the paper's buffer "kB").
+	KiB = units.KiB
+	// MiB is 1024 KiB.
+	MiB = units.MiB
+	// GB is a decimal gigabyte (used for device capacities).
+	GB = units.GB
+
+	// Kbps is 1000 bits per second.
+	Kbps = units.Kbps
+	// Mbps is 1000 kbps.
+	Mbps = units.Mbps
+
+	// Millisecond is one thousandth of a second.
+	Millisecond = units.Millisecond
+	// Second is one second.
+	Second = units.Second
+	// Hour is 3600 seconds.
+	Hour = units.Hour
+	// Year is a 365-day year.
+	Year = units.Year
+
+	// Milliwatt is one thousandth of a watt.
+	Milliwatt = units.Milliwatt
+	// Watt is one watt.
+	Watt = units.Watt
+)
+
+// Device and substrate models.
+type (
+	// Device describes a MEMS probe-storage device (Table I of the paper).
+	Device = device.MEMS
+	// DRAM describes the streaming buffer in front of the device.
+	DRAM = device.DRAM
+	// Disk describes the 1.8-inch drive used as the mechanical baseline.
+	Disk = device.Disk
+	// Workload is the streaming usage pattern (hours/day, write share,
+	// best-effort share).
+	Workload = lifetime.Workload
+)
+
+// DefaultDevice returns the paper's Table I MEMS device with nickel springs
+// (1e8 duty cycles) and 100 probe write cycles.
+func DefaultDevice() Device { return device.DefaultMEMS() }
+
+// ImprovedDevice returns the Fig. 3c durability scenario: 200 probe write
+// cycles and silicon springs rated at 1e12 duty cycles.
+func ImprovedDevice() Device { return device.DefaultMEMS().WithDurability(200, 1e12) }
+
+// DefaultDRAM returns the Micron TN-46-03-style buffer model.
+func DefaultDRAM() DRAM { return device.DefaultDRAM() }
+
+// DefaultDisk returns the 1.8-inch disk baseline.
+func DefaultDisk() Disk { return device.Default18InchDisk() }
+
+// DefaultWorkload returns the Table I workload: 8 h/day, 40 % writes, 5 %
+// best-effort share.
+func DefaultWorkload() Workload { return lifetime.DefaultWorkload() }
+
+// Core model types.
+type (
+	// Model is the combined energy/capacity/lifetime model at one streaming
+	// rate.
+	Model = core.Model
+	// Options adjusts model construction (workload, DRAM, ablations).
+	Options = core.Options
+	// Point is the full model evaluation at one buffer size.
+	Point = core.Point
+	// Goal is a design goal (E, C, L).
+	Goal = core.Goal
+	// Constraint identifies one of the four requirements (E, C, Lsp, Lpb).
+	Constraint = core.Constraint
+	// Requirement is the buffer requirement imposed by one constraint.
+	Requirement = core.Requirement
+	// Dimensioning is the answer to a buffer-dimensioning question.
+	Dimensioning = core.Dimensioning
+	// EnergyBreakdown splits the per-bit energy by cause.
+	EnergyBreakdown = energy.Breakdown
+)
+
+// The four constraints, in the paper's notation.
+const (
+	// ConstraintEnergy is the E requirement.
+	ConstraintEnergy = core.ConstraintEnergy
+	// ConstraintCapacity is the C requirement.
+	ConstraintCapacity = core.ConstraintCapacity
+	// ConstraintSprings is the springs part of the L requirement.
+	ConstraintSprings = core.ConstraintSprings
+	// ConstraintProbes is the probes part of the L requirement.
+	ConstraintProbes = core.ConstraintProbes
+)
+
+// New builds a model for the given device and streaming rate with the
+// Table I workload and default DRAM.
+func New(dev Device, rate BitRate) (*Model, error) { return core.New(dev, rate) }
+
+// NewWithOptions builds a model with explicit overrides.
+func NewWithOptions(dev Device, rate BitRate, opts Options) (*Model, error) {
+	return core.NewWithOptions(dev, rate, opts)
+}
+
+// PaperGoalA returns the Fig. 3a goal (E=80 %, C=88 %, L=7 years).
+func PaperGoalA() Goal { return core.PaperGoalA() }
+
+// PaperGoalB returns the Fig. 3b/3c goal (E=70 %, C=88 %, L=7 years).
+func PaperGoalB() Goal { return core.PaperGoalB() }
+
+// PaperGoalC85 returns the Section IV-C variant (E=80 %, C=85 %, L=7 years).
+func PaperGoalC85() Goal { return core.PaperGoalC85() }
+
+// Design-space exploration types.
+type (
+	// Sweep is a dimensioning sweep over streaming rates.
+	Sweep = explore.Sweep
+	// RatePoint is one rate's dimensioning result within a sweep.
+	RatePoint = explore.RatePoint
+	// Regime is a contiguous rate range dominated by one constraint.
+	Regime = explore.Regime
+	// BufferCurve is a forward sweep over buffer sizes at a fixed rate.
+	BufferCurve = explore.BufferCurve
+)
+
+// Explore dimensions the buffer for the goal at n log-spaced rates between
+// minRate and maxRate.
+func Explore(dev Device, goal Goal, minRate, maxRate BitRate, n int) (*Sweep, error) {
+	rates, err := explore.LogSpace(minRate, maxRate, n)
+	if err != nil {
+		return nil, err
+	}
+	return explore.Run(explore.Config{Device: dev, Goal: goal}, rates)
+}
+
+// ExploreWithOptions is Explore with model-construction overrides.
+func ExploreWithOptions(dev Device, goal Goal, opts Options, minRate, maxRate BitRate, n int) (*Sweep, error) {
+	rates, err := explore.LogSpace(minRate, maxRate, n)
+	if err != nil {
+		return nil, err
+	}
+	return explore.Run(explore.Config{Device: dev, Goal: goal, Options: opts}, rates)
+}
+
+// SweepBuffer evaluates the model at n buffer sizes between lo and hi at a
+// fixed rate (the Fig. 2 style forward curves).
+func SweepBuffer(dev Device, rate BitRate, lo, hi Size, n int) (*BufferCurve, error) {
+	return explore.SweepBuffer(dev, rate, core.Options{}, lo, hi, n)
+}
+
+// Simulation types.
+type (
+	// SimConfig describes one discrete-event simulation run.
+	SimConfig = sim.Config
+	// SimStats is what the simulator observed.
+	SimStats = sim.Stats
+	// Stream describes a streaming session for the simulator.
+	Stream = workload.Stream
+	// BestEffortProcess generates background OS/file-system requests.
+	BestEffortProcess = workload.BestEffortProcess
+	// PlaybackCalendar converts daily usage into yearly totals.
+	PlaybackCalendar = workload.PlaybackCalendar
+)
+
+// NewCBRStream returns a constant-bit-rate stream with the Table I write mix.
+func NewCBRStream(rate BitRate) Stream { return workload.NewCBRStream(rate) }
+
+// NewVBRStream returns a variable-bit-rate stream averaging the given rate.
+func NewVBRStream(rate BitRate, seed uint64) Stream { return workload.NewVBRStream(rate, seed) }
+
+// NewBestEffortProcess returns a background request process targeting the
+// given share of device-active time.
+func NewBestEffortProcess(fraction float64, serviceRate BitRate, seed uint64) BestEffortProcess {
+	return workload.NewBestEffortProcess(fraction, serviceRate, seed)
+}
+
+// DefaultCalendar returns the eight-hours-every-day playback calendar.
+func DefaultCalendar() PlaybackCalendar { return workload.DefaultCalendar() }
+
+// Simulate runs a discrete-event simulation of the MEMS + DRAM streaming
+// architecture and returns its statistics.
+func Simulate(cfg SimConfig) (*SimStats, error) { return sim.RunConfig(cfg) }
+
+// DefaultSimConfig returns a ready-to-run simulation of the Table I device
+// streaming at the given rate through the given buffer for five minutes,
+// including the 5 % best-effort load.
+func DefaultSimConfig(rate BitRate, buffer Size) SimConfig {
+	dev := device.DefaultMEMS()
+	return SimConfig{
+		Device:     dev,
+		DRAM:       device.DefaultDRAM(),
+		Buffer:     buffer,
+		Stream:     workload.NewCBRStream(rate),
+		BestEffort: workload.NewBestEffortProcess(0.05, dev.MediaRate(), 1),
+		Duration:   5 * units.Minute,
+		Seed:       1,
+	}
+}
+
+// BreakEvenBuffer returns the break-even streaming buffer of the MEMS device
+// at the given rate (Section III-A.1).
+func BreakEvenBuffer(dev Device, rate BitRate) (Size, error) {
+	return energy.BreakEvenBuffer(energy.MEMSBreakEvenAdapter{Device: dev}, rate)
+}
+
+// DiskBreakEvenBuffer returns the break-even streaming buffer of the disk
+// baseline at the given rate.
+func DiskBreakEvenBuffer(d Disk, rate BitRate) (Size, error) {
+	return energy.BreakEvenBuffer(energy.DiskBreakEvenAdapter{Disk: d}, rate)
+}
