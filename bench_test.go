@@ -9,8 +9,10 @@ package memstream
 // series in full.
 
 import (
+	"context"
 	"io"
 	"math"
+	"runtime"
 	"testing"
 )
 
@@ -302,3 +304,50 @@ func BenchmarkSimulatorMinute(b *testing.B) {
 		}
 	}
 }
+
+// benchmarkSweep64 runs the 64-point Fig. 3b dimensioning sweep — the
+// embarrassingly parallel hot path — at a fixed worker count. The sequential
+// and parallel variants below time the same byte-identical computation, so
+// their ratio is the wall-clock speedup of the worker pool.
+func benchmarkSweep64(b *testing.B, workers int) {
+	b.Helper()
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "cpus")
+	for i := 0; i < b.N; i++ {
+		if _, err := ExploreContext(context.Background(), workers, DefaultDevice(), PaperGoalB(), 32*Kbps, 4096*Kbps, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweep64Sequential forces the sequential path (workers = 1).
+func BenchmarkSweep64Sequential(b *testing.B) { benchmarkSweep64(b, 1) }
+
+// BenchmarkSweep64Parallel fans the 64 rates out over one worker per CPU; on
+// a multi-core runner it completes the sweep several times faster than
+// BenchmarkSweep64Sequential with byte-identical output.
+func BenchmarkSweep64Parallel(b *testing.B) { benchmarkSweep64(b, 0) }
+
+// benchmarkSimBatch8 runs eight 30-second validation simulations at a fixed
+// worker count through the batch API.
+func benchmarkSimBatch8(b *testing.B, workers int) {
+	b.Helper()
+	var cfgs []SimConfig
+	for i := 0; i < 8; i++ {
+		cfg := DefaultSimConfig(BitRate(256+128*i)*Kbps, 40*KiB)
+		cfg.Duration = 30 * Second
+		cfg.Seed = uint64(i + 1)
+		cfgs = append(cfgs, cfg)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SimulateBatchContext(context.Background(), workers, cfgs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimBatch8Sequential runs the batch on a single worker.
+func BenchmarkSimBatch8Sequential(b *testing.B) { benchmarkSimBatch8(b, 1) }
+
+// BenchmarkSimBatch8Parallel runs the batch on one worker per CPU.
+func BenchmarkSimBatch8Parallel(b *testing.B) { benchmarkSimBatch8(b, 0) }

@@ -3,9 +3,13 @@
 // health. With -validate it compares the simulation against the analytical
 // model at the same operating point.
 //
+// With -replicas N it runs N seed-varied copies of the simulation
+// concurrently through memstream.SimulateBatch and reports the spread of the
+// observed metrics instead of a single run's detail.
+//
 // Usage:
 //
-//	memssim -rate 1024kbps -buffer 20KiB -duration 5min [-vbr] [-besteffort 0.05] [-ber 1e-4] [-validate]
+//	memssim -rate 1024kbps -buffer 20KiB -duration 5min [-vbr] [-besteffort 0.05] [-ber 1e-4] [-validate] [-replicas 8]
 package main
 
 import (
@@ -29,16 +33,17 @@ func main() {
 	improved := flag.Bool("improved", false, "use the improved-durability device")
 	seed := flag.Uint64("seed", 1, "random seed")
 	validate := flag.Bool("validate", false, "compare the simulation against the analytical model")
+	replicas := flag.Int("replicas", 1, "run this many seed-varied replicas concurrently and report the spread")
 	flag.Parse()
 
-	if err := run(os.Stdout, *rateStr, *bufferStr, *durationStr, *vbr, *video, *bestEffort, *ber, *improved, *seed, *validate); err != nil {
+	if err := run(os.Stdout, *rateStr, *bufferStr, *durationStr, *vbr, *video, *bestEffort, *ber, *improved, *seed, *validate, *replicas); err != nil {
 		fmt.Fprintln(os.Stderr, "memssim:", err)
 		os.Exit(1)
 	}
 }
 
 func run(w io.Writer, rateStr, bufferStr, durationStr string, vbr, video bool, bestEffort, ber float64,
-	improved bool, seed uint64, validate bool) error {
+	improved bool, seed uint64, validate bool, replicas int) error {
 
 	rate, err := units.ParseBitRate(rateStr)
 	if err != nil {
@@ -57,30 +62,63 @@ func run(w io.Writer, rateStr, bufferStr, durationStr string, vbr, video bool, b
 		dev = memstream.ImprovedDevice()
 	}
 
-	cfg := memstream.SimConfig{
-		Device:       dev,
-		DRAM:         memstream.DefaultDRAM(),
-		Buffer:       buffer,
-		Stream:       memstream.NewCBRStream(rate),
-		Duration:     duration,
-		BitErrorRate: ber,
-		Seed:         seed,
+	// configFor builds the full simulation configuration for one seed: the
+	// stream, the optional video trace and the best-effort process all
+	// re-derive their randomness from it, so seed-varied replicas differ in
+	// every stochastic source, not only the simulator RNG.
+	configFor := func(s uint64) (memstream.SimConfig, error) {
+		cfg := memstream.SimConfig{
+			Device:       dev,
+			DRAM:         memstream.DefaultDRAM(),
+			Buffer:       buffer,
+			Stream:       memstream.NewCBRStream(rate),
+			Duration:     duration,
+			BitErrorRate: ber,
+			Seed:         s,
+		}
+		if vbr {
+			cfg.Stream = memstream.NewVBRStream(rate, s)
+		}
+		if video {
+			pattern, err := memstream.NewVideoRatePattern(memstream.NewVideoStream(rate, s), 60*memstream.Second)
+			if err != nil {
+				return memstream.SimConfig{}, err
+			}
+			cfg.Stream = memstream.NewCBRStream(rate)
+			cfg.RateSource = pattern
+		}
+		if bestEffort > 0 {
+			cfg.BestEffort = memstream.NewBestEffortProcess(bestEffort, dev.MediaRate(), s)
+		}
+		return cfg, nil
 	}
-	if vbr {
-		cfg.Stream = memstream.NewVBRStream(rate, seed)
+
+	if replicas < 1 {
+		return fmt.Errorf("replicas must be at least 1, got %d", replicas)
 	}
-	if video {
-		pattern, err := memstream.NewVideoRatePattern(memstream.NewVideoStream(rate, seed), 60*memstream.Second)
+	if replicas > 1 {
+		if validate {
+			return fmt.Errorf("-validate compares a single run against the model; drop it or use -replicas 1")
+		}
+		cfgs := make([]memstream.SimConfig, replicas)
+		for i := range cfgs {
+			c, err := configFor(seed + uint64(i))
+			if err != nil {
+				return err
+			}
+			cfgs[i] = c
+		}
+		batch, err := memstream.SimulateBatch(cfgs...)
 		if err != nil {
 			return err
 		}
-		cfg.Stream = memstream.NewCBRStream(rate)
-		cfg.RateSource = pattern
-	}
-	if bestEffort > 0 {
-		cfg.BestEffort = memstream.NewBestEffortProcess(bestEffort, dev.MediaRate(), seed)
+		return reportReplicas(w, cfgs, batch, rate, buffer)
 	}
 
+	cfg, err := configFor(seed)
+	if err != nil {
+		return err
+	}
 	stats, err := memstream.Simulate(cfg)
 	if err != nil {
 		return err
@@ -136,5 +174,31 @@ func run(w io.Writer, rateStr, bufferStr, durationStr string, vbr, video bool, b
 		fmt.Fprintln(w, "  note: Eq. 6 accounts only streaming writes; the simulator also charges")
 		fmt.Fprintln(w, "        best-effort writes to probe wear, so its probes projection is lower.")
 	}
+	return nil
+}
+
+// reportReplicas summarises a seed-varied batch: one line per replica plus
+// the spread of the headline metrics.
+func reportReplicas(w io.Writer, cfgs []memstream.SimConfig, batch []*memstream.SimStats,
+	rate memstream.BitRate, buffer memstream.Size) error {
+
+	fmt.Fprintf(w, "ran %d seed-varied replicas at %v through a %v buffer (concurrent batch)\n",
+		len(batch), rate, buffer)
+	fmt.Fprintf(w, "  %-8s %-6s %-8s %-10s %s\n", "replica", "seed", "refills", "underruns", "per-bit energy")
+	minNJ, maxNJ, sumNJ := 0.0, 0.0, 0.0
+	for i, stats := range batch {
+		nj := stats.PerBitEnergy().NanojoulesPerBit()
+		if i == 0 || nj < minNJ {
+			minNJ = nj
+		}
+		if i == 0 || nj > maxNJ {
+			maxNJ = nj
+		}
+		sumNJ += nj
+		fmt.Fprintf(w, "  %-8d %-6d %-8d %-10d %.2f nJ/b\n",
+			i, cfgs[i].Seed, stats.RefillCycles, stats.Underruns, nj)
+	}
+	fmt.Fprintf(w, "per-bit energy spread: mean %.2f, min %.2f, max %.2f nJ/b\n",
+		sumNJ/float64(len(batch)), minNJ, maxNJ)
 	return nil
 }

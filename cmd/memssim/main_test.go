@@ -8,7 +8,7 @@ import (
 
 func TestRunBasic(t *testing.T) {
 	var buf bytes.Buffer
-	err := run(&buf, "1024kbps", "20KiB", "30s", false, false, 0.05, 0, false, 1, false)
+	err := run(&buf, "1024kbps", "20KiB", "30s", false, false, 0.05, 0, false, 1, false, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,7 +25,7 @@ func TestRunBasic(t *testing.T) {
 
 func TestRunValidate(t *testing.T) {
 	var buf bytes.Buffer
-	err := run(&buf, "1024kbps", "20KiB", "30s", false, false, 0, 0, false, 1, true)
+	err := run(&buf, "1024kbps", "20KiB", "30s", false, false, 0, 0, false, 1, true, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +40,7 @@ func TestRunValidate(t *testing.T) {
 
 func TestRunValidateWithBestEffortNote(t *testing.T) {
 	var buf bytes.Buffer
-	err := run(&buf, "1024kbps", "20KiB", "30s", false, false, 0.05, 0, false, 1, true)
+	err := run(&buf, "1024kbps", "20KiB", "30s", false, false, 0.05, 0, false, 1, true, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +51,7 @@ func TestRunValidateWithBestEffortNote(t *testing.T) {
 
 func TestRunVBRWithErrors(t *testing.T) {
 	var buf bytes.Buffer
-	err := run(&buf, "1024kbps", "45KiB", "30s", true, false, 0.05, 1e-4, false, 7, false)
+	err := run(&buf, "1024kbps", "45KiB", "30s", true, false, 0.05, 1e-4, false, 7, false, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +62,7 @@ func TestRunVBRWithErrors(t *testing.T) {
 
 func TestRunImprovedDevice(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "1024kbps", "20KiB", "30s", false, false, 0, 0, true, 1, false); err != nil {
+	if err := run(&buf, "1024kbps", "20KiB", "30s", false, false, 0, 0, true, 1, false, 1); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "springs projection") {
@@ -77,19 +77,19 @@ func TestRunBadInputs(t *testing.T) {
 		{"1024kbps", "20KiB", "oops"},
 	}
 	for _, c := range cases {
-		if err := run(&bytes.Buffer{}, c[0], c[1], c[2], false, false, 0, 0, false, 1, false); err == nil {
+		if err := run(&bytes.Buffer{}, c[0], c[1], c[2], false, false, 0, 0, false, 1, false, 1); err == nil {
 			t.Errorf("bogus inputs %v accepted", c)
 		}
 	}
 	// A buffer too small for the seek time must surface the simulator error.
-	if err := run(&bytes.Buffer{}, "4096kbps", "1000bit", "30s", false, false, 0, 0, false, 1, false); err == nil {
+	if err := run(&bytes.Buffer{}, "4096kbps", "1000bit", "30s", false, false, 0, 0, false, 1, false, 1); err == nil {
 		t.Error("undersized buffer accepted")
 	}
 }
 
 func TestRunVideoTrace(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "1024kbps", "64KiB", "30s", false, true, 0.05, 0, false, 3, false); err != nil {
+	if err := run(&buf, "1024kbps", "64KiB", "30s", false, true, 0.05, 0, false, 3, false, 1); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -98,5 +98,52 @@ func TestRunVideoTrace(t *testing.T) {
 	}
 	if strings.Contains(out, "underruns: 0") == false {
 		t.Errorf("video trace through a 64 KiB buffer should not underrun:\n%s", out)
+	}
+}
+
+func TestRunReplicas(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "1024kbps", "20KiB", "30s", true, false, 0.05, 0, false, 1, false, 4); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "4 seed-varied replicas") {
+		t.Fatalf("replica header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "per-bit energy spread") {
+		t.Errorf("spread summary missing:\n%s", out)
+	}
+	// Four replicas plus header, column line and summary.
+	if got := strings.Count(out, "nJ/b"); got < 5 {
+		t.Errorf("expected at least 5 nJ/b mentions (4 replicas + spread), got %d:\n%s", got, out)
+	}
+}
+
+func TestRunReplicasInvalid(t *testing.T) {
+	if err := run(&bytes.Buffer{}, "1024kbps", "20KiB", "30s", false, false, 0, 0, false, 1, false, 0); err == nil {
+		t.Error("replicas=0 accepted")
+	}
+}
+
+// TestRunReplicasDeterministic checks that the concurrent batch reports the
+// same per-replica lines as a second identical run: each replica owns its
+// RNG state, so the batch must be reproducible.
+func TestRunReplicasDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run(&a, "1024kbps", "20KiB", "30s", true, false, 0.05, 0, false, 9, false, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&b, "1024kbps", "20KiB", "30s", true, false, 0.05, 0, false, 9, false, 3); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("two identical replica batches diverged:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}
+
+func TestRunReplicasRejectsValidate(t *testing.T) {
+	err := run(&bytes.Buffer{}, "1024kbps", "20KiB", "30s", false, false, 0, 0, false, 1, true, 4)
+	if err == nil || !strings.Contains(err.Error(), "-validate") {
+		t.Errorf("combining -validate with -replicas should error, got %v", err)
 	}
 }

@@ -25,6 +25,32 @@
 //	})
 //	fmt.Println(dim.Buffer, dim.Dominant)
 //
+// # Concurrency
+//
+// The compute-heavy top-level calls fan their independent work units out
+// over a bounded worker pool (internal/parallel) sized to one worker per CPU
+// (runtime.GOMAXPROCS):
+//
+//   - Explore and ExploreWithOptions dimension each streaming rate on its
+//     own worker, each worker owning its model;
+//   - SweepBuffer, GenerateFigure2 and GenerateFigure3 evaluate their curve
+//     points concurrently;
+//   - BreakEvenTable inverts the MEMS and disk break-even points per rate
+//     concurrently, and Ablations evaluates the ablated model variants
+//     concurrently;
+//   - SimulateBatch runs many discrete-event simulations at once, each with
+//     its own simulator and RNG state.
+//
+// Every parallel path is deterministic: results are returned in input order
+// and are identical — byte-identical for the rendered figures — to the
+// sequential path. To bound the worker count (or to cancel a long sweep),
+// use the Context variants (ExploreContext, SweepBufferContext,
+// GenerateFigure2Context, GenerateFigure3Context, SimulateBatchContext) and
+// pass the desired worker bound: 0 means one worker per CPU, 1 forces the
+// sequential path. Models, devices and statistics are plain values; none of
+// the exported calls mutate shared state, so independent calls may also be
+// issued from multiple goroutines.
+//
 // # Structure
 //
 // The root package is a facade over the internal packages:
@@ -36,6 +62,7 @@
 //   - internal/energy, internal/lifetime: the forward models (Eqs. 1, 5, 6)
 //   - internal/core: the combined model and the inverse buffer dimensioning
 //   - internal/explore: design-space sweeps over streaming rates
+//   - internal/parallel: the bounded worker pool behind the concurrent paths
 //   - internal/sim, internal/workload: a discrete-event simulator and its
 //     workload generators, used to validate the analytical models
 //   - internal/report, internal/config: tables, plots and configuration files

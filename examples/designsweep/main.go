@@ -5,7 +5,10 @@
 // goals of the paper — (E=80 %, C=88 %, L=7 y) and (E=70 %, C=88 %, L=7 y) —
 // prints the dominance regimes, and quantifies the abstract's claim that
 // giving up ten percentage points of energy saving shrinks the buffer by
-// orders of magnitude near the feasibility edge.
+// orders of magnitude near the feasibility edge. The sweeps fan their
+// per-rate dimensioning out over all CPUs, and the dimensioned operating
+// points are then cross-checked in the discrete-event simulator as one
+// concurrent memstream.SimulateBatch call.
 //
 // Run with:
 //
@@ -83,4 +86,33 @@ func main() {
 	fmt.Printf("\nnear the feasibility edge the 80%% goal needs %.0fx more buffer than the 70%% goal —\n", maxRatio)
 	fmt.Println("the system-wide energy difference is small, so the relaxed goal is usually preferable")
 	fmt.Println("(Section IV-C of the paper).")
+
+	// Cross-check three dimensioned operating points of the 70 % goal in the
+	// discrete-event simulator, all replicas running as one concurrent batch.
+	fmt.Println("\nsimulating the dimensioned buffers of the 70% goal (concurrent batch):")
+	rates := []memstream.BitRate{128 * memstream.Kbps, 512 * memstream.Kbps, 1024 * memstream.Kbps}
+	var cfgs []memstream.SimConfig
+	var buffers []memstream.Size
+	for _, rate := range rates {
+		buffer, feasible, err := sweeps[1].BufferAt(rate)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !feasible {
+			log.Fatalf("70%% goal unexpectedly infeasible at %v", rate)
+		}
+		cfg := memstream.DefaultSimConfig(rate, buffer)
+		cfg.Duration = 60 * memstream.Second
+		cfgs = append(cfgs, cfg)
+		buffers = append(buffers, buffer)
+	}
+	batch, err := memstream.SimulateBatch(cfgs...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, stats := range batch {
+		fmt.Printf("  %-12v buffer %-12v -> %.2f nJ/b over %d refill cycles, %d underruns\n",
+			rates[i], buffers[i], stats.PerBitEnergy().NanojoulesPerBit(),
+			stats.RefillCycles, stats.Underruns)
+	}
 }

@@ -13,18 +13,28 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"memstream"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run answers the quickstart design question; main and the smoke test share
+// it so CI proves the example runs to completion.
+func run(w io.Writer) error {
 	dev := memstream.DefaultDevice()
 	rate := 1024 * memstream.Kbps
 
 	model, err := memstream.New(dev, rate)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	goal := memstream.Goal{
@@ -34,50 +44,51 @@ func main() {
 	}
 	dim, err := model.Dimension(goal)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	fmt.Printf("device: %s\n", dev)
-	fmt.Printf("goal:   %v at %v\n\n", goal, rate)
+	fmt.Fprintf(w, "device: %s\n", dev)
+	fmt.Fprintf(w, "goal:   %v at %v\n\n", goal, rate)
 
 	for _, req := range dim.Requirements {
 		if req.Feasible {
-			fmt.Printf("  %-4s (%-22s) needs %v\n",
+			fmt.Fprintf(w, "  %-4s (%-22s) needs %v\n",
 				req.Constraint, req.Constraint.Description(), req.Buffer)
 		} else {
-			fmt.Printf("  %-4s (%-22s) is infeasible: %s\n",
+			fmt.Fprintf(w, "  %-4s (%-22s) is infeasible: %s\n",
 				req.Constraint, req.Constraint.Description(), req.Reason)
 		}
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 
 	if !dim.Feasible {
-		fmt.Printf("no buffer size can meet this goal at %v (blocking: %v)\n", rate, dim.Infeasible())
-		return
+		fmt.Fprintf(w, "no buffer size can meet this goal at %v (blocking: %v)\n", rate, dim.Infeasible())
+		return nil
 	}
-	fmt.Printf("=> buffer: %v, dictated by the %s requirement\n\n", dim.Buffer, dim.Dominant.Description())
+	fmt.Fprintf(w, "=> buffer: %v, dictated by the %s requirement\n\n", dim.Buffer, dim.Dominant.Description())
 
 	// Evaluate the forward models at the dimensioned buffer to see what the
 	// system actually delivers there.
 	pt, err := model.At(dim.Buffer)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("at that buffer size the device achieves:\n")
-	fmt.Printf("  per-bit energy:      %v (%.0f%% saving over an always-on device)\n",
+	fmt.Fprintf(w, "at that buffer size the device achieves:\n")
+	fmt.Fprintf(w, "  per-bit energy:      %v (%.0f%% saving over an always-on device)\n",
 		pt.EnergyPerBit, 100*pt.EnergySaving)
-	fmt.Printf("  capacity utilisation %.1f%% (%.1f GB of user data on the 120 GB device)\n",
+	fmt.Fprintf(w, "  capacity utilisation %.1f%% (%.1f GB of user data on the 120 GB device)\n",
 		100*pt.Utilisation, pt.UserCapacity.GBytes())
-	fmt.Printf("  lifetime:            %.1f years, limited by the %s\n",
+	fmt.Fprintf(w, "  lifetime:            %.1f years, limited by the %s\n",
 		pt.Lifetime.Years(), pt.LimitedBy)
 
 	// For comparison: the buffer needed for energy efficiency alone is far
 	// smaller — the paper's central observation.
 	be, err := model.BreakEvenBuffer()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("\nfor energy alone the break-even buffer is just %v — the capacity and lifetime\n", be)
-	fmt.Printf("requirements, not energy, dictate the buffer size (a factor of %.0fx here).\n",
+	fmt.Fprintf(w, "\nfor energy alone the break-even buffer is just %v — the capacity and lifetime\n", be)
+	fmt.Fprintf(w, "requirements, not energy, dictate the buffer size (a factor of %.0fx here).\n",
 		dim.Buffer.DivideBy(be))
+	return nil
 }

@@ -1,0 +1,22 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestQuickstartRunsToCompletion is the smoke test CI relies on: the
+// quickstart example must run end to end and print its headline answer.
+func TestQuickstartRunsToCompletion(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"goal:", "=> buffer:", "break-even buffer"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("quickstart output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package memstream
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -9,6 +10,7 @@ import (
 	"memstream/internal/config"
 	"memstream/internal/core"
 	"memstream/internal/explore"
+	"memstream/internal/parallel"
 	"memstream/internal/report"
 	"memstream/internal/units"
 )
@@ -78,24 +80,24 @@ type BreakEvenRow struct {
 
 // BreakEvenTable computes the break-even buffer of the MEMS device and the
 // disk baseline over the given rates (Section III-A.1 of the paper: MEMS
-// needs 0.07-8.87 kB where the disk needs 0.08-9.29 MB).
+// needs 0.07-8.87 kB where the disk needs 0.08-9.29 MB). The per-rate
+// inversions fan out over one worker per CPU in input order.
 func BreakEvenTable(dev Device, disk Disk, rates []BitRate) ([]BreakEvenRow, error) {
 	if len(rates) == 0 {
 		return nil, errors.New("memstream: no rates supplied")
 	}
-	rows := make([]BreakEvenRow, 0, len(rates))
-	for _, rate := range rates {
+	return parallel.Map(context.Background(), 0, len(rates), func(_ context.Context, i int) (BreakEvenRow, error) {
+		rate := rates[i]
 		m, err := BreakEvenBuffer(dev, rate)
 		if err != nil {
-			return nil, err
+			return BreakEvenRow{}, err
 		}
 		d, err := DiskBreakEvenBuffer(disk, rate)
 		if err != nil {
-			return nil, err
+			return BreakEvenRow{}, err
 		}
-		rows = append(rows, BreakEvenRow{Rate: rate, MEMS: m, Disk: d, Ratio: d.DivideBy(m)})
-	}
-	return rows, nil
+		return BreakEvenRow{Rate: rate, MEMS: m, Disk: d, Ratio: d.DivideBy(m)}, nil
+	})
 }
 
 // RenderBreakEvenTable writes the break-even comparison as a table.
@@ -134,8 +136,17 @@ type Figure2 struct {
 }
 
 // GenerateFigure2 evaluates the forward curves over 1-20 times the break-even
-// buffer at the given rate, as the paper does for Fig. 2.
+// buffer at the given rate, as the paper does for Fig. 2. The per-point
+// evaluation fans out over one worker per CPU; use GenerateFigure2Context to
+// bound the pool or cancel the generation.
 func GenerateFigure2(dev Device, rate BitRate, points int) (*Figure2, error) {
+	return GenerateFigure2Context(context.Background(), 0, dev, rate, points)
+}
+
+// GenerateFigure2Context is GenerateFigure2 with explicit cancellation and
+// worker bound (zero means one worker per CPU, one forces the sequential
+// path). The figure is identical at any worker count.
+func GenerateFigure2Context(ctx context.Context, workers int, dev Device, rate BitRate, points int) (*Figure2, error) {
 	if points < 2 {
 		return nil, errors.New("memstream: need at least two points")
 	}
@@ -152,7 +163,7 @@ func GenerateFigure2(dev Device, rate BitRate, points int) (*Figure2, error) {
 		lo = min
 	}
 	hi := be.Scale(20)
-	curve, err := explore.SweepBuffer(dev, rate, core.Options{}, lo, hi, points)
+	curve, err := explore.SweepBufferContext(ctx, dev, rate, core.Options{}, lo, hi, points, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -222,9 +233,18 @@ type Figure3 struct {
 }
 
 // GenerateFigure3 sweeps the paper's 32-4096 kbps range for the given goal
-// and device at the given number of log-spaced points.
+// and device at the given number of log-spaced points. The per-rate
+// dimensioning fans out over one worker per CPU; use GenerateFigure3Context
+// to bound the pool or cancel the generation.
 func GenerateFigure3(dev Device, goal Goal, points int) (*Figure3, error) {
-	sweep, err := Explore(dev, goal, 32*units.Kbps, 4096*units.Kbps, points)
+	return GenerateFigure3Context(context.Background(), 0, dev, goal, points)
+}
+
+// GenerateFigure3Context is GenerateFigure3 with explicit cancellation and
+// worker bound (zero means one worker per CPU, one forces the sequential
+// path). The figure is identical at any worker count.
+func GenerateFigure3Context(ctx context.Context, workers int, dev Device, goal Goal, points int) (*Figure3, error) {
+	sweep, err := ExploreContext(ctx, workers, dev, goal, 32*units.Kbps, 4096*units.Kbps, points)
 	if err != nil {
 		return nil, err
 	}
@@ -337,7 +357,8 @@ type AblationResult struct {
 
 // Ablations quantifies the design choices the paper calls out: the DRAM
 // energy contribution, the best-effort share, and the per-subsector
-// synchronisation bits.
+// synchronisation bits. The ablated variants are evaluated concurrently,
+// each on a model owned by its worker, in a fixed result order.
 func Ablations(dev Device, rate BitRate, buffer Size) ([]AblationResult, error) {
 	full, err := core.New(dev, rate)
 	if err != nil {
@@ -348,58 +369,62 @@ func Ablations(dev Device, rate BitRate, buffer Size) ([]AblationResult, error) 
 		return nil, err
 	}
 
-	var results []AblationResult
+	type ablation struct {
+		name string
+		// build constructs the ablated model variant.
+		build func() (*core.Model, error)
+		// compare extracts the compared quantity from a point.
+		compare func(core.Point) float64
+		unit    string
+	}
+	ablations := []ablation{
+		{
+			name: "DRAM energy excluded",
+			build: func() (*core.Model, error) {
+				noDRAM := false
+				return core.NewWithOptions(dev, rate, core.Options{IncludeDRAMEnergy: &noDRAM})
+			},
+			compare: func(pt core.Point) float64 { return pt.EnergyPerBit.NanojoulesPerBit() },
+			unit:    "nJ/b",
+		},
+		{
+			name: "best-effort traffic excluded",
+			build: func() (*core.Model, error) {
+				wl := DefaultWorkload()
+				wl.BestEffortFraction = 0
+				return core.NewWithOptions(dev, rate, core.Options{Workload: &wl})
+			},
+			compare: func(pt core.Point) float64 { return pt.EnergyPerBit.NanojoulesPerBit() },
+			unit:    "nJ/b",
+		},
+		{
+			name: "synchronisation bits excluded",
+			build: func() (*core.Model, error) {
+				noSync := dev
+				noSync.SyncBitsPerSubsector = 0
+				return core.New(noSync, rate)
+			},
+			compare: func(pt core.Point) float64 { return pt.Utilisation },
+			unit:    "utilisation",
+		},
+	}
 
-	// DRAM energy off.
-	noDRAM := false
-	mNoDRAM, err := core.NewWithOptions(dev, rate, core.Options{IncludeDRAMEnergy: &noDRAM})
-	if err != nil {
-		return nil, err
-	}
-	ptNoDRAM, err := mNoDRAM.At(buffer)
-	if err != nil {
-		return nil, err
-	}
-	results = append(results, AblationResult{
-		Name: "DRAM energy excluded", Buffer: buffer, Rate: rate,
-		Full: fullPt.EnergyPerBit.NanojoulesPerBit(), Ablated: ptNoDRAM.EnergyPerBit.NanojoulesPerBit(),
-		Unit: "nJ/b",
+	return parallel.Map(context.Background(), 0, len(ablations), func(_ context.Context, i int) (AblationResult, error) {
+		a := ablations[i]
+		m, err := a.build()
+		if err != nil {
+			return AblationResult{}, err
+		}
+		pt, err := m.At(buffer)
+		if err != nil {
+			return AblationResult{}, err
+		}
+		return AblationResult{
+			Name: a.name, Buffer: buffer, Rate: rate,
+			Full: a.compare(fullPt), Ablated: a.compare(pt),
+			Unit: a.unit,
+		}, nil
 	})
-
-	// Best-effort share off.
-	wl := DefaultWorkload()
-	wl.BestEffortFraction = 0
-	mNoBE, err := core.NewWithOptions(dev, rate, core.Options{Workload: &wl})
-	if err != nil {
-		return nil, err
-	}
-	ptNoBE, err := mNoBE.At(buffer)
-	if err != nil {
-		return nil, err
-	}
-	results = append(results, AblationResult{
-		Name: "best-effort traffic excluded", Buffer: buffer, Rate: rate,
-		Full: fullPt.EnergyPerBit.NanojoulesPerBit(), Ablated: ptNoBE.EnergyPerBit.NanojoulesPerBit(),
-		Unit: "nJ/b",
-	})
-
-	// Synchronisation bits off (capacity utilisation comparison).
-	noSync := dev
-	noSync.SyncBitsPerSubsector = 0
-	mNoSync, err := core.New(noSync, rate)
-	if err != nil {
-		return nil, err
-	}
-	ptNoSync, err := mNoSync.At(buffer)
-	if err != nil {
-		return nil, err
-	}
-	results = append(results, AblationResult{
-		Name: "synchronisation bits excluded", Buffer: buffer, Rate: rate,
-		Full: fullPt.Utilisation, Ablated: ptNoSync.Utilisation,
-		Unit: "utilisation",
-	})
-	return results, nil
 }
 
 // RenderAblations writes the ablation comparison as a table.

@@ -1,0 +1,3 @@
+module memstream
+
+go 1.24

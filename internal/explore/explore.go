@@ -5,6 +5,7 @@
 package explore
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -12,6 +13,7 @@ import (
 
 	"memstream/internal/core"
 	"memstream/internal/device"
+	"memstream/internal/parallel"
 	"memstream/internal/units"
 )
 
@@ -43,6 +45,10 @@ type Config struct {
 	Goal core.Goal
 	// Options forwards model construction options (workload, DRAM, ablations).
 	Options core.Options
+	// Workers bounds the number of rates dimensioned concurrently. Zero uses
+	// one worker per CPU; one forces the sequential path. Every worker builds
+	// its own model, so the sweep output is identical at any worker count.
+	Workers int
 }
 
 // LogSpace returns n streaming rates spaced logarithmically between min and
@@ -70,8 +76,17 @@ func PaperRates(n int) ([]units.BitRate, error) {
 	return LogSpace(32*units.Kbps, 4096*units.Kbps, n)
 }
 
-// Run dimensions the buffer for the goal at every supplied rate.
+// Run dimensions the buffer for the goal at every supplied rate, fanning the
+// rates out over one worker per CPU.
 func Run(cfg Config, rates []units.BitRate) (*Sweep, error) {
+	return RunContext(context.Background(), cfg, rates)
+}
+
+// RunContext is Run with explicit cancellation. The per-rate dimensioning
+// runs on a bounded worker pool (cfg.Workers); each worker constructs and
+// owns its model, and the resulting points are ordered by ascending rate
+// exactly as the sequential path produces them.
+func RunContext(ctx context.Context, cfg Config, rates []units.BitRate) (*Sweep, error) {
 	if err := cfg.Goal.Validate(); err != nil {
 		return nil, err
 	}
@@ -81,28 +96,36 @@ func Run(cfg Config, rates []units.BitRate) (*Sweep, error) {
 	sorted := append([]units.BitRate(nil), rates...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 
-	sweep := &Sweep{Goal: cfg.Goal, Points: make([]RatePoint, 0, len(sorted))}
-	for _, rate := range sorted {
-		model, err := core.NewWithOptions(cfg.Device, rate, cfg.Options)
-		if err != nil {
-			return nil, fmt.Errorf("explore: rate %v: %w", rate, err)
-		}
-		dim, err := model.Dimension(cfg.Goal)
-		if err != nil {
-			return nil, fmt.Errorf("explore: rate %v: %w", rate, err)
-		}
-		be, err := model.BreakEvenBuffer()
-		if err != nil {
-			return nil, fmt.Errorf("explore: rate %v: %w", rate, err)
-		}
-		sweep.Points = append(sweep.Points, RatePoint{
-			Rate:          rate,
-			Dimensioning:  dim,
-			BreakEven:     be,
-			MinimumBuffer: model.MinimumBuffer(),
-		})
+	points, err := parallel.Map(ctx, cfg.Workers, len(sorted), func(_ context.Context, i int) (RatePoint, error) {
+		return dimensionRate(cfg, sorted[i])
+	})
+	if err != nil {
+		return nil, err
 	}
-	return sweep, nil
+	return &Sweep{Goal: cfg.Goal, Points: points}, nil
+}
+
+// dimensionRate answers the dimensioning question at one rate with a model
+// owned by the calling worker.
+func dimensionRate(cfg Config, rate units.BitRate) (RatePoint, error) {
+	model, err := core.NewWithOptions(cfg.Device, rate, cfg.Options)
+	if err != nil {
+		return RatePoint{}, fmt.Errorf("explore: rate %v: %w", rate, err)
+	}
+	dim, err := model.Dimension(cfg.Goal)
+	if err != nil {
+		return RatePoint{}, fmt.Errorf("explore: rate %v: %w", rate, err)
+	}
+	be, err := model.BreakEvenBuffer()
+	if err != nil {
+		return RatePoint{}, fmt.Errorf("explore: rate %v: %w", rate, err)
+	}
+	return RatePoint{
+		Rate:          rate,
+		Dimensioning:  dim,
+		BreakEven:     be,
+		MinimumBuffer: model.MinimumBuffer(),
+	}, nil
 }
 
 // Regime is a contiguous range of streaming rates governed by the same
@@ -237,8 +260,20 @@ type BufferCurve struct {
 }
 
 // SweepBuffer evaluates the model at n buffer sizes spaced linearly between
-// lo and hi (inclusive) at the configured device and rate.
+// lo and hi (inclusive) at the configured device and rate, fanning the
+// points out over one worker per CPU.
 func SweepBuffer(dev device.MEMS, rate units.BitRate, opts core.Options, lo, hi units.Size, n int) (*BufferCurve, error) {
+	return SweepBufferContext(context.Background(), dev, rate, opts, lo, hi, n, 0)
+}
+
+// SweepBufferContext is SweepBuffer with explicit cancellation and worker
+// bound (zero means one worker per CPU, one forces the sequential path). The
+// model is built once and shared read-only: every evaluation method on it is
+// a pure function of the buffer size, so the curve is identical at any
+// worker count.
+func SweepBufferContext(ctx context.Context, dev device.MEMS, rate units.BitRate, opts core.Options,
+	lo, hi units.Size, n, workers int) (*BufferCurve, error) {
+
 	if n < 2 {
 		return nil, errors.New("explore: need at least two buffer sizes")
 	}
@@ -249,21 +284,29 @@ func SweepBuffer(dev device.MEMS, rate units.BitRate, opts core.Options, lo, hi 
 	if err != nil {
 		return nil, err
 	}
-	curve := &BufferCurve{Rate: rate, Points: make([]core.Point, 0, n)}
+	// Fix the evaluated sizes up front so the pool maps a static index space;
+	// sizes below the minimum refill buffer are skipped as before.
+	sizes := make([]units.Size, 0, n)
 	for i := 0; i < n; i++ {
 		f := float64(i) / float64(n-1)
 		b := lo.Add(hi.Sub(lo).Scale(f))
 		if b < model.MinimumBuffer() {
 			continue
 		}
-		pt, err := model.At(b)
-		if err != nil {
-			return nil, fmt.Errorf("explore: buffer %v: %w", b, err)
-		}
-		curve.Points = append(curve.Points, pt)
+		sizes = append(sizes, b)
 	}
-	if len(curve.Points) < 2 {
+	if len(sizes) < 2 {
 		return nil, errors.New("explore: buffer range lies below the minimum refill buffer")
 	}
-	return curve, nil
+	points, err := parallel.Map(ctx, workers, len(sizes), func(_ context.Context, i int) (core.Point, error) {
+		pt, err := model.At(sizes[i])
+		if err != nil {
+			return core.Point{}, fmt.Errorf("explore: buffer %v: %w", sizes[i], err)
+		}
+		return pt, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &BufferCurve{Rate: rate, Points: points}, nil
 }

@@ -1,7 +1,9 @@
 package explore
 
 import (
+	"context"
 	"math"
+	"reflect"
 	"testing"
 
 	"memstream/internal/core"
@@ -310,5 +312,42 @@ func TestRegimeLabel(t *testing.T) {
 	r = Regime{Feasible: true, Dominant: core.ConstraintSprings}
 	if r.Label() != "Lsp" {
 		t.Errorf("springs regime label = %q", r.Label())
+	}
+}
+
+func TestRunWorkersDeterministic(t *testing.T) {
+	rates, err := PaperRates(17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{Device: device.DefaultMEMS(), Goal: core.PaperGoalB()}
+	seqCfg := base
+	seqCfg.Workers = 1
+	seq, err := Run(seqCfg, rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 3, 8} {
+		cfg := base
+		cfg.Workers = workers
+		par, err := Run(cfg, rates)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Errorf("workers=%d: sweep differs from the sequential sweep", workers)
+		}
+	}
+}
+
+func TestRunContextCancelled(t *testing.T) {
+	rates, err := PaperRates(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunContext(ctx, Config{Device: device.DefaultMEMS(), Goal: core.PaperGoalB(), Workers: 4}, rates); err == nil {
+		t.Error("cancelled context accepted")
 	}
 }

@@ -1,0 +1,101 @@
+// Package parallel provides the bounded worker pool behind every concurrent
+// path of the module: the per-rate dimensioning sweeps of internal/explore,
+// the figure generators of the root package, and the batch simulation API.
+//
+// The pool is deliberately small: a single generic Map primitive that fans a
+// fixed-size index space out over at most W goroutines, preserves input
+// order in the output, honours context cancellation, and — because indices
+// are claimed in ascending order and a claimed index always runs to
+// completion — reports the same first error a sequential loop would.
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers is the worker count used when a caller passes workers <= 0:
+// one worker per available CPU.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Map runs fn(ctx, i) for every i in [0, n) on at most workers goroutines
+// and returns the results in index order, exactly as a sequential loop would
+// produce them.
+//
+// workers <= 0 uses DefaultWorkers; workers == 1 runs the loop inline with
+// no goroutines at all. Each invocation of fn must own its mutable state:
+// Map gives no ordering guarantees between concurrent invocations.
+//
+// Error semantics are deterministic: indices are claimed in ascending order
+// and a claimed index runs fn to completion even after cancellation, so the
+// lowest-indexed error is always observed and returned — the same error the
+// sequential loop would stop at. Remaining unclaimed indices are skipped via
+// the derived context once any invocation fails.
+func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, ctx.Err()
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			v, err := fn(ctx, i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	parent := ctx
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				v, err := fn(ctx, i)
+				if err != nil {
+					errs[i] = err
+					cancel()
+					continue
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := parent.Err(); err != nil {
+		// The caller's context ended mid-run; the derived context is only
+		// cancelled on an fn error, which was returned above.
+		return nil, err
+	}
+	return out, nil
+}

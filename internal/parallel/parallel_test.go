@@ -1,0 +1,156 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapOrdering(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		out, err := Map(context.Background(), workers, 33, func(_ context.Context, i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(out) != 33 {
+			t.Fatalf("workers=%d: got %d results", workers, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Errorf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapMatchesSequential(t *testing.T) {
+	fn := func(_ context.Context, i int) (string, error) {
+		return fmt.Sprintf("point-%03d", i), nil
+	}
+	seq, err := Map(context.Background(), 1, 50, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Map(context.Background(), 8, 50, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Errorf("index %d: sequential %q vs parallel %q", i, seq[i], par[i])
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(context.Background(), 4, 0, func(_ context.Context, i int) (int, error) {
+		t.Error("fn called for empty input")
+		return 0, nil
+	})
+	if err != nil || out != nil {
+		t.Fatalf("got (%v, %v), want (nil, nil)", out, err)
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var active, peak atomic.Int64
+	_, err := Map(context.Background(), workers, 40, func(_ context.Context, i int) (int, error) {
+		cur := active.Add(1)
+		defer active.Add(-1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("observed %d concurrent invocations, pool bound is %d", p, workers)
+	}
+}
+
+// TestMapFirstErrorWins exercises the deterministic error selection: when
+// several indices fail, Map must return the lowest-indexed error — the one a
+// sequential loop would stop at — regardless of completion order.
+func TestMapFirstErrorWins(t *testing.T) {
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	for _, workers := range []int{1, 2, 8} {
+		_, err := Map(context.Background(), workers, 20, func(_ context.Context, i int) (int, error) {
+			switch i {
+			case 3:
+				// Make the low-index failure slow so high indices fail first.
+				time.Sleep(5 * time.Millisecond)
+				return 0, errLow
+			case 11:
+				return 0, errHigh
+			}
+			return i, nil
+		})
+		if !errors.Is(err, errLow) {
+			t.Errorf("workers=%d: got %v, want the lowest-indexed error", workers, err)
+		}
+	}
+}
+
+func TestMapErrorCancelsRemainingWork(t *testing.T) {
+	var calls atomic.Int64
+	boom := errors.New("boom")
+	var once sync.Once
+	released := make(chan struct{})
+	_, err := Map(context.Background(), 2, 1000, func(_ context.Context, i int) (int, error) {
+		calls.Add(1)
+		if i == 0 {
+			return 0, boom
+		}
+		// Park the sibling worker until the error has been recorded so the
+		// cancellation observably prunes the remaining indices.
+		once.Do(func() {
+			time.Sleep(2 * time.Millisecond)
+			close(released)
+		})
+		<-released
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want boom", err)
+	}
+	if n := calls.Load(); n >= 1000 {
+		t.Errorf("all %d indices ran despite an early error", n)
+	}
+}
+
+func TestMapParentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	var once sync.Once
+	done := make(chan struct{})
+	var out []int
+	var err error
+	go func() {
+		defer close(done)
+		out, err = Map(ctx, 2, 500, func(ctx context.Context, i int) (int, error) {
+			once.Do(func() { close(started) })
+			time.Sleep(100 * time.Microsecond)
+			return i, nil
+		})
+	}()
+	<-started
+	cancel()
+	<-done
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got (%v, %v), want context.Canceled", out, err)
+	}
+}

@@ -1,6 +1,9 @@
 package memstream
 
 import (
+	"context"
+	"fmt"
+
 	"memstream/internal/core"
 	"memstream/internal/device"
 	"memstream/internal/energy"
@@ -157,28 +160,59 @@ type (
 )
 
 // Explore dimensions the buffer for the goal at n log-spaced rates between
-// minRate and maxRate.
+// minRate and maxRate. The per-rate dimensioning fans out over one worker
+// per CPU; use ExploreContext to bound the pool or cancel the sweep.
 func Explore(dev Device, goal Goal, minRate, maxRate BitRate, n int) (*Sweep, error) {
+	return ExploreContext(context.Background(), 0, dev, goal, minRate, maxRate, n)
+}
+
+// ExploreContext is Explore with explicit cancellation and worker bound.
+// workers <= 0 uses one worker per CPU; workers == 1 forces the sequential
+// path. The sweep output is identical at any worker count.
+func ExploreContext(ctx context.Context, workers int, dev Device, goal Goal, minRate, maxRate BitRate, n int) (*Sweep, error) {
 	rates, err := explore.LogSpace(minRate, maxRate, n)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("memstream: %w", err)
 	}
-	return explore.Run(explore.Config{Device: dev, Goal: goal}, rates)
+	sweep, err := explore.RunContext(ctx, explore.Config{Device: dev, Goal: goal, Workers: workers}, rates)
+	if err != nil {
+		return nil, fmt.Errorf("memstream: %w", err)
+	}
+	return sweep, nil
 }
 
 // ExploreWithOptions is Explore with model-construction overrides.
 func ExploreWithOptions(dev Device, goal Goal, opts Options, minRate, maxRate BitRate, n int) (*Sweep, error) {
+	return ExploreWithOptionsContext(context.Background(), 0, dev, goal, opts, minRate, maxRate, n)
+}
+
+// ExploreWithOptionsContext is ExploreWithOptions with explicit cancellation
+// and worker bound, with the same semantics as ExploreContext.
+func ExploreWithOptionsContext(ctx context.Context, workers int, dev Device, goal Goal, opts Options,
+	minRate, maxRate BitRate, n int) (*Sweep, error) {
+
 	rates, err := explore.LogSpace(minRate, maxRate, n)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("memstream: %w", err)
 	}
-	return explore.Run(explore.Config{Device: dev, Goal: goal, Options: opts}, rates)
+	sweep, err := explore.RunContext(ctx, explore.Config{Device: dev, Goal: goal, Options: opts, Workers: workers}, rates)
+	if err != nil {
+		return nil, fmt.Errorf("memstream: %w", err)
+	}
+	return sweep, nil
 }
 
 // SweepBuffer evaluates the model at n buffer sizes between lo and hi at a
-// fixed rate (the Fig. 2 style forward curves).
+// fixed rate (the Fig. 2 style forward curves). The per-point evaluation
+// fans out over one worker per CPU; use SweepBufferContext to bound it.
 func SweepBuffer(dev Device, rate BitRate, lo, hi Size, n int) (*BufferCurve, error) {
-	return explore.SweepBuffer(dev, rate, core.Options{}, lo, hi, n)
+	return SweepBufferContext(context.Background(), 0, dev, rate, lo, hi, n)
+}
+
+// SweepBufferContext is SweepBuffer with explicit cancellation and worker
+// bound, with the same semantics as ExploreContext.
+func SweepBufferContext(ctx context.Context, workers int, dev Device, rate BitRate, lo, hi Size, n int) (*BufferCurve, error) {
+	return explore.SweepBufferContext(ctx, dev, rate, core.Options{}, lo, hi, n, workers)
 }
 
 // Simulation types.
@@ -213,6 +247,25 @@ func DefaultCalendar() PlaybackCalendar { return workload.DefaultCalendar() }
 // Simulate runs a discrete-event simulation of the MEMS + DRAM streaming
 // architecture and returns its statistics.
 func Simulate(cfg SimConfig) (*SimStats, error) { return sim.RunConfig(cfg) }
+
+// SimulateBatch runs many independent simulations concurrently on one worker
+// per CPU and returns the statistics in input order. Every configuration
+// owns its simulator and RNG state, so the results are bit-identical to
+// calling Simulate on each configuration in sequence.
+func SimulateBatch(cfgs ...SimConfig) ([]*SimStats, error) {
+	return SimulateBatchContext(context.Background(), 0, cfgs)
+}
+
+// SimulateBatchContext is SimulateBatch with explicit cancellation and
+// worker bound. workers <= 0 uses one worker per CPU; workers == 1 forces
+// the sequential path. The first failing configuration aborts the batch.
+func SimulateBatchContext(ctx context.Context, workers int, cfgs []SimConfig) ([]*SimStats, error) {
+	stats, err := sim.RunBatch(ctx, workers, cfgs)
+	if err != nil {
+		return nil, fmt.Errorf("memstream: %w", err)
+	}
+	return stats, nil
+}
 
 // DefaultSimConfig returns a ready-to-run simulation of the Table I device
 // streaming at the given rate through the given buffer for five minutes,

@@ -1,0 +1,195 @@
+package memstream
+
+// Determinism guarantees of the concurrent execution subsystem: every
+// parallel path must produce output identical — byte-identical for the
+// rendered figures — to the sequential path (workers == 1), at any worker
+// count. CI runs this file under the race detector.
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestSweepParallelMatchesSequential(t *testing.T) {
+	seq, err := ExploreContext(context.Background(), 1, DefaultDevice(), PaperGoalB(), 32*Kbps, 4096*Kbps, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 8} {
+		par, err := ExploreContext(context.Background(), workers, DefaultDevice(), PaperGoalB(), 32*Kbps, 4096*Kbps, 33)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Errorf("workers=%d: parallel sweep differs from sequential sweep", workers)
+		}
+	}
+}
+
+func TestFigure3ParallelByteIdentical(t *testing.T) {
+	render := func(workers int) []byte {
+		t.Helper()
+		fig, err := GenerateFigure3Context(context.Background(), workers, DefaultDevice(), PaperGoalA(), 33)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var buf bytes.Buffer
+		if err := fig.Render(&buf); err != nil {
+			t.Fatalf("workers=%d: render: %v", workers, err)
+		}
+		return buf.Bytes()
+	}
+	seq := render(1)
+	for _, workers := range []int{0, 8} {
+		if par := render(workers); !bytes.Equal(seq, par) {
+			t.Errorf("workers=%d: rendered Figure 3 is not byte-identical to the sequential render", workers)
+		}
+	}
+}
+
+func TestFigure2ParallelByteIdentical(t *testing.T) {
+	render := func(workers int) []byte {
+		t.Helper()
+		fig, err := GenerateFigure2Context(context.Background(), workers, DefaultDevice(), 1024*Kbps, 64)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var buf bytes.Buffer
+		if err := fig.Render(&buf); err != nil {
+			t.Fatalf("workers=%d: render: %v", workers, err)
+		}
+		return buf.Bytes()
+	}
+	seq := render(1)
+	if par := render(0); !bytes.Equal(seq, par) {
+		t.Error("rendered Figure 2 is not byte-identical to the sequential render")
+	}
+}
+
+func TestSimulateBatchMatchesSequential(t *testing.T) {
+	var cfgs []SimConfig
+	for i, rate := range []BitRate{256 * Kbps, 512 * Kbps, 1024 * Kbps, 2048 * Kbps} {
+		cfg := DefaultSimConfig(rate, 40*KiB)
+		cfg.Duration = 30 * Second
+		cfg.Seed = uint64(i + 1)
+		cfgs = append(cfgs, cfg)
+	}
+	var sequential []*SimStats
+	for _, cfg := range cfgs {
+		stats, err := Simulate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sequential = append(sequential, stats)
+	}
+	for _, workers := range []int{0, 2, 8} {
+		batch, err := SimulateBatchContext(context.Background(), workers, cfgs)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(batch) != len(sequential) {
+			t.Fatalf("workers=%d: got %d results, want %d", workers, len(batch), len(sequential))
+		}
+		for i := range batch {
+			if !reflect.DeepEqual(sequential[i], batch[i]) {
+				t.Errorf("workers=%d: batch stats %d differ from the sequential run", workers, i)
+			}
+		}
+	}
+}
+
+func TestBreakEvenTableMatchesDirectInversion(t *testing.T) {
+	rates := PaperBreakEvenRates()
+	rows, err := BreakEvenTable(DefaultDevice(), DefaultDisk(), rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(rates) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(rates))
+	}
+	for i, row := range rows {
+		if row.Rate != rates[i] {
+			t.Errorf("row %d out of order: rate %v, want %v", i, row.Rate, rates[i])
+		}
+		m, err := BreakEvenBuffer(DefaultDevice(), rates[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if row.MEMS != m {
+			t.Errorf("row %d: concurrent MEMS break-even %v differs from direct inversion %v", i, row.MEMS, m)
+		}
+	}
+}
+
+func TestAblationsDeterministicOrder(t *testing.T) {
+	first, err := Ablations(DefaultDevice(), 1024*Kbps, 20*KiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOrder := []string{"DRAM energy excluded", "best-effort traffic excluded", "synchronisation bits excluded"}
+	if len(first) != len(wantOrder) {
+		t.Fatalf("got %d ablations, want %d", len(first), len(wantOrder))
+	}
+	for i, r := range first {
+		if r.Name != wantOrder[i] {
+			t.Errorf("ablation %d is %q, want %q", i, r.Name, wantOrder[i])
+		}
+	}
+	second, err := Ablations(DefaultDevice(), 1024*Kbps, 20*KiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Error("two identical Ablations calls diverged")
+	}
+}
+
+func TestExploreErrorsCarryPackagePrefix(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func() error
+	}{
+		{"Explore invalid range", func() error {
+			_, err := Explore(DefaultDevice(), PaperGoalB(), 4096*Kbps, 32*Kbps, 8)
+			return err
+		}},
+		{"Explore too few rates", func() error {
+			_, err := Explore(DefaultDevice(), PaperGoalB(), 32*Kbps, 4096*Kbps, 1)
+			return err
+		}},
+		{"ExploreWithOptions invalid range", func() error {
+			_, err := ExploreWithOptions(DefaultDevice(), PaperGoalB(), Options{}, 0, 4096*Kbps, 8)
+			return err
+		}},
+	}
+	for _, c := range cases {
+		err := c.fn()
+		if err == nil {
+			t.Errorf("%s: no error", c.name)
+			continue
+		}
+		if !strings.HasPrefix(err.Error(), "memstream: ") {
+			t.Errorf("%s: error %q lacks the memstream: prefix", c.name, err)
+		}
+	}
+}
+
+func TestSimulateBatchErrorNamesConfig(t *testing.T) {
+	good := DefaultSimConfig(1024*Kbps, 20*KiB)
+	good.Duration = 5 * Second
+	bad := good
+	bad.Buffer = 0
+	_, err := SimulateBatch(good, bad)
+	if err == nil {
+		t.Fatal("invalid batch entry accepted")
+	}
+	if !strings.Contains(err.Error(), "batch config 1") {
+		t.Errorf("error %q does not name the failing entry", err)
+	}
+	if !strings.HasPrefix(err.Error(), "memstream: ") {
+		t.Errorf("error %q lacks the memstream: prefix", err)
+	}
+}
