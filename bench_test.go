@@ -351,3 +351,49 @@ func BenchmarkSimBatch8Sequential(b *testing.B) { benchmarkSimBatch8(b, 1) }
 
 // BenchmarkSimBatch8Parallel runs the batch on one worker per CPU.
 func BenchmarkSimBatch8Parallel(b *testing.B) { benchmarkSimBatch8(b, 0) }
+
+// serviceDimensionRequest is the request both cache benchmarks ask.
+func serviceDimensionRequest() DimensionRequest {
+	return DimensionRequest{
+		Rate: "1024 kbps",
+		Goal: GoalSpec{EnergySaving: 0.7, CapacityUtilisation: 0.88, Lifetime: "7 years"},
+	}
+}
+
+// BenchmarkServiceDimensionCold answers the paper's Fig. 3b dimensioning
+// question through the service with an always-cold cache: every iteration
+// recomputes. Its ratio to BenchmarkServiceDimensionWarm is the memoization
+// speedup of the result cache.
+func BenchmarkServiceDimensionCold(b *testing.B) {
+	req := serviceDimensionRequest()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		svc := NewService(ServiceConfig{})
+		b.StartTimer()
+		if _, err := svc.Dimension(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServiceDimensionWarm answers the same question against a primed
+// cache: every iteration is a hit and only pays for fingerprinting, lookup
+// and response decoding.
+func BenchmarkServiceDimensionWarm(b *testing.B) {
+	req := serviceDimensionRequest()
+	ctx := context.Background()
+	svc := NewService(ServiceConfig{})
+	if _, err := svc.Dimension(ctx, req); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svc.Dimension(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+	st := svc.CacheStats()
+	b.ReportMetric(st.HitRate()*100, "%hit")
+}

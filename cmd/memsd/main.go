@@ -1,0 +1,123 @@
+// Command memsd serves buffer-dimensioning questions over HTTP: a
+// long-running daemon in front of the analytical model, the design-space
+// sweep engine, the discrete-event simulator and the shared-device
+// extension, with a sharded LRU cache so repeated questions are answered
+// without recomputing.
+//
+// Usage:
+//
+//	memsd [-addr :8377] [-cache-entries 4096] [-cache-shards 16]
+//	      [-workers 0] [-timeout 30s]
+//
+// Endpoints:
+//
+//	POST /v1/dimension   {"rate":"1024 kbps","goal":{"energy_saving":0.7,"capacity_utilisation":0.88,"lifetime":"7 years"}}
+//	POST /v1/sweep       {"goal":{...},"min_rate":"32 kbps","max_rate":"4096 kbps","points":64}
+//	POST /v1/simulate    {"rate":"1024 kbps","buffer":"64 KiB","duration":"30 s","replicas":4}
+//	POST /v1/breakeven   {"rate":"1024 kbps"}
+//	POST /v1/multistream {"goal":{...},"streams":[{"name":"rec","rate":"768 kbps","write_fraction":1}]}
+//	GET  /healthz        liveness probe
+//	GET  /statsz         cache hit/miss/eviction and in-flight counters
+//
+// Example:
+//
+//	memsd -addr 127.0.0.1:8377 &
+//	curl -s http://127.0.0.1:8377/v1/dimension -d '{"rate":"1024 kbps",
+//	  "goal":{"energy_saving":0.7,"capacity_utilisation":0.88,"lifetime":"7 years"}}'
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
+// requests for up to ten seconds.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"memstream"
+)
+
+func main() {
+	addr := flag.String("addr", ":8377", "listen address (host:port; port 0 picks a free port)")
+	cacheEntries := flag.Int("cache-entries", 0, "result-cache entry bound (0 = service default, 4096)")
+	cacheShards := flag.Int("cache-shards", 0, "result-cache shard count (0 = service default, 16)")
+	workers := flag.Int("workers", 0, "per-request worker cap (0 = one per CPU)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request compute deadline (0 disables)")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	cfg := memstream.ServiceConfig{
+		CacheEntries: *cacheEntries,
+		CacheShards:  *cacheShards,
+		MaxWorkers:   *workers,
+		Timeout:      *timeout,
+	}
+	if err := run(ctx, os.Stderr, *addr, cfg, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "memsd:", err)
+		os.Exit(1)
+	}
+}
+
+// shutdownGrace bounds how long a draining server waits for in-flight
+// requests after the stop signal.
+const shutdownGrace = 10 * time.Second
+
+// run binds addr, reports the bound address through ready (when non-nil) and
+// the log writer, and serves until ctx is cancelled, then drains gracefully.
+func run(ctx context.Context, logw io.Writer, addr string, cfg memstream.ServiceConfig, ready func(addr string)) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+	fmt.Fprintf(logw, "memsd: listening on %s\n", bound)
+	if ready != nil {
+		ready(bound)
+	}
+
+	svc := memstream.NewService(cfg)
+	// Request contexts derive from baseCtx so the shutdown path can cancel
+	// in-flight computations: every engine aborts promptly on cancellation,
+	// which lets Shutdown complete within the grace window even when a
+	// request would otherwise outlive it.
+	baseCtx, cancelRequests := context.WithCancel(context.Background())
+	defer cancelRequests()
+	srv := &http.Server{
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		BaseContext:       func(net.Listener) context.Context { return baseCtx },
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		fmt.Fprintf(logw, "memsd: shutting down\n")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+		defer cancel()
+		// Drain politely for half the grace, then cancel the remaining
+		// requests so the second half is enough for them to unwind.
+		timer := time.AfterFunc(shutdownGrace/2, cancelRequests)
+		defer timer.Stop()
+		done <- srv.Shutdown(shutdownCtx)
+	}()
+
+	if err := srv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	if err := <-done; err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	st := svc.Stats()
+	fmt.Fprintf(logw, "memsd: served %d requests (%d failed), cache hit rate %.1f%%\n",
+		st.Served, st.Failed, 100*st.CacheHitRate)
+	return nil
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"memstream"
+)
+
+// startDaemon runs the daemon on a free port and returns its base URL and a
+// stop function that shuts it down and reports run's error.
+func startDaemon(t *testing.T, cfg memstream.ServiceConfig) (string, func() error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	addrCh := make(chan string, 1)
+	errCh := make(chan error, 1)
+	var logbuf bytes.Buffer
+	go func() {
+		errCh <- run(ctx, &logbuf, "127.0.0.1:0", cfg, func(addr string) { addrCh <- addr })
+	}()
+	select {
+	case addr := <-addrCh:
+		return "http://" + addr, func() error {
+			cancel()
+			select {
+			case err := <-errCh:
+				return err
+			case <-time.After(15 * time.Second):
+				return context.DeadlineExceeded
+			}
+		}
+	case err := <-errCh:
+		cancel()
+		t.Fatalf("daemon failed to start: %v", err)
+		return "", nil
+	}
+}
+
+func TestDaemonServesAndShutsDownGracefully(t *testing.T) {
+	base, stop := startDaemon(t, memstream.ServiceConfig{Timeout: 30 * time.Second})
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status = %d; want 200", resp.StatusCode)
+	}
+
+	body := `{"rate":"1024 kbps","goal":{"energy_saving":0.7,"capacity_utilisation":0.88,"lifetime":"7 years"}}`
+	var answers [][]byte
+	for i := 0; i < 2; i++ {
+		resp, err := http.Post(base+"/v1/dimension", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("dimension: %v", err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("dimension status = %d, body %s", resp.StatusCode, b)
+		}
+		answers = append(answers, b)
+	}
+	if !bytes.Equal(answers[0], answers[1]) {
+		t.Error("repeated requests through the daemon must be byte-identical")
+	}
+
+	resp, err = http.Get(base + "/statsz")
+	if err != nil {
+		t.Fatalf("statsz: %v", err)
+	}
+	var st memstream.ServiceStats
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("decode statsz: %v", err)
+	}
+	if st.Served != 2 || st.Cache.Hits != 1 {
+		t.Errorf("stats = %+v; want 2 served with 1 cache hit", st)
+	}
+
+	if err := stop(); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Error("daemon still serving after shutdown")
+	}
+}
+
+func TestDaemonRefusesBusyPort(t *testing.T) {
+	base, stop := startDaemon(t, memstream.ServiceConfig{})
+	defer stop()
+	addr := strings.TrimPrefix(base, "http://")
+	if err := run(context.Background(), io.Discard, addr, memstream.ServiceConfig{}, nil); err == nil {
+		t.Fatal("second daemon on the same port must fail")
+	}
+}

@@ -51,6 +51,43 @@
 // the exported calls mutate shared state, so independent calls may also be
 // issued from multiple goroutines.
 //
+// # Serving
+//
+// The same questions are served as long-lived API calls through NewService,
+// a cache-backed evaluation layer over the model, sweep, simulation and
+// shared-device engines. A Service memoizes answers in a sharded, bounded
+// LRU keyed on the canonicalized request, so identical questions — spelled
+// either way ("1024 kbps" or 1024000) and asked from any number of
+// goroutines — are computed once and answered byte-identically thereafter:
+//
+//	svc := memstream.NewService(memstream.ServiceConfig{Timeout: 30 * time.Second})
+//	resp, err := svc.Dimension(ctx, memstream.DimensionRequest{
+//		Rate: "1024 kbps",
+//		Goal: memstream.GoalSpec{EnergySaving: 0.7, CapacityUtilisation: 0.88, Lifetime: "7 years"},
+//	})
+//
+// Service.Handler exposes the same layer over HTTP; cmd/memsd is the
+// ready-made daemon around it:
+//
+//	memsd [-addr :8377] [-cache-entries 4096] [-cache-shards 16] [-workers 0] [-timeout 30s]
+//
+// serving POST /v1/dimension, /v1/sweep, /v1/simulate, /v1/breakeven and
+// /v1/multistream (JSON bodies; quantities as unit strings, or bare numbers
+// read as bit/s, bytes or seconds), GET /healthz for liveness and GET
+// /statsz for cache hit/miss/eviction and in-flight counters, with graceful
+// shutdown on SIGINT/SIGTERM:
+//
+//	curl -s localhost:8377/v1/dimension -d '{"rate":"1024 kbps",
+//	  "goal":{"energy_saving":0.7,"capacity_utilisation":0.88,"lifetime":"7 years"}}'
+//	curl -s localhost:8377/v1/sweep -d '{"goal":{"energy_saving":0.7,
+//	  "capacity_utilisation":0.88,"lifetime":"7 years"},
+//	  "min_rate":"32 kbps","max_rate":"4096 kbps","points":64}'
+//	curl -s localhost:8377/statsz
+//
+// Handlers apply a per-request compute deadline and clamp per-request worker
+// bounds; worker bounds never change an answer (only its latency), so they
+// are excluded from the cache key.
+//
 // # Structure
 //
 // The root package is a facade over the internal packages:
@@ -65,6 +102,8 @@
 //   - internal/parallel: the bounded worker pool behind the concurrent paths
 //   - internal/sim, internal/workload: a discrete-event simulator and its
 //     workload generators, used to validate the analytical models
+//   - internal/cache, internal/service: the sharded result cache and the
+//     dimensioning-as-a-service layer behind NewService and cmd/memsd
 //   - internal/report, internal/config: tables, plots and configuration files
 //
 // The figure generators in this package regenerate every table and figure of

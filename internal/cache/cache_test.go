@@ -1,0 +1,291 @@
+package cache
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGetPutHitMiss(t *testing.T) {
+	c := New(8, 2)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("unexpected hit on empty cache")
+	}
+	c.Put("a", []byte("alpha"))
+	v, ok := c.Get("a")
+	if !ok || string(v) != "alpha" {
+		t.Fatalf("Get(a) = %q, %v; want alpha, true", v, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v; want 1 hit, 1 miss", st)
+	}
+	if st.Shards != 2 {
+		t.Errorf("shards = %d; want 2", st.Shards)
+	}
+}
+
+func TestPutOverwrites(t *testing.T) {
+	c := New(8, 1)
+	c.Put("k", []byte("one"))
+	c.Put("k", []byte("two"))
+	if v, _ := c.Get("k"); string(v) != "two" {
+		t.Errorf("Get(k) = %q; want two", v)
+	}
+	if n := c.Len(); n != 1 {
+		t.Errorf("Len = %d; want 1", n)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(2, 1) // single shard, two entries
+	c.Put("a", []byte("a"))
+	c.Put("b", []byte("b"))
+	c.Get("a") // a becomes most recent
+	c.Put("c", []byte("c"))
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted as least recently used")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("a should have survived: it was touched after b")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Error("c should be present")
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Errorf("evictions = %d; want 1", st.Evictions)
+	}
+}
+
+func TestCapacityBoundAcrossShards(t *testing.T) {
+	c := New(32, 4)
+	for i := 0; i < 1000; i++ {
+		c.Put(fmt.Sprintf("key-%d", i), []byte{byte(i)})
+	}
+	if n := c.Len(); n > 32 {
+		t.Errorf("Len = %d exceeds the capacity bound 32", n)
+	}
+	if st := c.Stats(); st.Evictions == 0 {
+		t.Error("expected evictions after overfilling")
+	}
+}
+
+func TestDoComputesOnceThenHits(t *testing.T) {
+	c := New(8, 1)
+	var calls atomic.Int64
+	compute := func() ([]byte, error) {
+		calls.Add(1)
+		return []byte("value"), nil
+	}
+	v, hit, err := c.Do(context.Background(), "k", compute)
+	if err != nil || hit || string(v) != "value" {
+		t.Fatalf("first Do = %q, hit=%v, err=%v; want value, false, nil", v, hit, err)
+	}
+	v, hit, err = c.Do(context.Background(), "k", compute)
+	if err != nil || !hit || string(v) != "value" {
+		t.Fatalf("second Do = %q, hit=%v, err=%v; want value, true, nil", v, hit, err)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Errorf("compute ran %d times; want 1", n)
+	}
+}
+
+func TestDoErrorNotCached(t *testing.T) {
+	c := New(8, 1)
+	boom := errors.New("boom")
+	if _, _, err := c.Do(context.Background(), "k", func() ([]byte, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v; want boom", err)
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Error("failed compute must not be cached")
+	}
+	v, hit, err := c.Do(context.Background(), "k", func() ([]byte, error) { return []byte("ok"), nil })
+	if err != nil || hit || string(v) != "ok" {
+		t.Errorf("retry after error = %q, hit=%v, err=%v; want ok, false, nil", v, hit, err)
+	}
+}
+
+func TestDoSingleFlight(t *testing.T) {
+	c := New(8, 1)
+	var calls atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		c.Do(context.Background(), "k", func() ([]byte, error) {
+			calls.Add(1)
+			close(started)
+			<-release
+			return []byte("shared"), nil
+		})
+	}()
+	<-started
+
+	const waiters = 8
+	results := make([][]byte, waiters)
+	var wg sync.WaitGroup
+	wg.Add(waiters)
+	for i := 0; i < waiters; i++ {
+		go func(i int) {
+			defer wg.Done()
+			v, _, err := c.Do(context.Background(), "k", func() ([]byte, error) {
+				calls.Add(1)
+				return []byte("fresh"), nil
+			})
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+			}
+			results[i] = v
+		}(i)
+	}
+	close(release)
+	wg.Wait()
+	<-leaderDone
+	for i, v := range results {
+		if string(v) != "shared" {
+			t.Errorf("waiter %d saw %q; want the leader's value", i, v)
+		}
+	}
+	if n := calls.Load(); n != 1 {
+		t.Errorf("compute ran %d times under contention; want 1", n)
+	}
+}
+
+func TestDoWaiterHonoursContext(t *testing.T) {
+	c := New(8, 1)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	go func() {
+		c.Do(context.Background(), "k", func() ([]byte, error) {
+			close(started)
+			<-release
+			return []byte("late"), nil
+		})
+	}()
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := c.Do(ctx, "k", func() ([]byte, error) { return nil, nil }); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v; want context.Canceled", err)
+	}
+}
+
+func TestDoPanicDoesNotPoisonKey(t *testing.T) {
+	c := New(8, 1)
+	panicked := false
+	func() {
+		defer func() { panicked = recover() != nil }()
+		c.Do(context.Background(), "k", func() ([]byte, error) { panic("boom") })
+	}()
+	if !panicked {
+		t.Fatal("the leader's panic must propagate")
+	}
+	// The key must not be poisoned: a later Do runs a fresh compute
+	// instead of waiting on the dead flight, and nothing was cached.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		v, hit, err := c.Do(context.Background(), "k", func() ([]byte, error) { return []byte("ok"), nil })
+		if err != nil || hit || string(v) != "ok" {
+			t.Errorf("Do after panic = %q, hit=%v, err=%v; want ok, false, nil", v, hit, err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Do after a panicked flight hung: the key is poisoned")
+	}
+}
+
+func TestDoPanicWakesWaiters(t *testing.T) {
+	c := New(8, 1)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		defer func() { recover() }()
+		c.Do(context.Background(), "k", func() ([]byte, error) {
+			close(started)
+			<-release
+			panic("boom")
+		})
+	}()
+	<-started
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do(context.Background(), "k", func() ([]byte, error) { return []byte("x"), nil })
+		done <- err
+	}()
+	close(release)
+	select {
+	case err := <-done:
+		// The waiter either joined the dead flight (ErrComputeFailed) or
+		// arrived after cleanup and computed successfully; both are fine —
+		// only hanging is a failure.
+		if err != nil && !errors.Is(err, ErrComputeFailed) {
+			t.Errorf("waiter err = %v; want nil or ErrComputeFailed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter of a panicked flight hung")
+	}
+}
+
+func TestDoConcurrentIdenticalValues(t *testing.T) {
+	c := New(64, 8)
+	want := []byte(`{"answer":42}`)
+	const n = 64
+	var wg sync.WaitGroup
+	wg.Add(n)
+	errs := make([]error, n)
+	got := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			v, _, err := c.Do(context.Background(), "shared", func() ([]byte, error) {
+				return append([]byte(nil), want...), nil
+			})
+			got[i], errs[i] = v, err
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("goroutine %d: %v", i, errs[i])
+		}
+		if !bytes.Equal(got[i], want) {
+			t.Errorf("goroutine %d got %q; want %q", i, got[i], want)
+		}
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	c := New(0, 0)
+	st := c.Stats()
+	if st.Shards != DefaultShards {
+		t.Errorf("shards = %d; want %d", st.Shards, DefaultShards)
+	}
+	if st.Capacity < DefaultEntries {
+		t.Errorf("capacity = %d; want >= %d", st.Capacity, DefaultEntries)
+	}
+	// More shards than capacity must not create zero-sized shards.
+	small := New(2, 64)
+	small.Put("x", []byte("x"))
+	if _, ok := small.Get("x"); !ok {
+		t.Error("tiny cache lost its only entry")
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	if r := (Stats{}).HitRate(); r != 0 {
+		t.Errorf("empty hit rate = %v; want 0", r)
+	}
+	if r := (Stats{Hits: 3, Misses: 1}).HitRate(); r != 0.75 {
+		t.Errorf("hit rate = %v; want 0.75", r)
+	}
+}

@@ -150,9 +150,17 @@ func DefaultMEMS() MEMS {
 	}
 }
 
+// ImprovedMEMS returns the Fig. 3c improved-durability scenario: the
+// Table I device with 200 probe write cycles and silicon springs rated at
+// 1e12 duty cycles. It is the single definition of those parameters; the
+// public facade and the service layer both resolve "improved" through it.
+func ImprovedMEMS() MEMS {
+	return DefaultMEMS().WithDurability(200, 1e12)
+}
+
 // WithDurability returns a copy of the device with the given probe write-cycle
 // and spring duty-cycle ratings, used for the Fig. 3c improved-durability
-// scenario (200 write cycles, silicon springs at 1e12).
+// scenario (ImprovedMEMS).
 func (m MEMS) WithDurability(probeWriteCycles, springDutyCycles float64) MEMS {
 	m.ProbeWriteCycles = probeWriteCycles
 	m.SpringDutyCycles = springDutyCycles

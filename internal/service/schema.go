@@ -1,0 +1,493 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"memstream/internal/core"
+	"memstream/internal/device"
+	"memstream/internal/multistream"
+	"memstream/internal/units"
+)
+
+// ValidationError marks a request the service rejected before computing
+// anything; the HTTP layer maps it to a 400 response.
+type ValidationError struct {
+	// Msg describes what was wrong with the request.
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *ValidationError) Error() string { return "service: invalid request: " + e.Msg }
+
+// invalidf builds a ValidationError.
+func invalidf(format string, args ...any) error {
+	return &ValidationError{Msg: fmt.Sprintf(format, args...)}
+}
+
+// Quantity is a physical quantity in a request body. It accepts either a
+// JSON string in the unit grammar of internal/units ("1024 kbps", "64 KiB",
+// "7 years") or a bare JSON number, interpreted per the parsers' bare-number
+// conventions: bit/s for rates, bytes for sizes, seconds for durations.
+type Quantity string
+
+// UnmarshalJSON accepts a JSON string or number.
+func (q *Quantity) UnmarshalJSON(data []byte) error {
+	if len(data) > 0 && data[0] == '"' {
+		var s string
+		if err := json.Unmarshal(data, &s); err != nil {
+			return err
+		}
+		*q = Quantity(s)
+		return nil
+	}
+	var n json.Number
+	if err := json.Unmarshal(data, &n); err != nil {
+		return fmt.Errorf("quantity must be a string or a number")
+	}
+	*q = Quantity(n.String())
+	return nil
+}
+
+// rate parses the quantity as a bit rate and requires it positive and finite.
+func (q Quantity) rate(field string) (units.BitRate, error) {
+	if q == "" {
+		return 0, invalidf("%s is required", field)
+	}
+	r, err := units.ParseBitRate(string(q))
+	if err != nil {
+		return 0, invalidf("%s: %v", field, err)
+	}
+	if !r.Positive() || math.IsInf(r.BitsPerSecond(), 0) {
+		return 0, invalidf("%s must be a positive finite rate, got %q", field, q)
+	}
+	return r, nil
+}
+
+// size parses the quantity as a data size and requires it positive and finite.
+func (q Quantity) size(field string) (units.Size, error) {
+	if q == "" {
+		return 0, invalidf("%s is required", field)
+	}
+	s, err := units.ParseSize(string(q))
+	if err != nil {
+		return 0, invalidf("%s: %v", field, err)
+	}
+	if !s.Positive() || math.IsInf(s.Bits(), 0) {
+		return 0, invalidf("%s must be a positive finite size, got %q", field, q)
+	}
+	return s, nil
+}
+
+// duration parses the quantity as a duration and requires it non-negative
+// and finite. Empty quantities return the fallback.
+func (q Quantity) duration(field string, fallback units.Duration) (units.Duration, error) {
+	if q == "" {
+		return fallback, nil
+	}
+	d, err := units.ParseDuration(string(q))
+	if err != nil {
+		return 0, invalidf("%s: %v", field, err)
+	}
+	if d.Seconds() < 0 || math.IsInf(d.Seconds(), 0) || math.IsNaN(d.Seconds()) {
+		return 0, invalidf("%s must be a non-negative finite duration, got %q", field, q)
+	}
+	return d, nil
+}
+
+// DeviceSpec selects and optionally tweaks the MEMS device of a request.
+type DeviceSpec struct {
+	// Name picks the base configuration: "default" (or empty) for the
+	// Table I device, "improved" for the Fig. 3c durability scenario.
+	Name string `json:"name,omitempty"`
+	// ProbeWriteCycles overrides the probe write-cycle rating when positive.
+	ProbeWriteCycles float64 `json:"probe_write_cycles,omitempty"`
+	// SpringDutyCycles overrides the spring duty-cycle rating when positive.
+	SpringDutyCycles float64 `json:"spring_duty_cycles,omitempty"`
+}
+
+// resolve returns the fully specified device the spec describes.
+func (d DeviceSpec) resolve() (device.MEMS, error) {
+	var dev device.MEMS
+	switch d.Name {
+	case "", "default":
+		dev = device.DefaultMEMS()
+	case "improved":
+		dev = device.ImprovedMEMS()
+	default:
+		return device.MEMS{}, invalidf("unknown device %q (want \"default\" or \"improved\")", d.Name)
+	}
+	if d.ProbeWriteCycles < 0 || d.SpringDutyCycles < 0 ||
+		math.IsNaN(d.ProbeWriteCycles) || math.IsNaN(d.SpringDutyCycles) ||
+		math.IsInf(d.ProbeWriteCycles, 0) || math.IsInf(d.SpringDutyCycles, 0) {
+		return device.MEMS{}, invalidf("device durability overrides must be positive and finite")
+	}
+	probes, springs := dev.ProbeWriteCycles, dev.SpringDutyCycles
+	if d.ProbeWriteCycles > 0 {
+		probes = d.ProbeWriteCycles
+	}
+	if d.SpringDutyCycles > 0 {
+		springs = d.SpringDutyCycles
+	}
+	return dev.WithDurability(probes, springs), nil
+}
+
+// GoalSpec is the design goal (E, C, L) of a request.
+type GoalSpec struct {
+	// EnergySaving is E, the required relative energy saving, in [0, 1).
+	EnergySaving float64 `json:"energy_saving"`
+	// CapacityUtilisation is C, the required capacity utilisation, in [0, 1).
+	CapacityUtilisation float64 `json:"capacity_utilisation"`
+	// Lifetime is L, the required device lifetime (e.g. "7 years").
+	Lifetime Quantity `json:"lifetime"`
+}
+
+// resolve parses and validates the goal.
+func (g GoalSpec) resolve() (core.Goal, error) {
+	// NaN slips through every range comparison (all compare false), so it
+	// must be rejected explicitly before it can reach a fingerprint.
+	if math.IsNaN(g.EnergySaving) || math.IsNaN(g.CapacityUtilisation) {
+		return core.Goal{}, invalidf("goal fields must not be NaN")
+	}
+	lt, err := g.Lifetime.duration("goal.lifetime", 0)
+	if err != nil {
+		return core.Goal{}, err
+	}
+	goal := core.Goal{
+		EnergySaving:        g.EnergySaving,
+		CapacityUtilisation: g.CapacityUtilisation,
+		Lifetime:            lt,
+	}
+	if err := goal.Validate(); err != nil {
+		return core.Goal{}, invalidf("goal: %v", err)
+	}
+	return goal, nil
+}
+
+// DimensionRequest asks for the buffer required to meet a goal at one rate.
+type DimensionRequest struct {
+	// Device selects the MEMS device.
+	Device DeviceSpec `json:"device,omitzero"`
+	// Rate is the streaming bit rate.
+	Rate Quantity `json:"rate"`
+	// Goal is the design goal to dimension for.
+	Goal GoalSpec `json:"goal"`
+}
+
+// RequirementResult is one constraint's buffer requirement in a response.
+type RequirementResult struct {
+	// Constraint is the paper's label (E, C, Lsp, Lpb).
+	Constraint string `json:"constraint"`
+	// Feasible reports whether any buffer satisfies the constraint.
+	Feasible bool `json:"feasible"`
+	// BufferBits is the minimum satisfying buffer in bits (0 if infeasible).
+	BufferBits float64 `json:"buffer_bits"`
+	// Buffer is the human-readable form of BufferBits.
+	Buffer string `json:"buffer"`
+	// Reason explains infeasibility (empty when feasible).
+	Reason string `json:"reason,omitempty"`
+}
+
+// DimensionResponse is the answer to a DimensionRequest.
+type DimensionResponse struct {
+	// Rate echoes the parsed streaming rate.
+	Rate string `json:"rate"`
+	// RateBitsPerSecond is the parsed rate in bit/s.
+	RateBitsPerSecond float64 `json:"rate_bps"`
+	// Feasible reports whether every constraint can be met.
+	Feasible bool `json:"feasible"`
+	// Dominant is the constraint dictating the buffer.
+	Dominant string `json:"dominant"`
+	// BufferBits is the required buffer in bits.
+	BufferBits float64 `json:"buffer_bits"`
+	// Buffer is the human-readable required buffer.
+	Buffer string `json:"buffer"`
+	// BreakEvenBits is the energy break-even buffer in bits.
+	BreakEvenBits float64 `json:"break_even_bits"`
+	// BreakEven is the human-readable break-even buffer.
+	BreakEven string `json:"break_even"`
+	// MinimumBufferBits is the smallest buffer that closes a refill cycle.
+	MinimumBufferBits float64 `json:"minimum_buffer_bits"`
+	// Requirements holds the per-constraint requirements in E, C, Lsp, Lpb
+	// order.
+	Requirements []RequirementResult `json:"requirements"`
+}
+
+// SweepRequest asks for a dimensioning sweep over log-spaced rates.
+type SweepRequest struct {
+	// Device selects the MEMS device.
+	Device DeviceSpec `json:"device,omitzero"`
+	// Goal is the design goal swept.
+	Goal GoalSpec `json:"goal"`
+	// MinRate and MaxRate bound the swept rates.
+	MinRate Quantity `json:"min_rate"`
+	MaxRate Quantity `json:"max_rate"`
+	// Points is the number of log-spaced rates (2..MaxSweepPoints).
+	Points int `json:"points"`
+	// Workers bounds the per-request worker pool; 0 uses the service
+	// default. Workers never affect the result, only its latency, so they
+	// are excluded from the cache fingerprint.
+	Workers int `json:"workers,omitempty"`
+}
+
+// MaxSweepPoints bounds the rates one sweep request may ask for.
+const MaxSweepPoints = 4096
+
+// SweepPointResult is one rate's dimensioning within a sweep response.
+type SweepPointResult struct {
+	// RateBitsPerSecond is the sampled rate in bit/s.
+	RateBitsPerSecond float64 `json:"rate_bps"`
+	// Rate is its human-readable form.
+	Rate string `json:"rate"`
+	// Feasible reports whether the goal can be met at this rate.
+	Feasible bool `json:"feasible"`
+	// Dominant is the dictating constraint at this rate.
+	Dominant string `json:"dominant"`
+	// BufferBits is the required buffer in bits.
+	BufferBits float64 `json:"buffer_bits"`
+	// Buffer is its human-readable form.
+	Buffer string `json:"buffer"`
+	// BreakEvenBits is the break-even buffer in bits.
+	BreakEvenBits float64 `json:"break_even_bits"`
+}
+
+// RegimeResult is one dominance regime of a sweep response.
+type RegimeResult struct {
+	// MinRate and MaxRate bound the regime (human-readable).
+	MinRate string `json:"min_rate"`
+	MaxRate string `json:"max_rate"`
+	// Label is the paper-style annotation (E, C, Lsp, Lpb or X).
+	Label string `json:"label"`
+	// Points is the number of sampled rates in the regime.
+	Points int `json:"points"`
+}
+
+// SweepResponse is the answer to a SweepRequest.
+type SweepResponse struct {
+	// Goal echoes the goal in the paper's figure-label format.
+	Goal string `json:"goal"`
+	// Points holds the per-rate dimensionings in ascending rate order.
+	Points []SweepPointResult `json:"points"`
+	// Regimes segments the sweep by dominant constraint.
+	Regimes []RegimeResult `json:"regimes"`
+	// FeasibilityLimit is the lowest infeasible rate (empty when the goal
+	// holds across the whole sweep).
+	FeasibilityLimit string `json:"feasibility_limit,omitempty"`
+	// DominanceShare maps each constraint label to the fraction of feasible
+	// rates it dominates.
+	DominanceShare map[string]float64 `json:"dominance_share"`
+}
+
+// SimulateRequest asks for one or more discrete-event simulation runs.
+type SimulateRequest struct {
+	// Device selects the MEMS device.
+	Device DeviceSpec `json:"device,omitzero"`
+	// Rate is the streaming bit rate.
+	Rate Quantity `json:"rate"`
+	// Buffer is the streaming-buffer capacity.
+	Buffer Quantity `json:"buffer"`
+	// Duration is the simulated streaming time (default "5 min").
+	Duration Quantity `json:"duration,omitempty"`
+	// Stream picks the stream kind: "cbr" (default) or "vbr".
+	Stream string `json:"stream,omitempty"`
+	// BestEffort is the best-effort share of device time (default 0.05;
+	// negative is rejected, 0 disables).
+	BestEffort *float64 `json:"best_effort,omitempty"`
+	// Seed makes the run reproducible (default 1).
+	Seed uint64 `json:"seed,omitempty"`
+	// Replicas runs this many seed-varied copies concurrently (default 1,
+	// bounded by MaxSimReplicas).
+	Replicas int `json:"replicas,omitempty"`
+	// Workers bounds the per-request worker pool; excluded from the cache
+	// fingerprint like SweepRequest.Workers.
+	Workers int `json:"workers,omitempty"`
+}
+
+// MaxSimReplicas bounds the replicas one simulate request may ask for.
+const MaxSimReplicas = 256
+
+// MaxSimSeconds bounds the simulated time of one replica (a full day of
+// streaming), so a single request cannot demand unbounded compute even when
+// the daemon runs without a request deadline.
+const MaxSimSeconds = 86400
+
+// SimulateResult is one simulation run's statistics in a response.
+type SimulateResult struct {
+	// Seed is the seed this replica ran with.
+	Seed uint64 `json:"seed"`
+	// SimulatedSeconds is the covered streaming time.
+	SimulatedSeconds float64 `json:"simulated_seconds"`
+	// StreamedBits is the data delivered to the application.
+	StreamedBits float64 `json:"streamed_bits"`
+	// RefillCycles counts completed seek-refill-shutdown cycles.
+	RefillCycles int `json:"refill_cycles"`
+	// Underruns counts buffer underruns.
+	Underruns int `json:"underruns"`
+	// EnergyPerBit is the observed total per-bit energy (human-readable).
+	EnergyPerBit string `json:"energy_per_bit"`
+	// EnergyPerBitJoules is the per-bit energy in J/bit.
+	EnergyPerBitJoules float64 `json:"energy_per_bit_j"`
+	// DutyCycle is the fraction of time the device was active.
+	DutyCycle float64 `json:"duty_cycle"`
+	// SpringsLifetimeYears projects the observed wake-up frequency onto the
+	// springs rating under the default calendar; omitted when the run saw
+	// no wake-ups (an unbounded projection).
+	SpringsLifetimeYears *float64 `json:"springs_lifetime_years,omitempty"`
+	// ProbesLifetimeYears projects the observed write volume onto the
+	// probes rating under the default calendar; omitted when the run wrote
+	// nothing (an unbounded projection).
+	ProbesLifetimeYears *float64 `json:"probes_lifetime_years,omitempty"`
+}
+
+// SimulateResponse is the answer to a SimulateRequest.
+type SimulateResponse struct {
+	// Rate echoes the parsed streaming rate.
+	Rate string `json:"rate"`
+	// Buffer echoes the parsed buffer capacity.
+	Buffer string `json:"buffer"`
+	// Runs holds one entry per replica, in seed order.
+	Runs []SimulateResult `json:"runs"`
+}
+
+// BreakEvenRequest asks for the break-even buffers at one rate.
+type BreakEvenRequest struct {
+	// Device selects the MEMS device.
+	Device DeviceSpec `json:"device,omitzero"`
+	// Rate is the streaming bit rate.
+	Rate Quantity `json:"rate"`
+}
+
+// BreakEvenResponse is the answer to a BreakEvenRequest: the Section III-A.1
+// break-even streaming buffers of the MEMS device and the 1.8-inch disk
+// baseline, and their ratio.
+type BreakEvenResponse struct {
+	// Rate echoes the parsed streaming rate.
+	Rate string `json:"rate"`
+	// MEMSBits and DiskBits are the break-even buffers in bits.
+	MEMSBits float64 `json:"mems_bits"`
+	DiskBits float64 `json:"disk_bits"`
+	// MEMS and Disk are their human-readable forms.
+	MEMS string `json:"mems"`
+	Disk string `json:"disk"`
+	// DiskOverMEMS is the disk-to-MEMS buffer ratio.
+	DiskOverMEMS float64 `json:"disk_over_mems"`
+}
+
+// MultiStreamSpec describes one stream of a shared-device request.
+type MultiStreamSpec struct {
+	// Name labels the stream in results.
+	Name string `json:"name"`
+	// Rate is the stream's consumption/production rate.
+	Rate Quantity `json:"rate"`
+	// WriteFraction is the written share of this stream's traffic.
+	WriteFraction float64 `json:"write_fraction"`
+}
+
+// MultiStreamRequest asks for the shared-device dimensioning of a stream mix.
+type MultiStreamRequest struct {
+	// Device selects the MEMS device.
+	Device DeviceSpec `json:"device,omitzero"`
+	// Goal is the system-wide design goal.
+	Goal GoalSpec `json:"goal"`
+	// Streams are the concurrent streams sharing the device.
+	Streams []MultiStreamSpec `json:"streams"`
+	// CountInterStreamSeeks charges inter-stream repositioning against the
+	// springs rating (conservative).
+	CountInterStreamSeeks bool `json:"count_inter_stream_seeks,omitempty"`
+}
+
+// MaxMultiStreams bounds the streams one multistream request may carry.
+const MaxMultiStreams = 64
+
+// MultiStreamBuffer is one stream's dimensioned buffer in a response.
+type MultiStreamBuffer struct {
+	// Name labels the stream.
+	Name string `json:"name"`
+	// BufferBits is the dimensioned buffer in bits.
+	BufferBits float64 `json:"buffer_bits"`
+	// Buffer is its human-readable form.
+	Buffer string `json:"buffer"`
+}
+
+// MultiStreamResponse is the answer to a MultiStreamRequest.
+type MultiStreamResponse struct {
+	// Feasible reports whether every constraint can be met.
+	Feasible bool `json:"feasible"`
+	// Dominant is the constraint demanding the longest super-cycle.
+	Dominant string `json:"dominant"`
+	// PeriodSeconds is the dimensioned super-cycle period.
+	PeriodSeconds float64 `json:"period_seconds"`
+	// Period is its human-readable form.
+	Period string `json:"period"`
+	// Buffers holds one dimensioned buffer per stream (request order).
+	Buffers []MultiStreamBuffer `json:"buffers"`
+	// TotalBufferBits is the summed buffer in bits.
+	TotalBufferBits float64 `json:"total_buffer_bits"`
+	// TotalBuffer is its human-readable form.
+	TotalBuffer string `json:"total_buffer"`
+	// EnergySaving and Utilisation evaluate the plan at the dimensioned
+	// period (zero when infeasible).
+	EnergySaving float64 `json:"energy_saving"`
+	Utilisation  float64 `json:"utilisation"`
+	// LifetimeYears is the plan's projected lifetime; omitted when
+	// infeasible or when no modelled component wears (unbounded).
+	LifetimeYears *float64 `json:"lifetime_years,omitempty"`
+	// Reasons explains infeasible constraints by label.
+	Reasons map[string]string `json:"reasons,omitempty"`
+}
+
+// resolveStreams converts the request streams into engine stream specs.
+func resolveStreams(specs []MultiStreamSpec) ([]multistream.StreamSpec, error) {
+	if len(specs) == 0 {
+		return nil, invalidf("streams is required")
+	}
+	if len(specs) > MaxMultiStreams {
+		return nil, invalidf("at most %d streams per request, got %d", MaxMultiStreams, len(specs))
+	}
+	out := make([]multistream.StreamSpec, len(specs))
+	for i, s := range specs {
+		rate, err := s.Rate.rate(fmt.Sprintf("streams[%d].rate", i))
+		if err != nil {
+			return nil, err
+		}
+		if math.IsNaN(s.WriteFraction) {
+			return nil, invalidf("streams[%d].write_fraction must not be NaN", i)
+		}
+		out[i] = multistream.StreamSpec{Name: s.Name, Rate: rate, WriteFraction: s.WriteFraction}
+		if err := out[i].Validate(); err != nil {
+			return nil, invalidf("streams[%d]: %v", i, err)
+		}
+	}
+	return out, nil
+}
+
+// requirementResults converts a core dimensioning into response requirements
+// in E, C, Lsp, Lpb order.
+func requirementResults(d core.Dimensioning) []RequirementResult {
+	out := make([]RequirementResult, 0, core.NumConstraints)
+	for _, r := range d.Requirements {
+		rr := RequirementResult{
+			Constraint: r.Constraint.String(),
+			Feasible:   r.Feasible,
+			Reason:     r.Reason,
+		}
+		if r.Feasible && !math.IsInf(r.Buffer.Bits(), 0) {
+			rr.BufferBits = r.Buffer.Bits()
+			rr.Buffer = r.Buffer.String()
+		}
+		out = append(out, rr)
+	}
+	return out
+}
+
+// yearsOrNil converts a lifetime to years, or to nil when unbounded — the
+// JSON field is omitted rather than conflating "never wears out" with a
+// zero lifetime (and infinities would not marshal anyway).
+func yearsOrNil(d units.Duration) *float64 {
+	if math.IsInf(d.Seconds(), 0) {
+		return nil
+	}
+	y := d.Years()
+	return &y
+}

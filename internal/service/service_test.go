@@ -1,0 +1,461 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"memstream/internal/device"
+)
+
+// newTestServer starts an httptest server over a fresh service.
+func newTestServer(t *testing.T, cfg Config) (*Service, *httptest.Server) {
+	t.Helper()
+	svc := New(cfg)
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(srv.Close)
+	return svc, srv
+}
+
+// post sends a JSON body and returns status plus response bytes.
+func post(t *testing.T, srv *httptest.Server, path, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(srv.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s response: %v", path, err)
+	}
+	return resp.StatusCode, out
+}
+
+const goalJSON = `{"energy_saving":0.7,"capacity_utilisation":0.88,"lifetime":"7 years"}`
+
+func TestHealthz(t *testing.T) {
+	_, srv := newTestServer(t, Config{})
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d; want 200", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if string(body) != "ok\n" {
+		t.Errorf("body = %q; want ok", body)
+	}
+}
+
+func TestDimensionEndpoint(t *testing.T) {
+	_, srv := newTestServer(t, Config{})
+	status, body := post(t, srv, "/v1/dimension", `{"rate":"1024 kbps","goal":`+goalJSON+`}`)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, body %s", status, body)
+	}
+	var resp DimensionResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !resp.Feasible {
+		t.Fatal("the paper's Fig. 3b goal must be feasible at 1024 kbps")
+	}
+	if resp.BufferBits <= 0 {
+		t.Errorf("buffer bits = %v; want positive", resp.BufferBits)
+	}
+	if len(resp.Requirements) != 4 {
+		t.Errorf("requirements = %d; want 4", len(resp.Requirements))
+	}
+	if resp.BreakEvenBits <= 0 || resp.BreakEvenBits >= resp.BufferBits {
+		t.Errorf("break-even %v should be positive and below the dimensioned buffer %v (the paper's headline gap)",
+			resp.BreakEvenBits, resp.BufferBits)
+	}
+}
+
+func TestDimensionImprovedDeviceDiffers(t *testing.T) {
+	_, srv := newTestServer(t, Config{})
+	_, def := post(t, srv, "/v1/dimension", `{"rate":"1024 kbps","goal":`+goalJSON+`}`)
+	_, imp := post(t, srv, "/v1/dimension", `{"device":{"name":"improved"},"rate":"1024 kbps","goal":`+goalJSON+`}`)
+	if bytes.Equal(def, imp) {
+		t.Error("default and improved devices must not share a cache entry")
+	}
+}
+
+func TestSweepEndpoint(t *testing.T) {
+	_, srv := newTestServer(t, Config{})
+	status, body := post(t, srv, "/v1/sweep",
+		`{"goal":`+goalJSON+`,"min_rate":"32 kbps","max_rate":"4096 kbps","points":16}`)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, body %s", status, body)
+	}
+	var resp SweepResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(resp.Points) != 16 {
+		t.Fatalf("points = %d; want 16", len(resp.Points))
+	}
+	if len(resp.Regimes) == 0 {
+		t.Error("sweep should segment into at least one regime")
+	}
+	if len(resp.DominanceShare) == 0 {
+		t.Error("dominance share missing")
+	}
+}
+
+func TestSimulateEndpointWithReplicas(t *testing.T) {
+	_, srv := newTestServer(t, Config{})
+	status, body := post(t, srv, "/v1/simulate",
+		`{"rate":"1024 kbps","buffer":"64 KiB","duration":"10 s","replicas":3}`)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, body %s", status, body)
+	}
+	var resp SimulateResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(resp.Runs) != 3 {
+		t.Fatalf("runs = %d; want 3", len(resp.Runs))
+	}
+	for i, run := range resp.Runs {
+		if run.Seed != uint64(1+i) {
+			t.Errorf("run %d seed = %d; want %d", i, run.Seed, 1+i)
+		}
+		if run.RefillCycles <= 0 {
+			t.Errorf("run %d refill cycles = %d; want positive", i, run.RefillCycles)
+		}
+		if run.Underruns != 0 {
+			t.Errorf("run %d underruns = %d; a provisioned CBR stream must not underrun", i, run.Underruns)
+		}
+		// A writing CBR stream wears both components, so the projections
+		// are finite and present (nil would mean an unbounded projection).
+		if run.SpringsLifetimeYears == nil || *run.SpringsLifetimeYears <= 0 {
+			t.Errorf("run %d springs projection = %v; want a positive finite value", i, run.SpringsLifetimeYears)
+		}
+		if run.ProbesLifetimeYears == nil || *run.ProbesLifetimeYears <= 0 {
+			t.Errorf("run %d probes projection = %v; want a positive finite value", i, run.ProbesLifetimeYears)
+		}
+	}
+}
+
+func TestBreakEvenEndpoint(t *testing.T) {
+	_, srv := newTestServer(t, Config{})
+	status, body := post(t, srv, "/v1/breakeven", `{"rate":"1024 kbps"}`)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, body %s", status, body)
+	}
+	var resp BreakEvenResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if resp.MEMSBits <= 0 || resp.DiskBits <= 0 {
+		t.Fatalf("break-even buffers must be positive: %+v", resp)
+	}
+	if resp.DiskOverMEMS < 100 {
+		t.Errorf("disk/MEMS ratio = %.1f; the paper reports a 3-orders-of-magnitude gap", resp.DiskOverMEMS)
+	}
+}
+
+func TestMultiStreamEndpoint(t *testing.T) {
+	_, srv := newTestServer(t, Config{})
+	status, body := post(t, srv, "/v1/multistream",
+		`{"goal":`+goalJSON+`,"streams":[
+			{"name":"record","rate":"768 kbps","write_fraction":1},
+			{"name":"play","rate":"512 kbps","write_fraction":0}]}`)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, body %s", status, body)
+	}
+	var resp MultiStreamResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !resp.Feasible {
+		t.Fatalf("two-stream mix should be feasible: %s", body)
+	}
+	if len(resp.Buffers) != 2 {
+		t.Fatalf("buffers = %d; want 2", len(resp.Buffers))
+	}
+	if resp.Buffers[0].Name != "record" || resp.Buffers[1].Name != "play" {
+		t.Errorf("buffer order %q, %q; want request order", resp.Buffers[0].Name, resp.Buffers[1].Name)
+	}
+	if resp.TotalBufferBits <= resp.Buffers[0].BufferBits {
+		t.Error("total buffer should exceed any single stream's buffer")
+	}
+}
+
+func TestValidationFailures(t *testing.T) {
+	_, srv := newTestServer(t, Config{})
+	cases := []struct {
+		name, path, body string
+	}{
+		{"unknown field", "/v1/dimension", `{"rate":"1024 kbps","goal":` + goalJSON + `,"bogus":1}`},
+		{"malformed json", "/v1/dimension", `{"rate":`},
+		{"trailing garbage", "/v1/dimension", `{"rate":"1024 kbps","goal":` + goalJSON + `}{}`},
+		{"missing rate", "/v1/dimension", `{"goal":` + goalJSON + `}`},
+		{"bad rate unit", "/v1/dimension", `{"rate":"10 parsecs","goal":` + goalJSON + `}`},
+		{"negative rate", "/v1/dimension", `{"rate":-5,"goal":` + goalJSON + `}`},
+		{"energy goal out of range", "/v1/dimension", `{"rate":"1024 kbps","goal":{"energy_saving":1.5,"capacity_utilisation":0.88,"lifetime":"7 years"}}`},
+		{"unknown device", "/v1/dimension", `{"device":{"name":"quantum"},"rate":"1024 kbps","goal":` + goalJSON + `}`},
+		{"sweep inverted range", "/v1/sweep", `{"goal":` + goalJSON + `,"min_rate":"4096 kbps","max_rate":"32 kbps","points":8}`},
+		{"sweep too few points", "/v1/sweep", `{"goal":` + goalJSON + `,"min_rate":"32 kbps","max_rate":"4096 kbps","points":1}`},
+		{"sweep too many points", "/v1/sweep", `{"goal":` + goalJSON + `,"min_rate":"32 kbps","max_rate":"4096 kbps","points":100000}`},
+		{"simulate missing buffer", "/v1/simulate", `{"rate":"1024 kbps"}`},
+		{"simulate bad stream kind", "/v1/simulate", `{"rate":"1024 kbps","buffer":"64 KiB","stream":"chaos"}`},
+		{"simulate too many replicas", "/v1/simulate", `{"rate":"1024 kbps","buffer":"64 KiB","replicas":10000}`},
+		{"simulate duration over cap", "/v1/simulate", `{"rate":"1024 kbps","buffer":"64 KiB","duration":"100 years"}`},
+		{"sweep negative workers", "/v1/sweep", `{"goal":` + goalJSON + `,"min_rate":"32 kbps","max_rate":"4096 kbps","points":8,"workers":-4}`},
+		{"simulate bad best effort", "/v1/simulate", `{"rate":"1024 kbps","buffer":"64 KiB","best_effort":1.5}`},
+		{"simulate rate above media rate", "/v1/simulate", `{"rate":"100 Gbps","buffer":"64 KiB"}`},
+		{"breakeven missing rate", "/v1/breakeven", `{}`},
+		{"multistream no streams", "/v1/multistream", `{"goal":` + goalJSON + `,"streams":[]}`},
+		{"multistream bad write fraction", "/v1/multistream", `{"goal":` + goalJSON + `,"streams":[{"name":"a","rate":"768 kbps","write_fraction":2}]}`},
+		{"multistream inadmissible mix", "/v1/multistream", `{"goal":` + goalJSON + `,"streams":[{"name":"a","rate":"300 Mbps","write_fraction":1}]}`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			status, body := post(t, srv, c.path, c.body)
+			if status != http.StatusBadRequest {
+				t.Fatalf("status = %d, body %s; want 400", status, body)
+			}
+			var eb errorBody
+			if err := json.Unmarshal(body, &eb); err != nil || eb.Error == "" {
+				t.Errorf("error body %s must carry an error message", body)
+			}
+		})
+	}
+}
+
+func TestOversizedBodyRejectedWith413(t *testing.T) {
+	_, srv := newTestServer(t, Config{})
+	// The 2 MiB value sits in a known field so the decoder hits the byte
+	// limit mid-token rather than failing on an unknown key first.
+	big := `{"rate":"` + strings.Repeat("x", 2<<20) + `","goal":` + goalJSON + `}`
+	status, body := post(t, srv, "/v1/dimension", big)
+	if status != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, body %.200s; want 413", status, body)
+	}
+}
+
+func TestImprovedDeviceSpecMatchesLibraryDefinition(t *testing.T) {
+	dev, err := DeviceSpec{Name: "improved"}.resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := device.ImprovedMEMS(); dev != want {
+		t.Errorf("service improved device %+v diverges from device.ImprovedMEMS %+v", dev, want)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	_, srv := newTestServer(t, Config{})
+	resp, err := http.Get(srv.URL + "/v1/dimension")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/dimension status = %d; want 405", resp.StatusCode)
+	}
+}
+
+func TestDeadlineAbortsSweep(t *testing.T) {
+	_, srv := newTestServer(t, Config{Timeout: time.Nanosecond})
+	status, body := post(t, srv, "/v1/sweep",
+		`{"goal":`+goalJSON+`,"min_rate":"32 kbps","max_rate":"4096 kbps","points":256}`)
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, body %s; want 504", status, body)
+	}
+}
+
+func TestDeadlineAbortsMultiStream(t *testing.T) {
+	svc := New(Config{Timeout: time.Nanosecond})
+	_, err := svc.MultiStream(context.Background(), MultiStreamRequest{
+		Goal:    GoalSpec{EnergySaving: 0.7, CapacityUtilisation: 0.88, Lifetime: "7 years"},
+		Streams: []MultiStreamSpec{{Name: "rec", Rate: "768 kbps", WriteFraction: 1}},
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v; want deadline exceeded", err)
+	}
+}
+
+func TestCacheHitReturnsByteIdenticalBody(t *testing.T) {
+	svc, srv := newTestServer(t, Config{})
+	body := `{"rate":"1024 kbps","goal":` + goalJSON + `}`
+	status1, first := post(t, srv, "/v1/dimension", body)
+	status2, second := post(t, srv, "/v1/dimension", body)
+	if status1 != http.StatusOK || status2 != http.StatusOK {
+		t.Fatalf("statuses %d, %d; want 200, 200", status1, status2)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("cache hit body differs:\n%s\n%s", first, second)
+	}
+	st := svc.Stats()
+	if st.Cache.Hits == 0 {
+		t.Errorf("stats = %+v; the second request must hit the cache", st.Cache)
+	}
+	if st.Served != 2 {
+		t.Errorf("served = %d; want 2", st.Served)
+	}
+}
+
+func TestEquivalentSpellingsShareACacheEntry(t *testing.T) {
+	svc, srv := newTestServer(t, Config{})
+	// 1024 kbps spelled three ways: the fingerprint is computed on the
+	// parsed request, not the raw body.
+	_, a := post(t, srv, "/v1/dimension", `{"rate":"1024 kbps","goal":`+goalJSON+`}`)
+	_, b := post(t, srv, "/v1/dimension", `{"rate":1024000,"goal":`+goalJSON+`}`)
+	_, c := post(t, srv, "/v1/dimension", `{"device":{"name":"default"},"rate":"1024kbit/s","goal":`+goalJSON+`}`)
+	if !bytes.Equal(a, b) || !bytes.Equal(a, c) {
+		t.Fatal("equivalent spellings must return byte-identical cached bodies")
+	}
+	if st := svc.CacheStats(); st.Entries != 1 {
+		t.Errorf("entries = %d; want 1 shared entry", st.Entries)
+	}
+}
+
+func TestWorkerCountExcludedFromFingerprint(t *testing.T) {
+	_, srv := newTestServer(t, Config{})
+	req := `{"goal":` + goalJSON + `,"min_rate":"32 kbps","max_rate":"4096 kbps","points":8`
+	_, seq := post(t, srv, "/v1/sweep", req+`,"workers":1}`)
+	_, par := post(t, srv, "/v1/sweep", req+`,"workers":4}`)
+	if !bytes.Equal(seq, par) {
+		t.Fatal("worker bound must not change the response bytes")
+	}
+}
+
+func TestConcurrentIdenticalRequestsSingleFlight(t *testing.T) {
+	for _, workers := range []int{1, 4, 0} {
+		svc, srv := newTestServer(t, Config{MaxWorkers: workers})
+		body := `{"goal":` + goalJSON + `,"min_rate":"32 kbps","max_rate":"4096 kbps","points":24}`
+		const clients = 8
+		results := make([][]byte, clients)
+		var wg sync.WaitGroup
+		wg.Add(clients)
+		for i := 0; i < clients; i++ {
+			go func(i int) {
+				defer wg.Done()
+				resp, err := http.Post(srv.URL+"/v1/sweep", "application/json", strings.NewReader(body))
+				if err != nil {
+					t.Errorf("client %d: %v", i, err)
+					return
+				}
+				defer resp.Body.Close()
+				results[i], _ = io.ReadAll(resp.Body)
+			}(i)
+		}
+		wg.Wait()
+		for i := 1; i < clients; i++ {
+			if !bytes.Equal(results[0], results[i]) {
+				t.Fatalf("workers=%d: client %d response differs from client 0", workers, i)
+			}
+		}
+		st := svc.CacheStats()
+		if st.Entries != 1 {
+			t.Errorf("workers=%d: entries = %d; want 1", workers, st.Entries)
+		}
+		if st.Misses != 1 {
+			t.Errorf("workers=%d: misses = %d; only the flight leader is a miss, waiters count as hits", workers, st.Misses)
+		}
+		if st.Hits != clients-1 {
+			t.Errorf("workers=%d: hits = %d; want %d (every non-leader client)", workers, st.Hits, clients-1)
+		}
+	}
+}
+
+func TestStatszEndpoint(t *testing.T) {
+	_, srv := newTestServer(t, Config{})
+	post(t, srv, "/v1/breakeven", `{"rate":"1024 kbps"}`)
+	post(t, srv, "/v1/breakeven", `{"rate":"1024 kbps"}`)
+	resp, err := http.Get(srv.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decode statsz: %v", err)
+	}
+	if st.Served != 2 || st.Cache.Hits != 1 || st.Cache.Misses != 1 {
+		t.Errorf("stats = %+v; want 2 served, 1 hit, 1 miss", st)
+	}
+	if st.InFlight != 0 {
+		t.Errorf("in-flight = %d; want 0 at rest", st.InFlight)
+	}
+}
+
+func TestLibraryPathSharesCacheWithHTTP(t *testing.T) {
+	svc, srv := newTestServer(t, Config{})
+	typedResp, err := svc.Dimension(context.Background(), DimensionRequest{
+		Rate: "1024 kbps",
+		Goal: GoalSpec{EnergySaving: 0.7, CapacityUtilisation: 0.88, Lifetime: "7 years"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, httpBody := post(t, srv, "/v1/dimension", `{"rate":"1024 kbps","goal":`+goalJSON+`}`)
+	var httpResp DimensionResponse
+	if err := json.Unmarshal(httpBody, &httpResp); err != nil {
+		t.Fatal(err)
+	}
+	if typedResp.BufferBits != httpResp.BufferBits || typedResp.Dominant != httpResp.Dominant {
+		t.Error("library and HTTP answers diverge")
+	}
+	if st := svc.CacheStats(); st.Hits != 1 {
+		t.Errorf("hits = %d; the HTTP request must reuse the library call's entry", st.Hits)
+	}
+}
+
+func TestNaNInputsRejectedAsValidation(t *testing.T) {
+	svc := New(Config{})
+	ctx := context.Background()
+	nan := math.NaN()
+	var verr *ValidationError
+	if _, err := svc.Dimension(ctx, DimensionRequest{
+		Rate: "1024 kbps",
+		Goal: GoalSpec{EnergySaving: nan, CapacityUtilisation: 0.88, Lifetime: "7 years"},
+	}); !errors.As(err, &verr) {
+		t.Errorf("NaN energy goal: err = %v; want a ValidationError", err)
+	}
+	if _, err := svc.Simulate(ctx, SimulateRequest{
+		Rate: "1024 kbps", Buffer: "64 KiB", BestEffort: &nan,
+	}); !errors.As(err, &verr) {
+		t.Errorf("NaN best effort: err = %v; want a ValidationError", err)
+	}
+	if _, err := svc.Dimension(ctx, DimensionRequest{
+		Rate: "1024 kbps",
+		Goal: GoalSpec{EnergySaving: 0.7, CapacityUtilisation: 0.88, Lifetime: "NaN"},
+	}); !errors.As(err, &verr) {
+		t.Errorf("NaN lifetime string: err = %v; want a ValidationError", err)
+	}
+	if _, err := svc.MultiStream(ctx, MultiStreamRequest{
+		Goal:    GoalSpec{EnergySaving: 0.7, CapacityUtilisation: 0.88, Lifetime: "7 years"},
+		Streams: []MultiStreamSpec{{Name: "a", Rate: "768 kbps", WriteFraction: nan}},
+	}); !errors.As(err, &verr) {
+		t.Errorf("NaN write fraction: err = %v; want a ValidationError", err)
+	}
+}
+
+func TestQuantityRejectsNonScalar(t *testing.T) {
+	var q Quantity
+	if err := json.Unmarshal([]byte(`{"a":1}`), &q); err == nil {
+		t.Error("object must not unmarshal into a Quantity")
+	}
+	if err := json.Unmarshal([]byte(`[1]`), &q); err == nil {
+		t.Error("array must not unmarshal into a Quantity")
+	}
+	if err := json.Unmarshal([]byte(`3.5`), &q); err != nil || q != "3.5" {
+		t.Errorf("number: q=%q err=%v; want 3.5, nil", q, err)
+	}
+}

@@ -42,23 +42,41 @@ const (
 	KiB = units.KiB
 	// MiB is 1024 KiB.
 	MiB = units.MiB
+	// GiB is 1024 MiB.
+	GiB = units.GiB
+	// KB is a decimal kilobyte (1000 bytes).
+	KB = units.KB
+	// MB is a decimal megabyte.
+	MB = units.MB
 	// GB is a decimal gigabyte (used for device capacities).
 	GB = units.GB
+	// TB is a decimal terabyte.
+	TB = units.TB
 
 	// Kbps is 1000 bits per second.
 	Kbps = units.Kbps
 	// Mbps is 1000 kbps.
 	Mbps = units.Mbps
+	// Gbps is 1000 Mbps.
+	Gbps = units.Gbps
 
+	// Microsecond is one millionth of a second.
+	Microsecond = units.Microsecond
 	// Millisecond is one thousandth of a second.
 	Millisecond = units.Millisecond
 	// Second is one second.
 	Second = units.Second
+	// Minute is 60 seconds (the span of DefaultSimConfig's run).
+	Minute = units.Minute
 	// Hour is 3600 seconds.
 	Hour = units.Hour
+	// Day is 24 hours.
+	Day = units.Day
 	// Year is a 365-day year.
 	Year = units.Year
 
+	// Microwatt is one millionth of a watt.
+	Microwatt = units.Microwatt
 	// Milliwatt is one thousandth of a watt.
 	Milliwatt = units.Milliwatt
 	// Watt is one watt.
@@ -84,7 +102,7 @@ func DefaultDevice() Device { return device.DefaultMEMS() }
 
 // ImprovedDevice returns the Fig. 3c durability scenario: 200 probe write
 // cycles and silicon springs rated at 1e12 duty cycles.
-func ImprovedDevice() Device { return device.DefaultMEMS().WithDurability(200, 1e12) }
+func ImprovedDevice() Device { return device.ImprovedMEMS() }
 
 // DefaultDRAM returns the Micron TN-46-03-style buffer model.
 func DefaultDRAM() DRAM { return device.DefaultDRAM() }
@@ -212,7 +230,11 @@ func SweepBuffer(dev Device, rate BitRate, lo, hi Size, n int) (*BufferCurve, er
 // SweepBufferContext is SweepBuffer with explicit cancellation and worker
 // bound, with the same semantics as ExploreContext.
 func SweepBufferContext(ctx context.Context, workers int, dev Device, rate BitRate, lo, hi Size, n int) (*BufferCurve, error) {
-	return explore.SweepBufferContext(ctx, dev, rate, core.Options{}, lo, hi, n, workers)
+	curve, err := explore.SweepBufferContext(ctx, dev, rate, core.Options{}, lo, hi, n, workers)
+	if err != nil {
+		return nil, fmt.Errorf("memstream: %w", err)
+	}
+	return curve, nil
 }
 
 // Simulation types.
@@ -246,7 +268,13 @@ func DefaultCalendar() PlaybackCalendar { return workload.DefaultCalendar() }
 
 // Simulate runs a discrete-event simulation of the MEMS + DRAM streaming
 // architecture and returns its statistics.
-func Simulate(cfg SimConfig) (*SimStats, error) { return sim.RunConfig(cfg) }
+func Simulate(cfg SimConfig) (*SimStats, error) {
+	stats, err := sim.RunConfig(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("memstream: %w", err)
+	}
+	return stats, nil
+}
 
 // SimulateBatch runs many independent simulations concurrently on one worker
 // per CPU and returns the statistics in input order. Every configuration
@@ -286,11 +314,19 @@ func DefaultSimConfig(rate BitRate, buffer Size) SimConfig {
 // BreakEvenBuffer returns the break-even streaming buffer of the MEMS device
 // at the given rate (Section III-A.1).
 func BreakEvenBuffer(dev Device, rate BitRate) (Size, error) {
-	return energy.BreakEvenBuffer(energy.MEMSBreakEvenAdapter{Device: dev}, rate)
+	b, err := energy.BreakEvenBuffer(energy.MEMSBreakEvenAdapter{Device: dev}, rate)
+	if err != nil {
+		return 0, fmt.Errorf("memstream: %w", err)
+	}
+	return b, nil
 }
 
 // DiskBreakEvenBuffer returns the break-even streaming buffer of the disk
 // baseline at the given rate.
 func DiskBreakEvenBuffer(d Disk, rate BitRate) (Size, error) {
-	return energy.BreakEvenBuffer(energy.DiskBreakEvenAdapter{Disk: d}, rate)
+	b, err := energy.BreakEvenBuffer(energy.DiskBreakEvenAdapter{Disk: d}, rate)
+	if err != nil {
+		return 0, fmt.Errorf("memstream: %w", err)
+	}
+	return b, nil
 }

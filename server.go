@@ -1,0 +1,65 @@
+package memstream
+
+// This file exposes the dimensioning service: a cache-backed evaluation
+// layer over the model, sweep, simulation and shared-device engines, usable
+// both as a library (NewService and the typed request methods) and over HTTP
+// (Service.Handler, served by cmd/memsd).
+
+import (
+	"memstream/internal/cache"
+	"memstream/internal/service"
+)
+
+// Service layer types.
+type (
+	// Service answers dimensioning questions through a sharded result
+	// cache; identical requests return byte-identical cached answers.
+	Service = service.Service
+	// ServiceConfig parameterises a Service (cache bounds, worker cap,
+	// per-request deadline).
+	ServiceConfig = service.Config
+	// ServiceStats is the /statsz payload: cache plus request counters.
+	ServiceStats = service.Stats
+	// CacheStats is the sharded result-cache counter snapshot.
+	CacheStats = cache.Stats
+	// Quantity is a request quantity: a JSON string in unit grammar
+	// ("1024 kbps", "64 KiB", "7 years") or a bare number (bit/s for
+	// rates, bytes for sizes, seconds for durations).
+	Quantity = service.Quantity
+	// DeviceSpec selects the MEMS device of a request ("default" or
+	// "improved", with optional durability overrides).
+	DeviceSpec = service.DeviceSpec
+	// GoalSpec is the (E, C, L) design goal of a request.
+	GoalSpec = service.GoalSpec
+
+	// DimensionRequest asks for the buffer meeting a goal at one rate.
+	DimensionRequest = service.DimensionRequest
+	// DimensionResponse answers a DimensionRequest.
+	DimensionResponse = service.DimensionResponse
+	// SweepRequest asks for a dimensioning sweep over log-spaced rates.
+	SweepRequest = service.SweepRequest
+	// SweepResponse answers a SweepRequest.
+	SweepResponse = service.SweepResponse
+	// SimulateRequest asks for one or more simulation runs.
+	SimulateRequest = service.SimulateRequest
+	// SimulateResponse answers a SimulateRequest.
+	SimulateResponse = service.SimulateResponse
+	// BreakEvenRequest asks for the MEMS and disk break-even buffers.
+	BreakEvenRequest = service.BreakEvenRequest
+	// BreakEvenResponse answers a BreakEvenRequest.
+	BreakEvenResponse = service.BreakEvenResponse
+	// MultiStreamRequest asks for shared-device dimensioning of a mix.
+	MultiStreamRequest = service.MultiStreamRequest
+	// MultiStreamResponse answers a MultiStreamRequest.
+	MultiStreamResponse = service.MultiStreamResponse
+	// MultiStreamSpec describes one stream of a MultiStreamRequest.
+	MultiStreamSpec = service.MultiStreamSpec
+	// ServiceValidationError marks a request rejected before computing;
+	// the HTTP layer maps it to a 400 response.
+	ServiceValidationError = service.ValidationError
+)
+
+// NewService builds the cache-backed dimensioning service. The zero
+// ServiceConfig is usable: default cache bounds, one worker per CPU and no
+// per-request deadline.
+func NewService(cfg ServiceConfig) *Service { return service.New(cfg) }

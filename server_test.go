@@ -1,0 +1,123 @@
+package memstream
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestNewServiceMemoizes exercises the public cache-backed evaluation path:
+// the second identical question is answered from the cache with the same
+// values.
+func TestNewServiceMemoizes(t *testing.T) {
+	svc := NewService(ServiceConfig{})
+	req := DimensionRequest{
+		Rate: "1024 kbps",
+		Goal: GoalSpec{EnergySaving: 0.7, CapacityUtilisation: 0.88, Lifetime: "7 years"},
+	}
+	first, err := svc.Dimension(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := svc.Dimension(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.BufferBits != second.BufferBits || first.Dominant != second.Dominant {
+		t.Errorf("cached answer differs: %+v vs %+v", first, second)
+	}
+	st := svc.CacheStats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("cache stats = %+v; want 1 hit, 1 miss", st)
+	}
+
+	// The service answer must agree with the direct library path.
+	model, err := New(DefaultDevice(), 1024*Kbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dim, err := model.Dimension(PaperGoalB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := first.BufferBits, dim.Buffer.Bits(); got != want {
+		t.Errorf("service buffer = %v bits; direct model says %v", got, want)
+	}
+}
+
+// TestServiceValidationErrorSurfaced checks the typed error reaches library
+// callers.
+func TestServiceValidationErrorSurfaced(t *testing.T) {
+	svc := NewService(ServiceConfig{})
+	_, err := svc.Dimension(context.Background(), DimensionRequest{
+		Rate: "not-a-rate",
+		Goal: GoalSpec{EnergySaving: 0.7, CapacityUtilisation: 0.88, Lifetime: "7 years"},
+	})
+	if err == nil {
+		t.Fatal("expected a validation error")
+	}
+	if !strings.Contains(err.Error(), "invalid request") {
+		t.Errorf("err = %v; want a validation error", err)
+	}
+}
+
+// TestMinuteReexported locks in the units audit: every unit DefaultSimConfig
+// uses must be writable from the public package.
+func TestMinuteReexported(t *testing.T) {
+	cfg := DefaultSimConfig(1024*Kbps, 64*KiB)
+	if cfg.Duration != 5*Minute {
+		t.Errorf("DefaultSimConfig duration = %v; want %v", cfg.Duration, 5*Minute)
+	}
+	if Minute != 60*Second || Day != 24*Hour || Gbps != 1000*Mbps {
+		t.Error("re-exported unit constants disagree with internal/units")
+	}
+	if GiB != 1024*MiB || TB != 1000*GB || KB != 1000*Byte || MB != 1000*KB {
+		t.Error("re-exported size constants disagree with internal/units")
+	}
+	if Microsecond != Millisecond/1000 || Microwatt != Milliwatt/1000 {
+		t.Error("re-exported micro constants disagree with internal/units")
+	}
+}
+
+// TestErrorPrefixOnRemainingEntryPoints locks in the memstream: prefix on
+// the entry points PR 1 left bare.
+func TestErrorPrefixOnRemainingEntryPoints(t *testing.T) {
+	dev := DefaultDevice()
+	checks := []struct {
+		name string
+		call func() error
+	}{
+		{"Simulate", func() error {
+			cfg := DefaultSimConfig(1024*Kbps, 64*KiB)
+			cfg.Buffer = 0
+			_, err := Simulate(cfg)
+			return err
+		}},
+		{"SweepBuffer", func() error {
+			_, err := SweepBuffer(dev, 1024*Kbps, 8*KiB, 64*KiB, 1)
+			return err
+		}},
+		{"SweepBufferContext", func() error {
+			_, err := SweepBufferContext(context.Background(), 2, dev, 1024*Kbps, 64*KiB, 8*KiB, 16)
+			return err
+		}},
+		{"BreakEvenBuffer", func() error {
+			_, err := BreakEvenBuffer(dev, -1*Kbps)
+			return err
+		}},
+		{"DiskBreakEvenBuffer", func() error {
+			_, err := DiskBreakEvenBuffer(DefaultDisk(), -1*Kbps)
+			return err
+		}},
+	}
+	for _, c := range checks {
+		err := c.call()
+		if err == nil {
+			t.Errorf("%s: expected an error from the invalid call", c.name)
+			continue
+		}
+		if !strings.HasPrefix(err.Error(), "memstream: ") {
+			t.Errorf("%s: error %q lacks the memstream: prefix", c.name, err)
+		}
+	}
+}
