@@ -9,7 +9,12 @@
 //
 // Usage:
 //
-//	memssim -rate 1024kbps -buffer 20KiB -duration 5min [-vbr] [-besteffort 0.05] [-ber 1e-4] [-validate] [-replicas 8]
+//	memssim -rate 1024kbps -buffer 20KiB -duration 5min [-device mems|improved|disk] [-vbr] [-besteffort 0.05] [-ber 1e-4] [-validate] [-replicas 8]
+//
+// -device selects the simulated backend: the Table I MEMS device ("mems",
+// the default), the improved-durability MEMS scenario ("improved"), or the
+// 1.8-inch disk baseline ("disk" — remember a megabyte-scale -buffer, since
+// the buffer must cover the drain over the drive's seconds-long spin-up).
 package main
 
 import (
@@ -30,20 +35,43 @@ func main() {
 	video := flag.Bool("video", false, "use an MPEG-like frame-accurate video trace (overrides -vbr)")
 	bestEffort := flag.Float64("besteffort", 0.05, "best-effort share of device time (0 disables)")
 	ber := flag.Float64("ber", 0, "raw media bit-error rate exercised through the ECC codec")
-	improved := flag.Bool("improved", false, "use the improved-durability device")
+	deviceStr := flag.String("device", "", "device backend: mems, improved or disk (default mems)")
+	improved := flag.Bool("improved", false, "deprecated: alias for -device improved")
 	seed := flag.Uint64("seed", 1, "random seed")
 	validate := flag.Bool("validate", false, "compare the simulation against the analytical model")
 	replicas := flag.Int("replicas", 1, "run this many seed-varied replicas concurrently and report the spread")
 	flag.Parse()
 
-	if err := run(os.Stdout, *rateStr, *bufferStr, *durationStr, *vbr, *video, *bestEffort, *ber, *improved, *seed, *validate, *replicas); err != nil {
+	if err := run(os.Stdout, *rateStr, *bufferStr, *durationStr, *vbr, *video, *bestEffort, *ber, *deviceStr, *improved, *seed, *validate, *replicas); err != nil {
 		fmt.Fprintln(os.Stderr, "memssim:", err)
 		os.Exit(1)
 	}
 }
 
+// resolveDevice turns the -device and deprecated -improved flags into a
+// canonical backend name, rejecting unknown or contradictory selections
+// instead of silently defaulting.
+func resolveDevice(deviceStr string, improvedAlias bool) (string, error) {
+	name := deviceStr
+	if name == "" {
+		if improvedAlias {
+			name = "improved"
+		} else {
+			name = "mems"
+		}
+	} else if improvedAlias && name != "improved" {
+		return "", fmt.Errorf("-improved is an alias for -device improved and contradicts -device %s", name)
+	}
+	switch name {
+	case "mems", "improved", "disk":
+		return name, nil
+	default:
+		return "", fmt.Errorf("unknown -device %q (want mems, improved or disk)", name)
+	}
+}
+
 func run(w io.Writer, rateStr, bufferStr, durationStr string, vbr, video bool, bestEffort, ber float64,
-	improved bool, seed uint64, validate bool, replicas int) error {
+	deviceStr string, improvedAlias bool, seed uint64, validate bool, replicas int) error {
 
 	rate, err := units.ParseBitRate(rateStr)
 	if err != nil {
@@ -57,10 +85,22 @@ func run(w io.Writer, rateStr, bufferStr, durationStr string, vbr, video bool, b
 	if err != nil {
 		return err
 	}
-	dev := memstream.DefaultDevice()
-	if improved {
-		dev = memstream.ImprovedDevice()
+	deviceName, err := resolveDevice(deviceStr, improvedAlias)
+	if err != nil {
+		return err
 	}
+	dev := memstream.DefaultDevice()
+	var backend memstream.SimBackend
+	switch deviceName {
+	case "improved":
+		dev = memstream.ImprovedDevice()
+	case "disk":
+		if validate {
+			return fmt.Errorf("-validate compares against the analytical MEMS model; it does not support -device disk")
+		}
+		backend = memstream.DiskBackend(memstream.DefaultDisk())
+	}
+	mediaRate := memstream.SimConfig{Device: dev, Backend: backend}.MediaRate()
 
 	// configFor builds the full simulation configuration for one seed: the
 	// stream, the optional video trace and the best-effort process all
@@ -69,6 +109,7 @@ func run(w io.Writer, rateStr, bufferStr, durationStr string, vbr, video bool, b
 	configFor := func(s uint64) (memstream.SimConfig, error) {
 		cfg := memstream.SimConfig{
 			Device:       dev,
+			Backend:      backend,
 			DRAM:         memstream.DefaultDRAM(),
 			Buffer:       buffer,
 			Stream:       memstream.NewCBRStream(rate),
@@ -88,7 +129,7 @@ func run(w io.Writer, rateStr, bufferStr, durationStr string, vbr, video bool, b
 			cfg.RateSource = pattern
 		}
 		if bestEffort > 0 {
-			cfg.BestEffort = memstream.NewBestEffortProcess(bestEffort, dev.MediaRate(), s)
+			cfg.BestEffort = memstream.NewBestEffortProcess(bestEffort, mediaRate, s)
 		}
 		return cfg, nil
 	}
@@ -134,10 +175,14 @@ func run(w io.Writer, rateStr, bufferStr, durationStr string, vbr, video bool, b
 		stats.DeviceEnergy(), stats.AverageDevicePower(), 100*stats.DutyCycle())
 	fmt.Fprintf(w, "DRAM energy:          %v\n", stats.DRAMEnergy)
 	fmt.Fprintf(w, "per-bit energy:       %v\n", stats.PerBitEnergy())
-	cal := memstream.DefaultCalendar()
-	fmt.Fprintf(w, "springs projection:   %.1f years at the %s calendar\n",
-		stats.ProjectedSpringsLifetime(dev, cal).Years(), cal)
-	fmt.Fprintf(w, "probes projection:    %.1f years\n", stats.ProjectedProbesLifetime(dev, cal).Years())
+	if deviceName == "disk" {
+		fmt.Fprintln(w, "wear projections:     n/a (springs/probes wear is MEMS-specific)")
+	} else {
+		cal := memstream.DefaultCalendar()
+		fmt.Fprintf(w, "springs projection:   %.1f years at the %s calendar\n",
+			stats.ProjectedSpringsLifetime(dev, cal).Years(), cal)
+		fmt.Fprintf(w, "probes projection:    %.1f years\n", stats.ProjectedProbesLifetime(dev, cal).Years())
+	}
 	if ber > 0 {
 		fmt.Fprintf(w, "ECC activity:         %d corrected, %d uncorrectable\n",
 			stats.ECCCorrected, stats.ECCUncorrectable)

@@ -8,7 +8,7 @@ import (
 
 func TestRunBasic(t *testing.T) {
 	var buf bytes.Buffer
-	err := run(&buf, "1024kbps", "20KiB", "30s", false, false, 0.05, 0, false, 1, false, 1)
+	err := run(&buf, "1024kbps", "20KiB", "30s", false, false, 0.05, 0, "", false, 1, false, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,7 +25,7 @@ func TestRunBasic(t *testing.T) {
 
 func TestRunValidate(t *testing.T) {
 	var buf bytes.Buffer
-	err := run(&buf, "1024kbps", "20KiB", "30s", false, false, 0, 0, false, 1, true, 1)
+	err := run(&buf, "1024kbps", "20KiB", "30s", false, false, 0, 0, "", false, 1, true, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +40,7 @@ func TestRunValidate(t *testing.T) {
 
 func TestRunValidateWithBestEffortNote(t *testing.T) {
 	var buf bytes.Buffer
-	err := run(&buf, "1024kbps", "20KiB", "30s", false, false, 0.05, 0, false, 1, true, 1)
+	err := run(&buf, "1024kbps", "20KiB", "30s", false, false, 0.05, 0, "", false, 1, true, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +51,7 @@ func TestRunValidateWithBestEffortNote(t *testing.T) {
 
 func TestRunVBRWithErrors(t *testing.T) {
 	var buf bytes.Buffer
-	err := run(&buf, "1024kbps", "45KiB", "30s", true, false, 0.05, 1e-4, false, 7, false, 1)
+	err := run(&buf, "1024kbps", "45KiB", "30s", true, false, 0.05, 1e-4, "", false, 7, false, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +62,7 @@ func TestRunVBRWithErrors(t *testing.T) {
 
 func TestRunImprovedDevice(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "1024kbps", "20KiB", "30s", false, false, 0, 0, true, 1, false, 1); err != nil {
+	if err := run(&buf, "1024kbps", "20KiB", "30s", false, false, 0, 0, "", true, 1, false, 1); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "springs projection") {
@@ -77,19 +77,19 @@ func TestRunBadInputs(t *testing.T) {
 		{"1024kbps", "20KiB", "oops"},
 	}
 	for _, c := range cases {
-		if err := run(&bytes.Buffer{}, c[0], c[1], c[2], false, false, 0, 0, false, 1, false, 1); err == nil {
+		if err := run(&bytes.Buffer{}, c[0], c[1], c[2], false, false, 0, 0, "", false, 1, false, 1); err == nil {
 			t.Errorf("bogus inputs %v accepted", c)
 		}
 	}
 	// A buffer too small for the seek time must surface the simulator error.
-	if err := run(&bytes.Buffer{}, "4096kbps", "1000bit", "30s", false, false, 0, 0, false, 1, false, 1); err == nil {
+	if err := run(&bytes.Buffer{}, "4096kbps", "1000bit", "30s", false, false, 0, 0, "", false, 1, false, 1); err == nil {
 		t.Error("undersized buffer accepted")
 	}
 }
 
 func TestRunVideoTrace(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "1024kbps", "64KiB", "30s", false, true, 0.05, 0, false, 3, false, 1); err != nil {
+	if err := run(&buf, "1024kbps", "64KiB", "30s", false, true, 0.05, 0, "", false, 3, false, 1); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -103,7 +103,7 @@ func TestRunVideoTrace(t *testing.T) {
 
 func TestRunReplicas(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "1024kbps", "20KiB", "30s", true, false, 0.05, 0, false, 1, false, 4); err != nil {
+	if err := run(&buf, "1024kbps", "20KiB", "30s", true, false, 0.05, 0, "", false, 1, false, 4); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -120,7 +120,7 @@ func TestRunReplicas(t *testing.T) {
 }
 
 func TestRunReplicasInvalid(t *testing.T) {
-	if err := run(&bytes.Buffer{}, "1024kbps", "20KiB", "30s", false, false, 0, 0, false, 1, false, 0); err == nil {
+	if err := run(&bytes.Buffer{}, "1024kbps", "20KiB", "30s", false, false, 0, 0, "", false, 1, false, 0); err == nil {
 		t.Error("replicas=0 accepted")
 	}
 }
@@ -130,10 +130,10 @@ func TestRunReplicasInvalid(t *testing.T) {
 // RNG state, so the batch must be reproducible.
 func TestRunReplicasDeterministic(t *testing.T) {
 	var a, b bytes.Buffer
-	if err := run(&a, "1024kbps", "20KiB", "30s", true, false, 0.05, 0, false, 9, false, 3); err != nil {
+	if err := run(&a, "1024kbps", "20KiB", "30s", true, false, 0.05, 0, "", false, 9, false, 3); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(&b, "1024kbps", "20KiB", "30s", true, false, 0.05, 0, false, 9, false, 3); err != nil {
+	if err := run(&b, "1024kbps", "20KiB", "30s", true, false, 0.05, 0, "", false, 9, false, 3); err != nil {
 		t.Fatal(err)
 	}
 	if a.String() != b.String() {
@@ -142,8 +142,89 @@ func TestRunReplicasDeterministic(t *testing.T) {
 }
 
 func TestRunReplicasRejectsValidate(t *testing.T) {
-	err := run(&bytes.Buffer{}, "1024kbps", "20KiB", "30s", false, false, 0, 0, false, 1, true, 4)
+	err := run(&bytes.Buffer{}, "1024kbps", "20KiB", "30s", false, false, 0, 0, "", false, 1, true, 4)
 	if err == nil || !strings.Contains(err.Error(), "-validate") {
 		t.Errorf("combining -validate with -replicas should error, got %v", err)
+	}
+}
+
+func TestResolveDevice(t *testing.T) {
+	cases := []struct {
+		device   string
+		improved bool
+		want     string
+		wantErr  bool
+	}{
+		{"", false, "mems", false},
+		{"", true, "improved", false},
+		{"mems", false, "mems", false},
+		{"improved", false, "improved", false},
+		{"improved", true, "improved", false},
+		{"disk", false, "disk", false},
+		{"mems", true, "", true}, // contradicts the alias
+		{"disk", true, "", true}, // contradicts the alias
+		{"floppy", false, "", true},
+		{"MEMS", false, "", true}, // no silent case-folding
+	}
+	for _, c := range cases {
+		got, err := resolveDevice(c.device, c.improved)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("resolveDevice(%q, %v) accepted, want error", c.device, c.improved)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("resolveDevice(%q, %v): %v", c.device, c.improved, err)
+		} else if got != c.want {
+			t.Errorf("resolveDevice(%q, %v) = %q, want %q", c.device, c.improved, got, c.want)
+		}
+	}
+}
+
+func TestRunDiskDevice(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "1024kbps", "8MB", "60s", false, false, 0.05, 0, "disk", false, 1, false, 1); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "refill cycles") {
+		t.Errorf("disk run produced no statistics:\n%s", out)
+	}
+	if !strings.Contains(out, "wear projections:     n/a") {
+		t.Errorf("disk run should report the MEMS wear projections as n/a:\n%s", out)
+	}
+	if strings.Contains(out, "springs projection") {
+		t.Errorf("disk run printed MEMS springs projection:\n%s", out)
+	}
+}
+
+func TestRunDiskRejections(t *testing.T) {
+	// An unknown -device must be a usage error, not a silent default.
+	err := run(&bytes.Buffer{}, "1024kbps", "20KiB", "30s", false, false, 0, 0, "floppy", false, 1, false, 1)
+	if err == nil || !strings.Contains(err.Error(), "unknown -device") {
+		t.Errorf("unknown device: err = %v, want usage error", err)
+	}
+	// -validate needs the analytical MEMS model.
+	err = run(&bytes.Buffer{}, "1024kbps", "8MB", "30s", false, false, 0, 0, "disk", false, 1, true, 1)
+	if err == nil || !strings.Contains(err.Error(), "-validate") {
+		t.Errorf("disk+validate: err = %v, want -validate error", err)
+	}
+	// A MEMS-sized buffer cannot cover the disk's spin-up drain.
+	if err := run(&bytes.Buffer{}, "1024kbps", "20KiB", "30s", false, false, 0, 0, "disk", false, 1, false, 1); err == nil {
+		t.Error("disk run with a 20 KiB buffer accepted")
+	}
+}
+
+func TestRunImprovedAliasMatchesDeviceFlag(t *testing.T) {
+	var alias, flagged bytes.Buffer
+	if err := run(&alias, "1024kbps", "20KiB", "30s", false, false, 0, 0, "", true, 1, false, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&flagged, "1024kbps", "20KiB", "30s", false, false, 0, 0, "improved", false, 1, false, 1); err != nil {
+		t.Fatal(err)
+	}
+	if alias.String() != flagged.String() {
+		t.Error("-improved and -device improved diverged")
 	}
 }

@@ -51,6 +51,44 @@
 // the exported calls mutate shared state, so independent calls may also be
 // issued from multiple goroutines.
 //
+// # Simulation engine
+//
+// The discrete-event simulator is built on an event-driven core
+// (internal/engine) shared by the single-stream simulator, the shared-device
+// study and the service layer. It advances time by next-event stepping — a
+// drain or refill integration step ends at the earliest of the target
+// buffer level, the run deadline, and the next demand change announced by
+// the rate source — so piecewise-constant demand (CBR, VBR segments,
+// per-frame video traces) is integrated exactly, and VBR/video runs take
+// steps proportional to the number of rate changes instead of fixed
+// 20-millisecond slices.
+//
+// The engine accounts per-state time and energy against a pluggable device
+// backend (power per cycle state, positioning and shutdown transitions,
+// media rate, write-wear inflation). Two backends ship with the library:
+// the Table I MEMS device and the 1.8-inch disk baseline, which makes the
+// paper's Section III-A.1 break-even comparison executable end to end —
+// examples/diskcomparison bisects the simulated spin-down saving and
+// reproduces DiskBreakEvenBuffer within a percent.
+//
+// Picking a backend:
+//
+//   - Library: leave SimConfig.Backend nil for the MEMS device in
+//     SimConfig.Device, or assign MEMSBackend/DiskBackend (via
+//     DefaultSimConfigFor or DefaultDiskSimConfig); SimulateDisk runs a
+//     configuration against a drive directly.
+//   - CLI: memssim -device mems|improved|disk (-improved remains as a
+//     deprecated alias for -device improved; unknown names are usage
+//     errors).
+//   - HTTP API: POST /v1/simulate accepts "device":{"name":...} with
+//     "default"/"mems", "improved" or "disk"; the backend is part of the
+//     cache fingerprint, and disk runs omit the MEMS-specific wear
+//     projections.
+//
+// SimStats exposes per-state residency and energy through StateTime and
+// StateEnergy, indexed by the re-exported power states (StateSeek,
+// StateReadWrite, StateShutdown, StateStandby, StateIdle, StateBestEffort).
+//
 // # Serving
 //
 // The same questions are served as long-lived API calls through NewService,
@@ -100,6 +138,8 @@
 //   - internal/core: the combined model and the inverse buffer dimensioning
 //   - internal/explore: design-space sweeps over streaming rates
 //   - internal/parallel: the bounded worker pool behind the concurrent paths
+//   - internal/engine: the event-driven simulation core and its pluggable
+//     device backends (MEMS, 1.8-inch disk)
 //   - internal/sim, internal/workload: a discrete-event simulator and its
 //     workload generators, used to validate the analytical models
 //   - internal/cache, internal/service: the sharded result cache and the

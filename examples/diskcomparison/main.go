@@ -4,10 +4,12 @@
 // drive takes seconds and joules to spin down and up again, so megabytes of
 // buffer are needed before shutting it down pays off, and at that size the
 // capacity and lifetime requirements are met for free. This example
-// reproduces the Section III-A.1 comparison and then shows the inversion the
-// paper is about: on the MEMS device the energy-driven buffer is a thousand
-// times smaller, so the formatted-capacity and lifetime requirements take
-// over as the binding constraints.
+// reproduces the Section III-A.1 comparison, cross-checks the disk's
+// analytical break-even buffer against the event-driven simulation engine
+// running the disk backend, and then shows the inversion the paper is about:
+// on the MEMS device the energy-driven buffer is a thousand times smaller,
+// so the formatted-capacity and lifetime requirements take over as the
+// binding constraints.
 //
 // Run with:
 //
@@ -16,6 +18,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"os"
 
@@ -23,44 +26,70 @@ import (
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	dev := memstream.DefaultDevice()
 	disk := memstream.DefaultDisk()
 
-	fmt.Println("Break-even streaming buffer, MEMS vs 1.8-inch disk (Section III-A.1)")
-	fmt.Println()
+	fmt.Fprintln(w, "Break-even streaming buffer, MEMS vs 1.8-inch disk (Section III-A.1)")
+	fmt.Fprintln(w)
 	rows, err := memstream.BreakEvenTable(dev, disk, memstream.PaperBreakEvenRates())
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	if err := memstream.RenderBreakEvenTable(os.Stdout, rows); err != nil {
-		log.Fatal(err)
+	if err := memstream.RenderBreakEvenTable(w, rows); err != nil {
+		return err
 	}
 
-	fmt.Println()
-	fmt.Println("Consequences for the MEMS device at 1024 kbps:")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Simulated cross-check: the disk backend of the event-driven engine")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "  Spinning the simulated drive down pays off only above the analytical")
+	fmt.Fprintln(w, "  break-even buffer; the simulated crossing tracks the closed form:")
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "  %10s  %15s  %15s  %9s\n", "rate", "analytical B_be", "simulated B_be", "sim/model")
+	for _, rate := range []memstream.BitRate{256 * memstream.Kbps, 1024 * memstream.Kbps, 4096 * memstream.Kbps} {
+		analytic, err := memstream.DiskBreakEvenBuffer(disk, rate)
+		if err != nil {
+			return err
+		}
+		simulated, err := simulatedDiskBreakEven(disk, rate, analytic)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  %10v  %12.2f MB  %12.2f MB  %9.2f\n",
+			rate, analytic.Bytes()/1e6, simulated.Bytes()/1e6, simulated.DivideBy(analytic))
+	}
+
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Consequences for the MEMS device at 1024 kbps:")
 	model, err := memstream.New(dev, 1024*memstream.Kbps)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	be, err := model.BreakEvenBuffer()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	goal := memstream.PaperGoalB()
 	dim, err := model.Dimension(goal)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if !dim.Feasible {
-		log.Fatalf("goal %v unexpectedly infeasible", goal)
+		return fmt.Errorf("goal %v unexpectedly infeasible", goal)
 	}
 
-	fmt.Printf("  break-even buffer (energy):         %10.2f KiB\n", be.KiBytes())
-	fmt.Printf("  buffer for 88%% usable capacity:     %10.2f KiB\n",
+	fmt.Fprintf(w, "  break-even buffer (energy):         %10.2f KiB\n", be.KiBytes())
+	fmt.Fprintf(w, "  buffer for 88%% usable capacity:     %10.2f KiB\n",
 		dim.Requirements[memstream.ConstraintCapacity].Buffer.KiBytes())
-	fmt.Printf("  buffer for 7-year springs lifetime: %10.2f KiB\n",
+	fmt.Fprintf(w, "  buffer for 7-year springs lifetime: %10.2f KiB\n",
 		dim.Requirements[memstream.ConstraintSprings].Buffer.KiBytes())
-	fmt.Printf("  => required buffer:                 %10.2f KiB (dictated by %s)\n\n",
+	fmt.Fprintf(w, "  => required buffer:                 %10.2f KiB (dictated by %s)\n\n",
 		dim.Buffer.KiBytes(), dim.Dominant.Description())
 
 	// The same lifetime question is a non-issue for the disk: its megabyte
@@ -68,16 +97,68 @@ func main() {
 	// rating lasts decades.
 	diskBE, err := memstream.DiskBreakEvenBuffer(disk, 1024*memstream.Kbps)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	streamedPerYear := memstream.DefaultWorkload().StreamedSecondsPerYear()
 	cyclesPerYear := (1024 * memstream.Kbps).Times(streamedPerYear).DivideBy(diskBE)
 	diskYears := disk.LoadUnloadCycles / cyclesPerYear
-	fmt.Printf("For the disk, the %.1f MB energy buffer implies only %.0f load/unload cycles per year,\n",
+	fmt.Fprintf(w, "For the disk, the %.1f MB energy buffer implies only %.0f load/unload cycles per year,\n",
 		diskBE.Bytes()/1e6, cyclesPerYear)
-	fmt.Printf("so its 1e5 rating lasts about %.0f years — lifetime never enters the buffer question.\n", diskYears)
-	fmt.Println()
-	fmt.Println("On MEMS storage the energy buffer is three orders of magnitude smaller, and exactly")
-	fmt.Println("because of that, capacity formatting and mechanical wear become the constraints that")
-	fmt.Println("actually size the buffer — the paper's central observation.")
+	fmt.Fprintf(w, "so its 1e5 rating lasts about %.0f years — lifetime never enters the buffer question.\n", diskYears)
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "On MEMS storage the energy buffer is three orders of magnitude smaller, and exactly")
+	fmt.Fprintln(w, "because of that, capacity formatting and mechanical wear become the constraints that")
+	fmt.Fprintln(w, "actually size the buffer — the paper's central observation.")
+	return nil
+}
+
+// simulatedDiskSaving measures, by simulation, the device-only energy saving
+// of the spin-down architecture over an always-on reference streaming the
+// same data: the reference transfers for the same media-active time and
+// idles for the rest of the run.
+func simulatedDiskSaving(disk memstream.Disk, rate memstream.BitRate, buffer memstream.Size) (float64, error) {
+	cfg := memstream.DefaultDiskSimConfig(disk, rate, buffer)
+	// A clean streaming cycle, long enough to average out the truncated
+	// final cycle: ~40 spin-down periods of roughly buffer/rate each.
+	cfg.BestEffort = memstream.BestEffortProcess{}
+	cfg.Duration = rate.TimeFor(buffer).Scale(40)
+	stats, err := memstream.Simulate(cfg)
+	if err != nil {
+		return 0, err
+	}
+	active := stats.StateTime[memstream.StateReadWrite].Add(stats.StateTime[memstream.StateBestEffort])
+	alwaysOn := disk.ReadWritePower.Times(active).
+		Add(disk.IdlePower.Times(stats.SimulatedTime.Sub(active)))
+	return 1 - stats.DeviceEnergy().Joules()/alwaysOn.Joules(), nil
+}
+
+// simulatedDiskBreakEven bisects the buffer at which the simulated saving
+// crosses zero, starting from a bracket around the analytical prediction.
+func simulatedDiskBreakEven(disk memstream.Disk, rate memstream.BitRate, analytic memstream.Size) (memstream.Size, error) {
+	lo, hi := analytic.Scale(0.3), analytic.Scale(3)
+	sLo, err := simulatedDiskSaving(disk, rate, lo)
+	if err != nil {
+		return 0, err
+	}
+	sHi, err := simulatedDiskSaving(disk, rate, hi)
+	if err != nil {
+		return 0, err
+	}
+	if sLo >= 0 || sHi <= 0 {
+		return 0, fmt.Errorf("simulated saving does not bracket zero in [0.3, 3] x %v (%.3f, %.3f)",
+			analytic, sLo, sHi)
+	}
+	for i := 0; i < 12; i++ {
+		mid := lo.Add(hi.Sub(lo).Scale(0.5))
+		s, err := simulatedDiskSaving(disk, rate, mid)
+		if err != nil {
+			return 0, err
+		}
+		if s < 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo.Add(hi.Sub(lo).Scale(0.5)), nil
 }

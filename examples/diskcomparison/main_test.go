@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"memstream"
+)
+
+// TestRunSmoke runs the whole example and checks the headline sections.
+func TestRunSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bisects simulated break-even buffers at three rates")
+	}
+	var buf bytes.Buffer
+	if err := run(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Break-even streaming buffer",
+		"Simulated cross-check",
+		"required buffer",
+		"load/unload cycles per year",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+// TestSimulatedBreakEvenReproducesAnalyticalTrend is the acceptance check of
+// the disk backend: the buffer at which the simulated spin-down saving
+// crosses zero must track DiskBreakEvenBuffer — close at every rate, and
+// growing with the rate exactly as the closed form does.
+func TestSimulatedBreakEvenReproducesAnalyticalTrend(t *testing.T) {
+	disk := memstream.DefaultDisk()
+	rates := []memstream.BitRate{256 * memstream.Kbps, 1024 * memstream.Kbps, 4096 * memstream.Kbps}
+	var prev memstream.Size
+	for _, rate := range rates {
+		analytic, err := memstream.DiskBreakEvenBuffer(disk, rate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		simulated, err := simulatedDiskBreakEven(disk, rate, analytic)
+		if err != nil {
+			t.Fatalf("%v: %v", rate, err)
+		}
+		ratio := simulated.DivideBy(analytic)
+		if ratio < 0.8 || ratio > 1.25 {
+			t.Errorf("%v: simulated break-even %v vs analytical %v (ratio %.2f outside [0.8, 1.25])",
+				rate, simulated, analytic, ratio)
+		}
+		if simulated <= prev {
+			t.Errorf("%v: simulated break-even %v did not grow with the rate (previous %v)",
+				rate, simulated, prev)
+		}
+		prev = simulated
+	}
+}

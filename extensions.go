@@ -9,6 +9,8 @@ package memstream
 //   - MPEG-like frame-accurate video traces for the simulator.
 
 import (
+	"fmt"
+
 	"memstream/internal/device"
 	"memstream/internal/energy"
 	"memstream/internal/lifetime"
@@ -51,6 +53,30 @@ type (
 // NewDiskEnergyModel builds a disk streaming-energy model at the given rate.
 func NewDiskEnergyModel(d Disk, rate BitRate) (DiskEnergyModel, error) {
 	return energy.NewDiskModel(d, rate)
+}
+
+// DefaultDiskSimConfig returns a ready-to-run simulation of the 1.8-inch
+// disk baseline streaming at the given rate through the given buffer for
+// five minutes, including the 5 % best-effort load. Note the buffer must
+// cover the drain over the drive's seconds-long spin-up — megabytes rather
+// than the MEMS device's kilobytes, which is the paper's break-even point
+// made executable.
+func DefaultDiskSimConfig(d Disk, rate BitRate, buffer Size) SimConfig {
+	return DefaultSimConfigFor(DiskBackend(d), rate, buffer)
+}
+
+// SimulateDisk runs a discrete-event simulation of the disk + DRAM streaming
+// architecture: cfg drives the given drive through the refill cycle instead
+// of the MEMS device (any Backend already set is replaced; Device is
+// ignored).
+func SimulateDisk(d Disk, cfg SimConfig) (*SimStats, error) {
+	cfg.Backend = DiskBackend(d)
+	cfg.Device = device.MEMS{}
+	stats, err := sim.RunConfig(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("memstream: %w", err)
+	}
+	return stats, nil
 }
 
 // Video-trace extension.

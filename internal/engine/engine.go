@@ -1,0 +1,436 @@
+// Package engine is the event-driven simulation core shared by the
+// single-stream simulator (internal/sim), the shared-device study
+// (internal/multistream) and, through them, the service layer: the
+// wake/seek/refill/shutdown cycle machinery of Fig. 1b, accounting per-state
+// time and energy against a pluggable device Backend.
+//
+// The engine advances time by next-event stepping, not by fixed slices: a
+// drain or refill integration step ends at the earliest of the target level,
+// the deadline, and the next demand change of the rate source (when the
+// source can announce one through RateStepper). For piecewise-constant
+// demand — CBR, VBR segments, per-frame video traces — the integration is
+// therefore exact, and the step count is proportional to the number of rate
+// changes instead of the simulated time divided by a slice width.
+//
+// Two device backends are provided: the MEMS probe store of Table I
+// (NewMEMS) and the 1.8-inch disk baseline of Section III-A.1 (NewDisk), so
+// the paper's break-even comparison can be validated end to end by
+// simulation rather than only by the closed forms of internal/energy.
+package engine
+
+import (
+	"math"
+
+	"memstream/internal/device"
+	"memstream/internal/units"
+	"memstream/internal/workload"
+)
+
+// RateSource samples the instantaneous demand of a stream. workload's
+// RatePattern (CBR/VBR) and VideoRatePattern (MPEG-like frame traces) both
+// implement it.
+type RateSource interface {
+	// RateAt returns the demand in effect at time t.
+	RateAt(t units.Duration) units.BitRate
+	// PeakRate returns the largest demand the source can produce; the
+	// engine provisions its wake-up threshold against it.
+	PeakRate() units.BitRate
+}
+
+// RateStepper is the optional refinement of RateSource that enables exact
+// event-driven stepping: NextRateChange(t) returns the earliest time
+// strictly after t at which RateAt may return a different value (infinity
+// for a constant source). Sources that do not implement it are integrated in
+// one step per drain/refill target, which is exact only for constant demand.
+type RateStepper interface {
+	NextRateChange(t units.Duration) units.Duration
+}
+
+// sliced adapts an arbitrary RateSource into a RateStepper by announcing a
+// possible rate change every step seconds. It is the compatibility fallback
+// for sources that cannot enumerate their own change points; the integration
+// then degrades gracefully to the legacy fixed-slice resolution.
+type sliced struct {
+	RateSource
+	step float64
+}
+
+// Sliced wraps src so event-driven integrators sample it at least every step
+// interval. Sources that already implement RateStepper are returned as-is.
+func Sliced(src RateSource, step units.Duration) RateSource {
+	if _, ok := src.(RateStepper); ok {
+		return src
+	}
+	if !step.Positive() {
+		return src
+	}
+	return sliced{RateSource: src, step: step.Seconds()}
+}
+
+// NextRateChange returns the end of the slice containing t, always strictly
+// after t (workload.NextBoundary carries the rounding guard).
+func (s sliced) NextRateChange(t units.Duration) units.Duration {
+	return workload.NextBoundary(t, s.step)
+}
+
+// Backend is the device model driven through the refill cycle: power per
+// state, the two mechanical transitions of a cycle, the media rate, and the
+// write-wear inflation of the formatted layout. device.MEMS and device.Disk
+// are adapted to it by NewMEMS and NewDisk.
+type Backend interface {
+	// Name labels the backend in reports.
+	Name() string
+	// Validate checks the underlying device parameters; every simulated
+	// backend is validated before a run, exactly as the MEMS device always
+	// was.
+	Validate() error
+	// MediaRate is the sustained transfer rate while refilling.
+	MediaRate() units.BitRate
+	// PositioningTime is the standby-to-active transition before a refill
+	// (MEMS: the sled seek; disk: spin-up plus an average seek). It is
+	// accounted under device.StateSeek.
+	PositioningTime() units.Duration
+	// ShutdownTime is the active-to-standby transition after a refill,
+	// accounted under device.StateShutdown.
+	ShutdownTime() units.Duration
+	// StatePower returns the power drawn in the given cycle state.
+	StatePower(device.PowerState) units.Power
+	// WriteInflation returns the physical-to-user write amplification for
+	// wear accounting when sectors are sized to the given buffer (1 for
+	// devices without a modelled formatting overhead).
+	WriteInflation(buffer units.Size) float64
+}
+
+// Stats accumulates everything observed during a run. internal/sim re-exports
+// it as sim.Stats (and the public facade as memstream.SimStats).
+type Stats struct {
+	// SimulatedTime is the wall-clock time covered by the run.
+	SimulatedTime units.Duration
+	// StateTime is the residency per device power state.
+	StateTime [device.NumStates]units.Duration
+	// StateEnergy is the device energy per power state.
+	StateEnergy [device.NumStates]units.Energy
+	// DRAMEnergy is the buffer retention plus access energy.
+	DRAMEnergy units.Energy
+	// StreamedBits is the data delivered to (or taken from) the application.
+	StreamedBits units.Size
+	// MediaBits is the data moved between the device and the buffer for the
+	// stream (excludes best-effort traffic).
+	MediaBits units.Size
+	// BestEffortBits is the best-effort data served.
+	BestEffortBits units.Size
+	// WrittenUserBits is the user data written to the device.
+	WrittenUserBits units.Size
+	// WrittenPhysicalBits includes the formatting overhead actually written.
+	WrittenPhysicalBits units.Size
+	// RefillCycles counts completed seek-refill-shutdown cycles.
+	RefillCycles int
+	// BestEffortRequests counts served background requests.
+	BestEffortRequests int
+	// Underruns counts moments the buffer ran dry while the stream drained.
+	Underruns int
+	// MinBufferLevel is the lowest buffer fill level observed.
+	MinBufferLevel units.Size
+	// ECCCorrected counts single-bit errors repaired by the codec.
+	ECCCorrected int
+	// ECCUncorrectable counts codewords the codec had to give up on.
+	ECCUncorrectable int
+}
+
+// DeviceEnergy returns the total energy drawn by the storage device.
+func (s *Stats) DeviceEnergy() units.Energy {
+	var total units.Energy
+	for _, e := range s.StateEnergy {
+		total = total.Add(e)
+	}
+	return total
+}
+
+// TotalEnergy returns device plus DRAM energy.
+func (s *Stats) TotalEnergy() units.Energy {
+	return s.DeviceEnergy().Add(s.DRAMEnergy)
+}
+
+// PerBitEnergy returns the total energy per streamed bit.
+func (s *Stats) PerBitEnergy() units.EnergyPerBit {
+	return s.TotalEnergy().PerBit(s.StreamedBits)
+}
+
+// AverageDevicePower returns the mean device power over the run.
+func (s *Stats) AverageDevicePower() units.Power {
+	return s.DeviceEnergy().DividedBy(s.SimulatedTime)
+}
+
+// RefillsPerSecond returns the observed refill-cycle frequency.
+func (s *Stats) RefillsPerSecond() float64 {
+	if !s.SimulatedTime.Positive() {
+		return 0
+	}
+	return float64(s.RefillCycles) / s.SimulatedTime.Seconds()
+}
+
+// DutyCycle returns the fraction of time the device was active (not in
+// standby).
+func (s *Stats) DutyCycle() float64 {
+	if !s.SimulatedTime.Positive() {
+		return 0
+	}
+	active := s.SimulatedTime.Sub(s.StateTime[device.StateStandby])
+	return active.Seconds() / s.SimulatedTime.Seconds()
+}
+
+// ProjectedSpringsLifetime extrapolates the observed seek/shutdown frequency
+// to the springs duty-cycle rating under the given playback calendar.
+func (s *Stats) ProjectedSpringsLifetime(dev device.MEMS, cal workload.PlaybackCalendar) units.Duration {
+	perYear := s.RefillsPerSecond() * cal.SecondsPerYear().Seconds()
+	if perYear <= 0 {
+		return units.Duration(math.Inf(1))
+	}
+	return units.Duration(dev.SpringDutyCycles / perYear * units.Year.Seconds())
+}
+
+// ProjectedProbesLifetime extrapolates the observed physical write volume to
+// the probes write-cycle rating under the given playback calendar.
+func (s *Stats) ProjectedProbesLifetime(dev device.MEMS, cal workload.PlaybackCalendar) units.Duration {
+	if !s.SimulatedTime.Positive() {
+		return 0
+	}
+	writtenPerSecond := s.WrittenPhysicalBits.Bits() / s.SimulatedTime.Seconds()
+	writtenPerYear := writtenPerSecond * cal.SecondsPerYear().Seconds()
+	if writtenPerYear <= 0 {
+		return units.Duration(math.Inf(1))
+	}
+	endurance := dev.Capacity.Scale(dev.ProbeWriteCycles)
+	return units.Duration(endurance.Bits() / writtenPerYear * units.Year.Seconds())
+}
+
+// Core is the accounting heart of one simulated device: it tracks simulated
+// time, the buffer fill level and the per-state time/energy statistics while
+// a driver (internal/sim's cycle loop) walks it through the refill cycle.
+type Core struct {
+	backend Backend
+	source  RateSource
+	stepper RateStepper // nil for sources without announced rate changes
+	buffer  units.Size
+	// The backend is immutable for the lifetime of a run, so its hot-path
+	// quantities are cached here: calling value-typed backends through the
+	// interface would otherwise copy the whole device struct per accounting
+	// step.
+	statePower  [device.NumStates]units.Power
+	mediaRate   units.BitRate
+	positioning units.Duration
+	shutdown    units.Duration
+	// inflation is the physical-to-user write amplification at this buffer
+	// size, fixed per run because the sector size equals the buffer.
+	inflation float64
+
+	now   units.Duration
+	level units.Size
+	stats Stats
+}
+
+// NewCore builds a core for one run: the buffer starts full.
+func NewCore(b Backend, src RateSource, buffer units.Size) *Core {
+	c := &Core{
+		backend:     b,
+		source:      src,
+		buffer:      buffer,
+		mediaRate:   b.MediaRate(),
+		positioning: b.PositioningTime(),
+		shutdown:    b.ShutdownTime(),
+		inflation:   b.WriteInflation(buffer),
+		level:       buffer,
+	}
+	for s := 0; s < device.NumStates; s++ {
+		c.statePower[s] = b.StatePower(device.PowerState(s))
+	}
+	if st, ok := src.(RateStepper); ok {
+		c.stepper = st
+	}
+	c.stats.MinBufferLevel = buffer
+	return c
+}
+
+// Now returns the current simulated time.
+func (c *Core) Now() units.Duration { return c.now }
+
+// Level returns the current buffer fill level.
+func (c *Core) Level() units.Size { return c.level }
+
+// Stats exposes the accumulating statistics; drivers add their own counters
+// (best-effort traffic, ECC events, DRAM energy) to it directly.
+func (c *Core) Stats() *Stats { return &c.stats }
+
+// Backend returns the device backend being driven.
+func (c *Core) Backend() Backend { return c.backend }
+
+// WakeLevel returns the buffer level at which the device must wake so the
+// stream survives the positioning transition at its peak demand, with a
+// small safety margin.
+func (c *Core) WakeLevel() units.Size {
+	return c.source.PeakRate().Times(c.positioning).Scale(1.05)
+}
+
+// Account records dt seconds in the given device state while the stream
+// drains the buffer at the demand sampled at the start of the interval.
+func (c *Core) Account(state device.PowerState, dt units.Duration) {
+	if dt <= 0 {
+		return
+	}
+	rate := c.source.RateAt(c.now)
+	drained := rate.Times(dt)
+	c.level = c.level.Sub(drained)
+	if c.level < 0 {
+		c.stats.Underruns++
+		drained = drained.Add(c.level) // only what was actually there
+		c.level = 0
+	}
+	c.stats.StreamedBits = c.stats.StreamedBits.Add(drained)
+	if c.level < c.stats.MinBufferLevel {
+		c.stats.MinBufferLevel = c.level
+	}
+	c.now = c.now.Add(dt)
+	c.stats.StateTime[state] = c.stats.StateTime[state].Add(dt)
+	c.stats.StateEnergy[state] = c.stats.StateEnergy[state].Add(c.statePower[state].Times(dt))
+}
+
+// stepBound trims an integration step so it ends no later than the source's
+// next rate change, keeping left-endpoint sampling exact for
+// piecewise-constant demand. Steps that would not advance time are left
+// untrimmed (the change is already behind or exactly at now).
+func (c *Core) stepBound(dt units.Duration) units.Duration {
+	if c.stepper == nil {
+		return dt
+	}
+	next := c.stepper.NextRateChange(c.now)
+	if remaining := next.Sub(c.now); remaining.Positive() && remaining < dt {
+		return remaining
+	}
+	return dt
+}
+
+// DrainTo stays in the given state until the buffer reaches the target level
+// or the deadline passes, stepping exactly from rate change to rate change.
+func (c *Core) DrainTo(state device.PowerState, target units.Size, deadline units.Duration) {
+	for c.level > target && c.now < deadline {
+		rate := c.source.RateAt(c.now)
+		if !rate.Positive() {
+			break
+		}
+		dt := rate.TimeFor(c.level.Sub(target))
+		if remaining := deadline.Sub(c.now); dt > remaining {
+			dt = remaining
+		}
+		dt = c.stepBound(dt)
+		c.Account(state, dt)
+	}
+}
+
+// transition accounts a mechanical transition of the given total length,
+// stepping through the source's rate changes so the concurrent drain stays
+// exact even when the transition spans several demand segments (the disk's
+// seconds-long spin-up against two-second VBR segments, for example). MEMS
+// transitions are milliseconds, so they almost always remain a single step.
+func (c *Core) transition(state device.PowerState, total units.Duration) {
+	for total.Positive() {
+		dt := c.stepBound(total)
+		if remaining := total.Sub(dt); remaining < total {
+			c.Account(state, dt)
+			total = remaining
+			continue
+		}
+		// dt vanished against total (a sub-ulp boundary sliver); finish in
+		// one step rather than loop without advancing.
+		c.Account(state, total)
+		return
+	}
+}
+
+// Positioning runs the standby-to-active transition (the wake-up seek or
+// spin-up), draining the buffer at the demand in effect along the way.
+func (c *Core) Positioning() {
+	c.transition(device.StateSeek, c.positioning)
+}
+
+// Shutdown runs the active-to-standby transition.
+func (c *Core) Shutdown() {
+	c.transition(device.StateShutdown, c.shutdown)
+}
+
+// RefillToFull runs the device in the given active state until the buffer is
+// full, crediting the transferred media bits and the write wear implied by
+// writeFraction.
+func (c *Core) RefillToFull(state device.PowerState, writeFraction float64) {
+	media := c.mediaRate
+	for c.level < c.buffer {
+		rate := c.source.RateAt(c.now)
+		net := media.Sub(rate)
+		if net <= 0 {
+			// The stream momentarily outruns the media rate; nothing refills.
+			c.Account(state, units.Duration(1e-3))
+			continue
+		}
+		dt := net.TimeFor(c.buffer.Sub(c.level))
+		dt = c.stepBound(dt)
+		transferred := media.Times(dt)
+		c.stats.MediaBits = c.stats.MediaBits.Add(transferred)
+		c.creditWrites(transferred, writeFraction)
+		// The refill and the drain happen concurrently: credit the incoming
+		// data before accounting the drain so the net fill never reads as an
+		// artificial underrun. The true occupancy minimum of a cycle occurs
+		// at the end of the positioning, which Account has already tracked.
+		c.level = c.level.Add(transferred)
+		c.Account(state, dt)
+		if c.level > c.buffer {
+			c.level = c.buffer
+		}
+	}
+}
+
+// creditWrites attributes the write share of transferred stream data to
+// device wear, inflated by the backend's formatting overhead.
+func (c *Core) creditWrites(transferred units.Size, writeFraction float64) {
+	userWritten := transferred.Scale(writeFraction)
+	c.stats.WrittenUserBits = c.stats.WrittenUserBits.Add(userWritten)
+	c.stats.WrittenPhysicalBits = c.stats.WrittenPhysicalBits.Add(userWritten.Scale(c.inflation))
+}
+
+// CycleTimes is the steady-state composition of one refill cycle, used by
+// the closed-form (non-simulated) accounting of internal/multistream.
+type CycleTimes struct {
+	// Positioning is the standby-to-active transition time (all seeks of the
+	// cycle for a shared device).
+	Positioning units.Duration
+	// Transfer is the media refill time.
+	Transfer units.Duration
+	// BestEffort is the active time spent on non-streaming requests.
+	BestEffort units.Duration
+	// Shutdown is the active-to-standby transition time.
+	Shutdown units.Duration
+	// Standby is the remaining shut-down time.
+	Standby units.Duration
+}
+
+// Period returns the full cycle length.
+func (t CycleTimes) Period() units.Duration {
+	return t.Positioning.Add(t.Transfer).Add(t.BestEffort).Add(t.Shutdown).Add(t.Standby)
+}
+
+// CycleEnergy charges each state's residency at the backend's state powers —
+// the same accounting the simulated Core performs step by step, collapsed to
+// one steady-state cycle. A simulated run and a closed-form plan that agree
+// on the per-state times therefore agree on the energy by construction.
+func CycleEnergy(b Backend, t CycleTimes) units.Energy {
+	return b.StatePower(device.StateSeek).Times(t.Positioning).
+		Add(b.StatePower(device.StateReadWrite).Times(t.Transfer)).
+		Add(b.StatePower(device.StateBestEffort).Times(t.BestEffort)).
+		Add(b.StatePower(device.StateShutdown).Times(t.Shutdown)).
+		Add(b.StatePower(device.StateStandby).Times(t.Standby))
+}
+
+// AlwaysOnEnergy is the never-shut-down reference over one cycle: the device
+// transfers for the given time and idles for the rest of the period.
+func AlwaysOnEnergy(b Backend, transfer, period units.Duration) units.Energy {
+	idle := b.StatePower(device.StateIdle).Times(period.Sub(transfer))
+	return idle.Add(b.StatePower(device.StateReadWrite).Times(transfer))
+}

@@ -1,0 +1,244 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"memstream/internal/device"
+	"memstream/internal/units"
+	"memstream/internal/workload"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale == 0 {
+		return diff < tol
+	}
+	return diff/scale < tol
+}
+
+func TestMEMSBackendMatchesDevice(t *testing.T) {
+	dev := device.DefaultMEMS()
+	b := NewMEMS(dev)
+	if b.Name() != dev.Name {
+		t.Errorf("Name = %q, want %q", b.Name(), dev.Name)
+	}
+	if b.MediaRate() != dev.MediaRate() {
+		t.Errorf("MediaRate = %v, want %v", b.MediaRate(), dev.MediaRate())
+	}
+	if b.PositioningTime() != dev.SeekTime || b.ShutdownTime() != dev.ShutdownTime {
+		t.Error("transition times disagree with the device")
+	}
+	for s := device.PowerState(0); int(s) < device.NumStates; s++ {
+		if b.StatePower(s) != dev.StatePower(s) {
+			t.Errorf("StatePower(%v) = %v, want %v", s, b.StatePower(s), dev.StatePower(s))
+		}
+	}
+	// Small sectors pay more formatting overhead than large ones.
+	small := b.WriteInflation(2 * units.KiB)
+	large := b.WriteInflation(1 * units.MiB)
+	if small <= large || large < 1 {
+		t.Errorf("write inflation should shrink with sector size: %g vs %g", small, large)
+	}
+}
+
+func TestDiskBackendTransitions(t *testing.T) {
+	d := device.Default18InchDisk()
+	b := NewDisk(d)
+	wantPos := d.SpinUpTime.Add(d.SeekTime)
+	if b.PositioningTime() != wantPos {
+		t.Errorf("PositioningTime = %v, want %v", b.PositioningTime(), wantPos)
+	}
+	if b.ShutdownTime() != d.SpinDownTime {
+		t.Errorf("ShutdownTime = %v, want %v", b.ShutdownTime(), d.SpinDownTime)
+	}
+	// Accounting the positioning at the blended power must reproduce the
+	// spin-up plus seek energy exactly.
+	got := b.StatePower(device.StateSeek).Times(b.PositioningTime())
+	want := d.SpinUpPower.Times(d.SpinUpTime).Add(d.SeekPower.Times(d.SeekTime))
+	if !almostEqual(got.Joules(), want.Joules(), 1e-12) {
+		t.Errorf("positioning energy = %v, want %v", got, want)
+	}
+	if b.WriteInflation(64*units.KiB) != 1 {
+		t.Error("disk write inflation should be 1")
+	}
+	if b.StatePower(device.PowerState(99)) != 0 {
+		t.Error("unknown state should draw no power")
+	}
+}
+
+func TestCoreDrainRefillConservation(t *testing.T) {
+	dev := device.DefaultMEMS()
+	b := NewMEMS(dev)
+	rate := 1024 * units.Kbps
+	pattern, err := workload.NewRatePattern(workload.NewCBRStream(rate))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buffer := 64 * units.KiB
+	c := NewCore(b, pattern, buffer)
+
+	target := 8 * units.KiB
+	deadline := units.Duration(3600)
+	c.DrainTo(device.StateStandby, target, deadline)
+	if !almostEqual(c.Level().Bits(), target.Bits(), 1e-9) {
+		t.Fatalf("drained to %v, want %v", c.Level(), target)
+	}
+	// CBR drain is a single exact step: streamed bits equal the level drop.
+	wantStreamed := buffer.Sub(target)
+	if !almostEqual(c.Stats().StreamedBits.Bits(), wantStreamed.Bits(), 1e-9) {
+		t.Errorf("streamed %v, want %v", c.Stats().StreamedBits, wantStreamed)
+	}
+	wantTime := rate.TimeFor(wantStreamed)
+	if !almostEqual(c.Stats().StateTime[device.StateStandby].Seconds(), wantTime.Seconds(), 1e-9) {
+		t.Errorf("standby time %v, want %v", c.Stats().StateTime[device.StateStandby], wantTime)
+	}
+
+	c.RefillToFull(device.StateReadWrite, 0.4)
+	if !almostEqual(c.Level().Bits(), buffer.Bits(), 1e-9) {
+		t.Fatalf("refilled to %v, want %v", c.Level(), buffer)
+	}
+	st := c.Stats()
+	if !st.MediaBits.Positive() || st.MediaBits < buffer.Sub(target) {
+		t.Errorf("media bits %v too small for a %v refill", st.MediaBits, buffer.Sub(target))
+	}
+	if !almostEqual(st.WrittenUserBits.Bits(), st.MediaBits.Scale(0.4).Bits(), 1e-9) {
+		t.Errorf("user writes %v, want 40%% of %v", st.WrittenUserBits, st.MediaBits)
+	}
+	if st.WrittenPhysicalBits < st.WrittenUserBits {
+		t.Error("physical writes must include the formatting overhead")
+	}
+	if st.Underruns != 0 {
+		t.Errorf("unexpected underruns: %d", st.Underruns)
+	}
+}
+
+func TestCoreUnderrunAccounting(t *testing.T) {
+	dev := device.DefaultMEMS()
+	b := NewMEMS(dev)
+	rate := 4096 * units.Kbps
+	pattern, err := workload.NewRatePattern(workload.NewCBRStream(rate))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buffer := units.Size(1000)
+	c := NewCore(b, pattern, buffer)
+	// A one-second accounting step drains far more than the buffer holds.
+	c.Account(device.StateSeek, units.Duration(1))
+	if c.Stats().Underruns != 1 {
+		t.Errorf("underruns = %d, want 1", c.Stats().Underruns)
+	}
+	if c.Level() != 0 {
+		t.Errorf("level = %v, want 0 after an underrun", c.Level())
+	}
+	if !almostEqual(c.Stats().StreamedBits.Bits(), buffer.Bits(), 1e-12) {
+		t.Errorf("streamed %v, want only the %v that was there", c.Stats().StreamedBits, buffer)
+	}
+}
+
+func TestCycleEnergyMatchesStepwiseAccounting(t *testing.T) {
+	b := NewMEMS(device.DefaultMEMS())
+	times := CycleTimes{
+		Positioning: 2 * units.Millisecond,
+		Transfer:    5 * units.Millisecond,
+		BestEffort:  1 * units.Millisecond,
+		Shutdown:    1 * units.Millisecond,
+		Standby:     150 * units.Millisecond,
+	}
+	if got, want := times.Period().Seconds(), 0.159; !almostEqual(got, want, 1e-12) {
+		t.Errorf("period = %g s, want %g", got, want)
+	}
+	dev := device.DefaultMEMS()
+	want := dev.SeekPower.Times(times.Positioning).
+		Add(dev.ReadWritePower.Times(times.Transfer.Add(times.BestEffort))).
+		Add(dev.ShutdownPower.Times(times.Shutdown)).
+		Add(dev.StandbyPower.Times(times.Standby))
+	if got := CycleEnergy(b, times); !almostEqual(got.Joules(), want.Joules(), 1e-12) {
+		t.Errorf("CycleEnergy = %v, want %v", got, want)
+	}
+	on := AlwaysOnEnergy(b, times.Transfer, times.Period())
+	wantOn := dev.ReadWritePower.Times(times.Transfer).
+		Add(dev.IdlePower.Times(times.Period().Sub(times.Transfer)))
+	if !almostEqual(on.Joules(), wantOn.Joules(), 1e-12) {
+		t.Errorf("AlwaysOnEnergy = %v, want %v", on, wantOn)
+	}
+}
+
+func TestStepBoundStopsAtRateChanges(t *testing.T) {
+	// A VBR pattern announces its segment boundaries; the drain must step
+	// exactly to each boundary instead of integrating across it.
+	stream := workload.NewVBRStream(1024*units.Kbps, 42)
+	pattern, err := workload.NewRatePattern(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewMEMS(device.DefaultMEMS())
+	// A buffer holding many seconds of stream forces multi-segment drains.
+	buffer := (1024 * units.Kbps).Times(10 * units.Second)
+	c := NewCore(b, pattern, buffer)
+	c.DrainTo(device.StateStandby, 0, units.Duration(3600))
+	// Exactness: the streamed volume equals the full buffer (no underruns,
+	// no overshoot), even though the rate changed every two seconds.
+	if c.Stats().Underruns != 0 {
+		t.Errorf("underruns = %d, want 0", c.Stats().Underruns)
+	}
+	if !almostEqual(c.Stats().StreamedBits.Bits(), buffer.Bits(), 1e-9) {
+		t.Errorf("streamed %v, want exactly %v", c.Stats().StreamedBits, buffer)
+	}
+	// The drain crossed several segments, so it took several steps; the
+	// total time must equal the sum of per-segment drain times, which for a
+	// ±30% pattern differs measurably from the constant-rate time.
+	drainTime := c.Stats().StateTime[device.StateStandby]
+	if drainTime.Seconds() < 5 || drainTime.Seconds() > 20 {
+		t.Errorf("drain time %v outside the plausible VBR range", drainTime)
+	}
+}
+
+// stepRate is a two-phase test source: lowRate before switchAt, highRate
+// after, with the boundary announced through NextRateChange.
+type stepRate struct {
+	switchAt          units.Duration
+	lowRate, highRate units.BitRate
+}
+
+func (s stepRate) RateAt(t units.Duration) units.BitRate {
+	if t < s.switchAt {
+		return s.lowRate
+	}
+	return s.highRate
+}
+func (s stepRate) PeakRate() units.BitRate { return s.highRate }
+func (s stepRate) NextRateChange(t units.Duration) units.Duration {
+	if t < s.switchAt {
+		return s.switchAt
+	}
+	return units.Duration(math.Inf(1))
+}
+
+// TestTransitionDrainsAcrossRateChanges locks in the fix for seconds-long
+// transitions (the disk's spin-up) spanning demand changes: the drain during
+// Positioning must integrate each phase at its own rate, not left-endpoint
+// sample the whole transition.
+func TestTransitionDrainsAcrossRateChanges(t *testing.T) {
+	d := device.Default18InchDisk()
+	b := NewDisk(d)
+	src := stepRate{switchAt: units.Duration(1), lowRate: 512 * units.Kbps, highRate: 2048 * units.Kbps}
+	c := NewCore(b, src, 8*units.MB)
+	c.Positioning() // spin-up + seek: 2.515 s from t = 0
+	pos := b.PositioningTime()
+	if !almostEqual(c.Now().Seconds(), pos.Seconds(), 1e-12) {
+		t.Fatalf("transition advanced %v, want %v", c.Now(), pos)
+	}
+	want := src.lowRate.Times(units.Duration(1)).
+		Add(src.highRate.Times(pos.Sub(units.Duration(1))))
+	if got := c.Stats().StreamedBits; !almostEqual(got.Bits(), want.Bits(), 1e-9) {
+		t.Errorf("drained %v during the transition, want the piecewise-exact %v", got, want)
+	}
+	if got := c.Stats().StateTime[device.StateSeek]; !almostEqual(got.Seconds(), pos.Seconds(), 1e-12) {
+		t.Errorf("seek residency %v, want %v", got, pos)
+	}
+}

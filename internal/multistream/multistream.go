@@ -25,6 +25,7 @@ import (
 
 	"memstream/internal/core"
 	"memstream/internal/device"
+	"memstream/internal/engine"
 	"memstream/internal/format"
 	"memstream/internal/lifetime"
 	"memstream/internal/solve"
@@ -204,15 +205,6 @@ func (s *System) overheadPerCycle() units.Duration {
 	return perCycle
 }
 
-// overheadEnergyPerCycle returns the corresponding energy.
-func (s *System) overheadEnergyPerCycle() units.Energy {
-	e := s.Device.OverheadEnergy()
-	if n := len(s.Streams); n > 1 {
-		e = e.Add(s.Device.SeekPower.Times(s.Device.SeekTime.Scale(float64(n - 1))))
-	}
-	return e
-}
-
 // At evaluates the shared system at super-cycle period t.
 func (s *System) At(t units.Duration) (Plan, error) {
 	if err := s.Validate(); err != nil {
@@ -250,13 +242,23 @@ func (s *System) At(t units.Duration) (Plan, error) {
 	}
 	plan.Utilisation = worstU
 
-	// Energy: baseline standby over the whole cycle, increments for overhead,
-	// refills and best-effort service, plus DRAM retention and access.
-	psb := dev.StandbyPower
-	energy := psb.Times(t).
-		Add(s.overheadEnergyPerCycle().Sub(psb.Times(plan.OverheadTime))).
-		Add(dev.ReadWritePower.Sub(psb).Times(active)).
-		Add(dev.ReadWritePower.Sub(psb).Times(plan.BestEffortTime))
+	// Energy: every state's residency charged at the backend's state powers
+	// through the shared engine accounting — the same per-state charging the
+	// simulated Core performs step by step, so a single-stream System and a
+	// sim run that agree on the cycle composition agree on the energy by
+	// construction. The positioning share covers the wake-up seek plus the
+	// (n-1) inter-stream repositionings of overheadPerCycle.
+	times := engine.CycleTimes{
+		Positioning: dev.SeekTime.Scale(float64(len(s.Streams))),
+		Transfer:    active,
+		BestEffort:  plan.BestEffortTime,
+		Shutdown:    dev.ShutdownTime,
+		Standby:     plan.Standby,
+	}
+	// Built from the live Device field (cheap), so callers who adjust the
+	// exported fields after NewSystem keep times and powers consistent.
+	backend := engine.NewMEMS(dev)
+	energy := engine.CycleEnergy(backend, times)
 	dram := s.Buffer.BackgroundPower(plan.TotalBuffer).Times(t).
 		Add(s.Buffer.AccessEnergy(streamedPerCycle.Scale(2)))
 	total := energy.Add(dram)
@@ -265,8 +267,7 @@ func (s *System) At(t units.Duration) (Plan, error) {
 	// Always-on reference: the device never shuts down, refills every stream
 	// each cycle and idles in between (best-effort charged to the shutdown
 	// architecture only, as in the single-stream model).
-	idle := dev.IdlePower
-	alwaysOn := idle.Times(t).Add(dev.ReadWritePower.Sub(idle).Times(active))
+	alwaysOn := engine.AlwaysOnEnergy(backend, active, t)
 	if alwaysOn.Joules() > 0 {
 		plan.EnergySaving = 1 - total.Joules()/alwaysOn.Joules()
 	}

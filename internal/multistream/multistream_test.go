@@ -2,13 +2,16 @@ package multistream
 
 import (
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 
 	"memstream/internal/core"
 	"memstream/internal/device"
 	"memstream/internal/lifetime"
+	"memstream/internal/sim"
 	"memstream/internal/units"
+	"memstream/internal/workload"
 )
 
 func playbackAndRecord(t *testing.T) *System {
@@ -359,5 +362,83 @@ func TestQuickSpringsLinearInPeriod(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestSingleStreamMatchesSimEngine is the degenerate-case cross-check the
+// shared engine accounting makes possible: a single-stream System evaluated
+// at super-cycle period T must agree with a discrete-event simulation of the
+// same device streaming through a buffer of rate*T. The closed form and the
+// simulator now charge state power over state time through the same
+// internal/engine mapping, so only the structural differences remain — the
+// simulator's wake-level margin and the refill overlap — which stay within a
+// few percent at these operating points.
+func TestSingleStreamMatchesSimEngine(t *testing.T) {
+	rate := 1024 * units.Kbps
+	wl := lifetime.DefaultWorkload()
+	wl.BestEffortFraction = 0 // compare the clean streaming cycle
+	s, err := NewSystem(device.DefaultMEMS(), device.DefaultDRAM(), wl,
+		[]StreamSpec{{Name: "only", Rate: rate, WriteFraction: 0.4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	period := units.Duration(1) // 1 s super-cycle = 128 KB buffer
+	plan, err := s.At(period)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := sim.Config{
+		Device:   device.DefaultMEMS(),
+		DRAM:     device.DefaultDRAM(),
+		Buffer:   rate.Times(period),
+		Stream:   workload.NewCBRStream(rate),
+		Duration: 10 * units.Minute,
+		Seed:     1,
+	}
+	stats, err := sim.RunConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	simPerBit := stats.PerBitEnergy().NanojoulesPerBit()
+	planPerBit := plan.EnergyPerBit.NanojoulesPerBit()
+	if rel := math.Abs(simPerBit-planPerBit) / planPerBit; rel > 0.05 {
+		t.Errorf("per-bit energy: sim %.3f vs multistream %.3f nJ/b (rel %.3f)",
+			simPerBit, planPerBit, rel)
+	}
+
+	cal := workload.PlaybackCalendar{HoursPerDay: wl.HoursPerDay, DaysPerYear: 365}
+	simSprings := stats.ProjectedSpringsLifetime(cfg.Device, cal).Years()
+	planSprings := plan.SpringsLifetime.Years()
+	if rel := math.Abs(simSprings-planSprings) / planSprings; rel > 0.05 {
+		t.Errorf("springs lifetime: sim %.3f vs multistream %.3f years (rel %.3f)",
+			simSprings, planSprings, rel)
+	}
+	simProbes := stats.ProjectedProbesLifetime(cfg.Device, cal).Years()
+	planProbes := plan.ProbesLifetime.Years()
+	if rel := math.Abs(simProbes-planProbes) / planProbes; rel > 0.05 {
+		t.Errorf("probes lifetime: sim %.3f vs multistream %.3f years (rel %.3f)",
+			simProbes, planProbes, rel)
+	}
+}
+
+// TestValidateInadmissibleRateError locks in a clear failure mode: an
+// aggregate rate beyond the admissible media share must fail Validate with
+// an error naming both quantities, not a generic rejection.
+func TestValidateInadmissibleRateError(t *testing.T) {
+	_, err := NewSystem(device.DefaultMEMS(), device.DefaultDRAM(), lifetime.DefaultWorkload(),
+		[]StreamSpec{
+			{Name: "a", Rate: 60 * units.Mbps},
+			{Name: "b", Rate: 60 * units.Mbps},
+		})
+	if err == nil {
+		t.Fatal("inadmissible aggregate rate accepted")
+	}
+	msg := err.Error()
+	for _, want := range []string{"aggregate rate", "120 Mbps", "admissible"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q does not mention %q", msg, want)
+		}
 	}
 }

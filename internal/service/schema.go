@@ -96,27 +96,33 @@ func (q Quantity) duration(field string, fallback units.Duration) (units.Duratio
 	return d, nil
 }
 
-// DeviceSpec selects and optionally tweaks the MEMS device of a request.
+// DeviceSpec selects and optionally tweaks the storage device of a request.
 type DeviceSpec struct {
-	// Name picks the base configuration: "default" (or empty) for the
-	// Table I device, "improved" for the Fig. 3c durability scenario.
+	// Name picks the base configuration: "default"/"mems" (or empty) for the
+	// Table I device, "improved" for the Fig. 3c durability scenario, and —
+	// on simulate requests only — "disk" for the 1.8-inch disk baseline.
 	Name string `json:"name,omitempty"`
-	// ProbeWriteCycles overrides the probe write-cycle rating when positive.
+	// ProbeWriteCycles overrides the probe write-cycle rating when positive
+	// (MEMS devices only).
 	ProbeWriteCycles float64 `json:"probe_write_cycles,omitempty"`
-	// SpringDutyCycles overrides the spring duty-cycle rating when positive.
+	// SpringDutyCycles overrides the spring duty-cycle rating when positive
+	// (MEMS devices only).
 	SpringDutyCycles float64 `json:"spring_duty_cycles,omitempty"`
 }
 
-// resolve returns the fully specified device the spec describes.
+// resolve returns the fully specified MEMS device the spec describes, for
+// the endpoints backed by the analytical MEMS models.
 func (d DeviceSpec) resolve() (device.MEMS, error) {
 	var dev device.MEMS
 	switch d.Name {
-	case "", "default":
+	case "", "default", "mems":
 		dev = device.DefaultMEMS()
 	case "improved":
 		dev = device.ImprovedMEMS()
+	case "disk":
+		return device.MEMS{}, invalidf("the \"disk\" backend is only supported by simulate requests")
 	default:
-		return device.MEMS{}, invalidf("unknown device %q (want \"default\" or \"improved\")", d.Name)
+		return device.MEMS{}, invalidf("unknown device %q (want \"mems\", \"default\" or \"improved\")", d.Name)
 	}
 	if d.ProbeWriteCycles < 0 || d.SpringDutyCycles < 0 ||
 		math.IsNaN(d.ProbeWriteCycles) || math.IsNaN(d.SpringDutyCycles) ||
@@ -131,6 +137,34 @@ func (d DeviceSpec) resolve() (device.MEMS, error) {
 		springs = d.SpringDutyCycles
 	}
 	return dev.WithDurability(probes, springs), nil
+}
+
+// simDevice is a resolved simulate-request device: either a MEMS device (the
+// analytical wear projections stay available) or the disk baseline.
+type simDevice struct {
+	// Kind is the canonical backend label fingerprinted into the cache key:
+	// "mems" or "disk".
+	Kind string
+	// MEMS is the device for Kind "mems" (zero otherwise).
+	MEMS device.MEMS
+	// Disk is the drive for Kind "disk" (zero otherwise).
+	Disk device.Disk
+}
+
+// resolveSim resolves the spec for a simulate request, where the disk
+// baseline is a valid backend alongside the MEMS devices.
+func (d DeviceSpec) resolveSim() (simDevice, error) {
+	if d.Name == "disk" {
+		if d.ProbeWriteCycles != 0 || d.SpringDutyCycles != 0 {
+			return simDevice{}, invalidf("durability overrides do not apply to the \"disk\" backend")
+		}
+		return simDevice{Kind: "disk", Disk: device.Default18InchDisk()}, nil
+	}
+	dev, err := d.resolve()
+	if err != nil {
+		return simDevice{}, err
+	}
+	return simDevice{Kind: "mems", MEMS: dev}, nil
 }
 
 // GoalSpec is the design goal (E, C, L) of a request.
@@ -281,7 +315,9 @@ type SweepResponse struct {
 
 // SimulateRequest asks for one or more discrete-event simulation runs.
 type SimulateRequest struct {
-	// Device selects the MEMS device.
+	// Device selects the simulated device backend: a MEMS device
+	// ("default"/"mems"/"improved", with optional durability overrides) or
+	// the 1.8-inch disk baseline ("disk").
 	Device DeviceSpec `json:"device,omitzero"`
 	// Rate is the streaming bit rate.
 	Rate Quantity `json:"rate"`

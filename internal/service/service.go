@@ -34,6 +34,7 @@ import (
 	"memstream/internal/core"
 	"memstream/internal/device"
 	"memstream/internal/energy"
+	"memstream/internal/engine"
 	"memstream/internal/explore"
 	"memstream/internal/lifetime"
 	"memstream/internal/multistream"
@@ -357,9 +358,13 @@ func (s *Service) Sweep(ctx context.Context, req SweepRequest) (*SweepResponse, 
 	return typed[SweepResponse](s.SweepBytes(ctx, req))
 }
 
-// simulateKey is the canonical fingerprint payload of a SimulateRequest.
+// simulateKey is the canonical fingerprint payload of a SimulateRequest. The
+// backend kind and both device parameter sets are fingerprinted, so a MEMS
+// and a disk run of otherwise identical shape can never share a cache entry.
 type simulateKey struct {
+	Backend    string
 	Device     device.MEMS
+	Disk       device.Disk
 	RateBps    float64
 	BufferBits float64
 	DurationS  float64
@@ -375,7 +380,7 @@ func (s *Service) SimulateBytes(ctx context.Context, req SimulateRequest) ([]byt
 	var err error
 	defer func() { finish(err) }()
 
-	dev, err := req.Device.resolve()
+	sd, err := req.Device.resolveSim()
 	if err != nil {
 		return nil, err
 	}
@@ -432,7 +437,9 @@ func (s *Service) SimulateBytes(ctx context.Context, req SimulateRequest) ([]byt
 		return nil, err
 	}
 	key, err := fingerprint("simulate", simulateKey{
-		Device:     dev,
+		Backend:    sd.Kind,
+		Device:     sd.MEMS,
+		Disk:       sd.Disk,
 		RateBps:    rate.BitsPerSecond(),
 		BufferBits: buffer.Bits(),
 		DurationS:  duration.Seconds(),
@@ -446,6 +453,11 @@ func (s *Service) SimulateBytes(ctx context.Context, req SimulateRequest) ([]byt
 	}
 	var body []byte
 	body, err = s.memoize(ctx, key, func(ctx context.Context) (any, error) {
+		var backend engine.Backend
+		if sd.Kind == "disk" {
+			backend = engine.NewDisk(sd.Disk)
+		}
+		mediaRate := sim.Config{Device: sd.MEMS, Backend: backend}.MediaRate()
 		cfgs := make([]sim.Config, replicas)
 		for i := range cfgs {
 			replicaSeed := seed + uint64(i)
@@ -454,7 +466,8 @@ func (s *Service) SimulateBytes(ctx context.Context, req SimulateRequest) ([]byt
 				stream = workload.NewVBRStream(rate, replicaSeed)
 			}
 			cfg := sim.Config{
-				Device:   dev,
+				Device:   sd.MEMS,
+				Backend:  backend,
 				DRAM:     device.DefaultDRAM(),
 				Buffer:   buffer,
 				Stream:   stream,
@@ -462,7 +475,7 @@ func (s *Service) SimulateBytes(ctx context.Context, req SimulateRequest) ([]byt
 				Seed:     replicaSeed,
 			}
 			if bestEffort > 0 {
-				cfg.BestEffort = workload.NewBestEffortProcess(bestEffort, dev.MediaRate(), replicaSeed)
+				cfg.BestEffort = workload.NewBestEffortProcess(bestEffort, mediaRate, replicaSeed)
 			}
 			if err := cfg.Validate(); err != nil {
 				return nil, invalidf("%v", err)
@@ -471,7 +484,14 @@ func (s *Service) SimulateBytes(ctx context.Context, req SimulateRequest) ([]byt
 		}
 		stats, err := sim.RunBatch(ctx, workers, cfgs)
 		if err != nil {
-			return nil, err
+			// Run-time simulator failures are request-derived (most commonly
+			// a buffer below the disk's spin-up drain, which only the run
+			// itself detects); keep them 400s, but let cancellations and
+			// deadline hits keep their transport status codes.
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return nil, err
+			}
+			return nil, invalidf("%v", err)
 		}
 		resp := &SimulateResponse{
 			Rate:   rate.String(),
@@ -482,16 +502,20 @@ func (s *Service) SimulateBytes(ctx context.Context, req SimulateRequest) ([]byt
 		for i, st := range stats {
 			perBit := st.PerBitEnergy()
 			resp.Runs[i] = SimulateResult{
-				Seed:                 cfgs[i].Seed,
-				SimulatedSeconds:     st.SimulatedTime.Seconds(),
-				StreamedBits:         st.StreamedBits.Bits(),
-				RefillCycles:         st.RefillCycles,
-				Underruns:            st.Underruns,
-				EnergyPerBit:         perBit.String(),
-				EnergyPerBitJoules:   perBit.JoulesPerBit(),
-				DutyCycle:            st.DutyCycle(),
-				SpringsLifetimeYears: yearsOrNil(st.ProjectedSpringsLifetime(dev, cal)),
-				ProbesLifetimeYears:  yearsOrNil(st.ProjectedProbesLifetime(dev, cal)),
+				Seed:               cfgs[i].Seed,
+				SimulatedSeconds:   st.SimulatedTime.Seconds(),
+				StreamedBits:       st.StreamedBits.Bits(),
+				RefillCycles:       st.RefillCycles,
+				Underruns:          st.Underruns,
+				EnergyPerBit:       perBit.String(),
+				EnergyPerBitJoules: perBit.JoulesPerBit(),
+				DutyCycle:          st.DutyCycle(),
+			}
+			if sd.Kind == "mems" {
+				// The wear projections are MEMS-specific: springs and probes
+				// have no disk analogue, so disk runs omit both fields.
+				resp.Runs[i].SpringsLifetimeYears = yearsOrNil(st.ProjectedSpringsLifetime(sd.MEMS, cal))
+				resp.Runs[i].ProbesLifetimeYears = yearsOrNil(st.ProjectedProbesLifetime(sd.MEMS, cal))
 			}
 		}
 		return resp, nil

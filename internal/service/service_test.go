@@ -459,3 +459,111 @@ func TestQuantityRejectsNonScalar(t *testing.T) {
 		t.Errorf("number: q=%q err=%v; want 3.5, nil", q, err)
 	}
 }
+
+// TestSimulateDiskDevice exercises the pluggable-backend path of
+// /v1/simulate: "disk" selects the 1.8-inch baseline, which needs a
+// megabyte-scale buffer and reports no MEMS wear projections.
+func TestSimulateDiskDevice(t *testing.T) {
+	_, srv := newTestServer(t, Config{})
+	status, body := post(t, srv, "/v1/simulate",
+		`{"device":{"name":"disk"},"rate":"1024 kbps","buffer":"8 MB","duration":"120s"}`)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, body %s", status, body)
+	}
+	var resp SimulateResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(resp.Runs))
+	}
+	run := resp.Runs[0]
+	if run.Underruns != 0 {
+		t.Errorf("disk run underran %d times through an 8 MB buffer", run.Underruns)
+	}
+	if run.RefillCycles == 0 {
+		t.Error("disk run completed no refill cycles")
+	}
+	if run.SpringsLifetimeYears != nil || run.ProbesLifetimeYears != nil {
+		t.Error("disk runs must omit the MEMS wear projections")
+	}
+	// The same shape against the MEMS default must NOT share a cache entry:
+	// the backend kind is fingerprinted.
+	status, body = post(t, srv, "/v1/simulate",
+		`{"device":{"name":"mems"},"rate":"1024 kbps","buffer":"8 MB","duration":"120s"}`)
+	if status != http.StatusOK {
+		t.Fatalf("mems status = %d, body %s", status, body)
+	}
+	var memsResp SimulateResponse
+	if err := json.Unmarshal(body, &memsResp); err != nil {
+		t.Fatal(err)
+	}
+	if memsResp.Runs[0].EnergyPerBitJoules == run.EnergyPerBitJoules {
+		t.Error("mems and disk runs returned identical energy — fingerprint collision?")
+	}
+	if memsResp.Runs[0].SpringsLifetimeYears == nil {
+		t.Error("mems runs must keep the wear projections")
+	}
+}
+
+// TestSimulateDeviceValidation locks in the validated device field: unknown
+// names, disk-on-analytical-endpoints and disk durability overrides are all
+// rejected with 400s.
+func TestSimulateDeviceValidation(t *testing.T) {
+	_, srv := newTestServer(t, Config{})
+	cases := []struct {
+		name, path, body, wantErr string
+	}{
+		{"unknown device", "/v1/simulate",
+			`{"device":{"name":"floppy"},"rate":"1024 kbps","buffer":"64 KiB"}`, "unknown device"},
+		{"disk durability overrides", "/v1/simulate",
+			`{"device":{"name":"disk","probe_write_cycles":200},"rate":"1024 kbps","buffer":"8 MB"}`,
+			"durability overrides do not apply"},
+		{"disk on dimension", "/v1/dimension",
+			`{"device":{"name":"disk"},"rate":"1024 kbps","goal":` + goalJSON + `}`,
+			"only supported by simulate"},
+		{"disk on sweep", "/v1/sweep",
+			`{"device":{"name":"disk"},"goal":` + goalJSON + `,"min_rate":"32 kbps","max_rate":"64 kbps","points":2}`,
+			"only supported by simulate"},
+	}
+	for _, c := range cases {
+		status, body := post(t, srv, c.path, c.body)
+		if status != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400 (body %s)", c.name, status, body)
+			continue
+		}
+		if !strings.Contains(string(body), c.wantErr) {
+			t.Errorf("%s: body %s does not mention %q", c.name, body, c.wantErr)
+		}
+	}
+}
+
+// TestSimulateMEMSAlias locks in that "mems" and "default" are the same
+// device and therefore share a cache entry (byte-identical bodies).
+func TestSimulateMEMSAlias(t *testing.T) {
+	svc, srv := newTestServer(t, Config{})
+	_, a := post(t, srv, "/v1/simulate", `{"device":{"name":"mems"},"rate":"1024 kbps","buffer":"64 KiB","duration":"60s"}`)
+	_, b := post(t, srv, "/v1/simulate", `{"device":{"name":"default"},"rate":"1024 kbps","buffer":"64 KiB","duration":"60s"}`)
+	if !bytes.Equal(a, b) {
+		t.Error("mems and default aliases returned different bodies")
+	}
+	if hits := svc.CacheStats().Hits; hits == 0 {
+		t.Error("alias request should have hit the cache")
+	}
+}
+
+// TestSimulateDiskUndersizedBufferIs400 locks in the status mapping for the
+// disk backend's most likely user error: a MEMS-scale buffer that cannot
+// cover the spin-up drain is detected by the run itself and must surface as
+// a 400, not a 500.
+func TestSimulateDiskUndersizedBufferIs400(t *testing.T) {
+	_, srv := newTestServer(t, Config{})
+	status, body := post(t, srv, "/v1/simulate",
+		`{"device":{"name":"disk"},"rate":"1024 kbps","buffer":"64 KiB"}`)
+	if status != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400 (body %s)", status, body)
+	}
+	if !strings.Contains(string(body), "positioning time") {
+		t.Errorf("body %s does not explain the spin-up drain", body)
+	}
+}

@@ -1,24 +1,32 @@
 // Package sim contains a discrete-event simulator of the streaming
-// MEMS + DRAM architecture of Fig. 1: a stream drains (or fills) the DRAM
-// buffer continuously while the MEMS device wakes up periodically to seek,
-// refill the buffer at the media rate, serve queued best-effort requests,
-// and shut down again.
+// storage + DRAM architecture of Fig. 1: a stream drains (or fills) the DRAM
+// buffer continuously while the storage device wakes up periodically to
+// position, refill the buffer at the media rate, serve queued best-effort
+// requests, and shut down again.
 //
 // The simulator exists to validate the analytical models of internal/energy
 // and internal/lifetime against an executable system model, to support
 // workloads the closed forms cannot express (variable-bit-rate streams,
 // bursty best-effort traffic), and to exercise the ECC substrate end to end
 // through an optional media bit-error model.
+//
+// The cycle machinery and per-state accounting live in internal/engine: an
+// event-driven core that steps exactly from rate change to rate change and
+// charges time and energy against a pluggable device backend. The default
+// backend is the MEMS device of Config.Device; Config.Backend swaps in any
+// other engine.Backend (for example the 1.8-inch disk baseline), so the
+// paper's break-even comparison can be validated by simulation. legacy.go
+// preserves the original fixed-slice integration path as the parity oracle
+// for the event-driven engine.
 package sim
 
 import (
 	"errors"
 	"fmt"
-	"math"
 
 	"memstream/internal/device"
 	"memstream/internal/ecc"
-	"memstream/internal/format"
+	"memstream/internal/engine"
 	"memstream/internal/units"
 	"memstream/internal/workload"
 )
@@ -26,18 +34,21 @@ import (
 // RateSource samples the instantaneous demand of a stream. workload's
 // RatePattern (CBR/VBR) and VideoRatePattern (MPEG-like frame traces) both
 // implement it.
-type RateSource interface {
-	// RateAt returns the demand in effect at time t.
-	RateAt(t units.Duration) units.BitRate
-	// PeakRate returns the largest demand the source can produce; the
-	// simulator provisions its wake-up threshold against it.
-	PeakRate() units.BitRate
-}
+type RateSource = engine.RateSource
+
+// Stats accumulates everything observed during a run. It is the engine's
+// statistics record; the public facade re-exports it as memstream.SimStats.
+type Stats = engine.Stats
 
 // Config describes one simulation run.
 type Config struct {
-	// Device is the MEMS storage device.
+	// Device is the MEMS storage device (ignored by the cycle machinery when
+	// Backend is set, but still used for MEMS-specific wear projections).
 	Device device.MEMS
+	// Backend optionally selects the device driven through the refill cycle
+	// — engine.NewDisk for the 1.8-inch baseline, or any custom
+	// engine.Backend. Leave nil to simulate the MEMS Device above.
+	Backend engine.Backend
 	// DRAM is the buffer in front of it.
 	DRAM device.DRAM
 	// Buffer is the streaming-buffer capacity B.
@@ -63,11 +74,35 @@ type Config struct {
 	Seed uint64
 }
 
-// Validate checks the configuration.
+// backend returns the device backend the run drives: Config.Backend when
+// set, the MEMS device otherwise.
+func (c Config) backend() engine.Backend {
+	if c.Backend != nil {
+		return c.Backend
+	}
+	return engine.NewMEMS(c.Device)
+}
+
+// MediaRate returns the media transfer rate of the device the configuration
+// simulates — the single place the Backend-or-Device fallback is resolved,
+// so callers sizing best-effort processes against the media rate cannot
+// diverge from the simulator.
+func (c Config) MediaRate() units.BitRate {
+	return c.backend().MediaRate()
+}
+
+// Validate checks the configuration. The device behind the run is always
+// validated: the MEMS Device directly, or the Backend through its Validate
+// method.
 func (c Config) Validate() error {
 	var errs []error
-	if err := c.Device.Validate(); err != nil {
+	if err := c.backend().Validate(); err != nil {
 		errs = append(errs, err)
+	}
+	if c.Backend != nil && !c.Backend.MediaRate().Positive() {
+		// Custom backends may validate loosely; the engine still needs a
+		// positive media rate to form a refill cycle at all.
+		errs = append(errs, errors.New("sim: backend media rate must be positive"))
 	}
 	if err := c.DRAM.Validate(); err != nil {
 		errs = append(errs, err)
@@ -86,11 +121,14 @@ func (c Config) Validate() error {
 	if !c.Duration.Positive() {
 		errs = append(errs, errors.New("sim: duration must be positive"))
 	}
-	if c.Stream.NominalRate >= c.Device.MediaRate() {
-		errs = append(errs, errors.New("sim: stream rate must be below the media rate"))
-	}
-	if c.RateSource != nil && c.RateSource.PeakRate() >= c.Device.MediaRate() {
-		errs = append(errs, errors.New("sim: the rate source's peak demand must be below the media rate"))
+	mediaRate := c.backend().MediaRate()
+	if mediaRate.Positive() {
+		if c.Stream.NominalRate >= mediaRate {
+			errs = append(errs, errors.New("sim: stream rate must be below the media rate"))
+		}
+		if c.RateSource != nil && c.RateSource.PeakRate() >= mediaRate {
+			errs = append(errs, errors.New("sim: the rate source's peak demand must be below the media rate"))
+		}
 	}
 	if c.BitErrorRate < 0 || c.BitErrorRate >= 1 {
 		errs = append(errs, errors.New("sim: bit-error rate must be in [0, 1)"))
@@ -98,124 +136,15 @@ func (c Config) Validate() error {
 	return errors.Join(errs...)
 }
 
-// Stats accumulates everything observed during a run.
-type Stats struct {
-	// SimulatedTime is the wall-clock time covered by the run.
-	SimulatedTime units.Duration
-	// StateTime is the residency per device power state.
-	StateTime [device.NumStates]units.Duration
-	// StateEnergy is the device energy per power state.
-	StateEnergy [device.NumStates]units.Energy
-	// DRAMEnergy is the buffer retention plus access energy.
-	DRAMEnergy units.Energy
-	// StreamedBits is the data delivered to (or taken from) the application.
-	StreamedBits units.Size
-	// MediaBits is the data moved between the device and the buffer for the
-	// stream (excludes best-effort traffic).
-	MediaBits units.Size
-	// BestEffortBits is the best-effort data served.
-	BestEffortBits units.Size
-	// WrittenUserBits is the user data written to the device.
-	WrittenUserBits units.Size
-	// WrittenPhysicalBits includes the formatting overhead actually written.
-	WrittenPhysicalBits units.Size
-	// RefillCycles counts completed seek-refill-shutdown cycles.
-	RefillCycles int
-	// BestEffortRequests counts served background requests.
-	BestEffortRequests int
-	// Underruns counts moments the buffer ran dry while the stream drained.
-	Underruns int
-	// MinBufferLevel is the lowest buffer fill level observed.
-	MinBufferLevel units.Size
-	// ECCCorrected counts single-bit errors repaired by the codec.
-	ECCCorrected int
-	// ECCUncorrectable counts codewords the codec had to give up on.
-	ECCUncorrectable int
-}
-
-// DeviceEnergy returns the total energy drawn by the MEMS device.
-func (s *Stats) DeviceEnergy() units.Energy {
-	var total units.Energy
-	for _, e := range s.StateEnergy {
-		total = total.Add(e)
-	}
-	return total
-}
-
-// TotalEnergy returns device plus DRAM energy.
-func (s *Stats) TotalEnergy() units.Energy {
-	return s.DeviceEnergy().Add(s.DRAMEnergy)
-}
-
-// PerBitEnergy returns the total energy per streamed bit.
-func (s *Stats) PerBitEnergy() units.EnergyPerBit {
-	return s.TotalEnergy().PerBit(s.StreamedBits)
-}
-
-// AverageDevicePower returns the mean device power over the run.
-func (s *Stats) AverageDevicePower() units.Power {
-	return s.DeviceEnergy().DividedBy(s.SimulatedTime)
-}
-
-// RefillsPerSecond returns the observed refill-cycle frequency.
-func (s *Stats) RefillsPerSecond() float64 {
-	if !s.SimulatedTime.Positive() {
-		return 0
-	}
-	return float64(s.RefillCycles) / s.SimulatedTime.Seconds()
-}
-
-// DutyCycle returns the fraction of time the device was active (not in
-// standby).
-func (s *Stats) DutyCycle() float64 {
-	if !s.SimulatedTime.Positive() {
-		return 0
-	}
-	active := s.SimulatedTime.Sub(s.StateTime[device.StateStandby])
-	return active.Seconds() / s.SimulatedTime.Seconds()
-}
-
-// ProjectedSpringsLifetime extrapolates the observed seek/shutdown frequency
-// to the springs duty-cycle rating under the given playback calendar.
-func (s *Stats) ProjectedSpringsLifetime(dev device.MEMS, cal workload.PlaybackCalendar) units.Duration {
-	perYear := s.RefillsPerSecond() * cal.SecondsPerYear().Seconds()
-	if perYear <= 0 {
-		return units.Duration(math.Inf(1))
-	}
-	return units.Duration(dev.SpringDutyCycles / perYear * units.Year.Seconds())
-}
-
-// ProjectedProbesLifetime extrapolates the observed physical write volume to
-// the probes write-cycle rating under the given playback calendar.
-func (s *Stats) ProjectedProbesLifetime(dev device.MEMS, cal workload.PlaybackCalendar) units.Duration {
-	if !s.SimulatedTime.Positive() {
-		return 0
-	}
-	writtenPerSecond := s.WrittenPhysicalBits.Bits() / s.SimulatedTime.Seconds()
-	writtenPerYear := writtenPerSecond * cal.SecondsPerYear().Seconds()
-	if writtenPerYear <= 0 {
-		return units.Duration(math.Inf(1))
-	}
-	endurance := dev.Capacity.Scale(dev.ProbeWriteCycles)
-	return units.Duration(endurance.Bits() / writtenPerYear * units.Year.Seconds())
-}
-
-// Simulator runs the refill-cycle state machine.
+// Simulator runs the refill-cycle state machine on the event-driven engine.
 type Simulator struct {
-	cfg    Config
-	layout format.Layout
-	source RateSource
-	// variableRate marks demand that changes over time, requiring the drain
-	// and refill integrations to proceed in small slices.
-	variableRate bool
-	rng          *workload.Rng
+	cfg     Config
+	backend engine.Backend
+	core    *engine.Core
+	rng     *workload.Rng
 
-	// live state
-	now      units.Duration
-	level    units.Size
 	requests []workload.BestEffortRequest
 	nextReq  int
-	stats    Stats
 }
 
 // New builds a simulator from a validated configuration.
@@ -224,17 +153,16 @@ func New(cfg Config) (*Simulator, error) {
 		return nil, err
 	}
 	var source RateSource
-	variable := false
 	if cfg.RateSource != nil {
-		source = cfg.RateSource
-		variable = true
+		// A custom source that cannot announce its own rate changes falls
+		// back to the legacy half-frame sampling resolution.
+		source = engine.Sliced(cfg.RateSource, units.Duration(0.02))
 	} else {
 		pattern, err := workload.NewRatePattern(cfg.Stream)
 		if err != nil {
 			return nil, err
 		}
 		source = pattern
-		variable = cfg.Stream.Kind == workload.VBR
 	}
 	var requests []workload.BestEffortRequest
 	if cfg.BestEffort.TargetFraction > 0 {
@@ -247,119 +175,28 @@ func New(cfg Config) (*Simulator, error) {
 	if cfg.BitErrorRate > 0 && cfg.ECCSampleWords <= 0 {
 		cfg.ECCSampleWords = 8
 	}
-	s := &Simulator{
-		cfg:          cfg,
-		layout:       format.NewLayout(cfg.Device),
-		source:       source,
-		variableRate: variable,
-		rng:          workload.NewRng(cfg.Seed ^ 0xdeadbeefcafef00d),
-		level:        cfg.Buffer,
-		requests:     requests,
-	}
-	s.stats.MinBufferLevel = cfg.Buffer
-	return s, nil
-}
-
-// account records dt seconds in the given device state while the stream
-// drains the buffer.
-func (s *Simulator) account(state device.PowerState, dt units.Duration) {
-	if dt <= 0 {
-		return
-	}
-	rate := s.source.RateAt(s.now)
-	drained := rate.Times(dt)
-	s.level = s.level.Sub(drained)
-	if s.level < 0 {
-		s.stats.Underruns++
-		drained = drained.Add(s.level) // only what was actually there
-		s.level = 0
-	}
-	s.stats.StreamedBits = s.stats.StreamedBits.Add(drained)
-	if s.level < s.stats.MinBufferLevel {
-		s.stats.MinBufferLevel = s.level
-	}
-	s.now = s.now.Add(dt)
-	s.stats.StateTime[state] = s.stats.StateTime[state].Add(dt)
-	s.stats.StateEnergy[state] = s.stats.StateEnergy[state].Add(s.cfg.Device.StatePower(state).Times(dt))
-}
-
-// drainInState stays in the given state until the buffer reaches the target
-// level or the deadline passes, respecting VBR segment boundaries.
-func (s *Simulator) drainInState(state device.PowerState, target units.Size, deadline units.Duration) {
-	// Integration slice for time-varying demand: half a video frame interval,
-	// so that per-frame rate changes (25 fps traces) are resolved and the
-	// left-endpoint sampling does not bias the drained volume.
-	const step = 0.02 // seconds
-	for s.level > target && s.now < deadline {
-		rate := s.source.RateAt(s.now)
-		if !rate.Positive() {
-			break
-		}
-		dt := rate.TimeFor(s.level.Sub(target))
-		if remaining := deadline.Sub(s.now); dt > remaining {
-			dt = remaining
-		}
-		if s.variableRate && dt.Seconds() > step {
-			dt = units.Duration(step)
-		}
-		s.account(state, dt)
-	}
-}
-
-// refillToFull runs the device in the given active state until the buffer is
-// full, crediting the transferred media bits.
-func (s *Simulator) refillToFull(state device.PowerState) {
-	for s.level < s.cfg.Buffer {
-		rate := s.source.RateAt(s.now)
-		net := s.cfg.Device.MediaRate().Sub(rate)
-		if net <= 0 {
-			// The stream momentarily outruns the media rate; nothing refills.
-			s.account(state, units.Duration(1e-3))
-			continue
-		}
-		dt := net.TimeFor(s.cfg.Buffer.Sub(s.level))
-		if s.variableRate && dt.Seconds() > 0.25 {
-			dt = units.Duration(0.25)
-		}
-		transferred := s.cfg.Device.MediaRate().Times(dt)
-		s.stats.MediaBits = s.stats.MediaBits.Add(transferred)
-		s.creditWrites(transferred)
-		// The refill and the drain happen concurrently: credit the incoming
-		// data before accounting the drain so the net fill never reads as an
-		// artificial underrun. The true occupancy minimum of a cycle occurs
-		// at the end of the seek, which account() has already tracked.
-		s.level = s.level.Add(transferred)
-		s.account(state, dt)
-		if s.level > s.cfg.Buffer {
-			s.level = s.cfg.Buffer
-		}
-	}
-}
-
-// creditWrites attributes the write share of transferred stream data to probe
-// wear, inflated by the formatting overhead.
-func (s *Simulator) creditWrites(transferred units.Size) {
-	userWritten := transferred.Scale(s.cfg.Stream.WriteFraction)
-	s.stats.WrittenUserBits = s.stats.WrittenUserBits.Add(userWritten)
-	sector := s.layout.FormatSector(s.cfg.Buffer)
-	inflation := 1.0
-	if sector.UserBits.Positive() {
-		inflation = sector.EffectiveBits.DivideBy(sector.UserBits)
-	}
-	s.stats.WrittenPhysicalBits = s.stats.WrittenPhysicalBits.Add(userWritten.Scale(inflation))
+	backend := cfg.backend()
+	return &Simulator{
+		cfg:      cfg,
+		backend:  backend,
+		core:     engine.NewCore(backend, source, cfg.Buffer),
+		rng:      workload.NewRng(cfg.Seed ^ 0xdeadbeefcafef00d),
+		requests: requests,
+	}, nil
 }
 
 // serveBestEffort serves every queued request that has arrived by now.
 func (s *Simulator) serveBestEffort() {
-	for s.nextReq < len(s.requests) && s.requests[s.nextReq].Arrival <= s.now {
+	stats := s.core.Stats()
+	for s.nextReq < len(s.requests) && s.requests[s.nextReq].Arrival <= s.core.Now() {
 		req := s.requests[s.nextReq]
 		s.nextReq++
 		serviceTime := s.cfg.BestEffort.ServiceTime(req.Size)
-		s.account(device.StateBestEffort, serviceTime)
-		s.stats.BestEffortBits = s.stats.BestEffortBits.Add(req.Size)
-		s.stats.BestEffortRequests++
+		s.core.Account(device.StateBestEffort, serviceTime)
+		stats.BestEffortBits = stats.BestEffortBits.Add(req.Size)
+		stats.BestEffortRequests++
 		if req.Write {
-			s.stats.WrittenPhysicalBits = s.stats.WrittenPhysicalBits.Add(req.Size)
+			stats.WrittenPhysicalBits = stats.WrittenPhysicalBits.Add(req.Size)
 		}
 	}
 }
@@ -370,6 +207,7 @@ func (s *Simulator) injectErrors() {
 	if s.cfg.BitErrorRate <= 0 || s.cfg.ECCSampleWords <= 0 {
 		return
 	}
+	stats := s.core.Stats()
 	expectedFlipsPerWord := s.cfg.BitErrorRate * float64(ecc.CodewordBits)
 	for i := 0; i < s.cfg.ECCSampleWords; i++ {
 		word := s.rng.Uint64()
@@ -385,86 +223,61 @@ func (s *Simulator) injectErrors() {
 		}
 		decoded, corrected, err := ecc.Decode(cw)
 		if err != nil {
-			s.stats.ECCUncorrectable++
+			stats.ECCUncorrectable++
 			continue
 		}
-		s.stats.ECCCorrected += corrected
+		stats.ECCCorrected += corrected
 		if flips == 0 && decoded != word {
 			// This cannot happen with a correct codec; record it as an
 			// uncorrectable event so tests would catch a regression.
-			s.stats.ECCUncorrectable++
-		}
-	}
-}
-
-// poissonSample draws a Poisson-distributed count with the given mean using
-// Knuth's method (the means used here are far below one).
-func poissonSample(rng *workload.Rng, mean float64) int {
-	if mean <= 0 {
-		return 0
-	}
-	limit := math.Exp(-mean)
-	k := 0
-	p := 1.0
-	for {
-		p *= rng.Float64()
-		if p <= limit {
-			return k
-		}
-		k++
-		if k > 1000 {
-			return k
+			stats.ECCUncorrectable++
 		}
 	}
 }
 
 // Run executes the simulation and returns the collected statistics.
 func (s *Simulator) Run() (*Stats, error) {
-	dev := s.cfg.Device
 	end := s.cfg.Duration
+	stats := s.core.Stats()
 	lastCycleEnd := units.Duration(0)
-	// Wake the device early enough that the buffer survives the seek at the
-	// current drain rate, with a small safety margin.
-	for s.now < end {
-		// Provision the wake threshold against the stream's peak rate so a
-		// VBR rate jump during the seek cannot drain the buffer dry.
-		wakeLevel := s.source.PeakRate().Times(dev.SeekTime).Scale(1.05)
-		if wakeLevel >= s.cfg.Buffer {
-			return nil, fmt.Errorf("sim: buffer %v cannot even cover the seek time at %v",
-				s.cfg.Buffer, s.source.PeakRate())
-		}
-
+	// Wake the device early enough that the buffer survives the positioning
+	// transition at the stream's peak demand, with a small safety margin.
+	wakeLevel := s.core.WakeLevel()
+	if wakeLevel >= s.cfg.Buffer {
+		return nil, fmt.Errorf("sim: buffer %v cannot even cover the %v positioning time at peak demand",
+			s.cfg.Buffer, s.backend.PositioningTime())
+	}
+	for s.core.Now() < end {
 		// Standby while the buffer drains towards the wake level.
-		s.drainInState(device.StateStandby, wakeLevel, end)
-		if s.now >= end {
+		s.core.DrainTo(device.StateStandby, wakeLevel, end)
+		if s.core.Now() >= end {
 			break
 		}
 
-		// Seek back to the stream position.
-		s.account(device.StateSeek, dev.SeekTime)
-
-		// Refill to full, serve queued best-effort work, top off, shut down.
-		s.refillToFull(device.StateReadWrite)
+		// Position back to the stream region, refill to full, serve queued
+		// best-effort work, top off, shut down.
+		s.core.Positioning()
+		s.core.RefillToFull(device.StateReadWrite, s.cfg.Stream.WriteFraction)
 		s.serveBestEffort()
-		s.refillToFull(device.StateReadWrite)
+		s.core.RefillToFull(device.StateReadWrite, s.cfg.Stream.WriteFraction)
 		s.injectErrors()
-		s.account(device.StateShutdown, dev.ShutdownTime)
+		s.core.Shutdown()
 
-		s.stats.RefillCycles++
+		stats.RefillCycles++
 
 		// DRAM energy for this cycle: retention over the cycle plus one pass
 		// in and one pass out for the refilled data (best-effort traffic is
 		// accounted once at the end of the run).
-		cycleTime := s.now.Sub(lastCycleEnd)
-		s.stats.DRAMEnergy = s.stats.DRAMEnergy.
+		cycleTime := s.core.Now().Sub(lastCycleEnd)
+		stats.DRAMEnergy = stats.DRAMEnergy.
 			Add(s.cfg.DRAM.BackgroundPower(s.cfg.Buffer).Times(cycleTime)).
 			Add(s.cfg.DRAM.AccessEnergy(s.cfg.Buffer.Scale(2)))
-		lastCycleEnd = s.now
+		lastCycleEnd = s.core.Now()
 	}
-	s.stats.SimulatedTime = s.now
+	stats.SimulatedTime = s.core.Now()
 	// Best-effort data passes through the buffer once in and once out.
-	s.stats.DRAMEnergy = s.stats.DRAMEnergy.Add(s.cfg.DRAM.AccessEnergy(s.stats.BestEffortBits.Scale(2)))
-	return &s.stats, nil
+	stats.DRAMEnergy = stats.DRAMEnergy.Add(s.cfg.DRAM.AccessEnergy(stats.BestEffortBits.Scale(2)))
+	return stats, nil
 }
 
 // RunConfig is a convenience wrapper: build a simulator and run it.

@@ -245,6 +245,17 @@ func (p *VideoRatePattern) RateAt(t units.Duration) units.BitRate {
 // PeakRate returns the largest instantaneous demand of the trace.
 func (p *VideoRatePattern) PeakRate() units.BitRate { return p.peak }
 
+// NextRateChange returns the earliest time strictly after t at which RateAt
+// may return a different value: the next frame boundary. Boundaries are
+// multiples of the frame interval even across the wrap-around, so
+// event-driven integrators can step frame by frame.
+func (p *VideoRatePattern) NextRateChange(t units.Duration) units.Duration {
+	if t < 0 {
+		t = 0
+	}
+	return NextBoundary(t, p.frameInterval.Seconds())
+}
+
 // AverageRate returns the long-run average demand of the trace.
 func (p *VideoRatePattern) AverageRate() units.BitRate {
 	var total units.Size

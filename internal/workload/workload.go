@@ -179,6 +179,30 @@ func (p *RatePattern) RateAt(t units.Duration) units.BitRate {
 // AverageRate returns the long-run average rate of the stream.
 func (p *RatePattern) AverageRate() units.BitRate { return p.stream.NominalRate }
 
+// NextRateChange returns the earliest time strictly after t at which RateAt
+// may return a different value: the next segment boundary for VBR, never for
+// CBR. It lets event-driven integrators step exactly from segment to segment
+// instead of slicing time.
+func (p *RatePattern) NextRateChange(t units.Duration) units.Duration {
+	if p.stream.Kind == CBR {
+		return units.Duration(math.Inf(1))
+	}
+	return NextBoundary(t, p.stream.SegmentLength.Seconds())
+}
+
+// NextBoundary returns the first multiple of interval strictly after t. The
+// strictness guard matters: k*interval can round to a float at or below t,
+// and a "next" change that does not advance time would make event-driven
+// integrators skip the boundary entirely.
+func NextBoundary(t units.Duration, interval float64) units.Duration {
+	k := math.Floor(t.Seconds()/interval) + 1
+	next := units.Duration(k * interval)
+	if next <= t {
+		next = units.Duration((k + 1) * interval)
+	}
+	return next
+}
+
 // BestEffortRequest is one non-streaming (OS / file-system) request.
 type BestEffortRequest struct {
 	// Arrival is the request arrival time.

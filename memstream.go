@@ -7,6 +7,7 @@ import (
 	"memstream/internal/core"
 	"memstream/internal/device"
 	"memstream/internal/energy"
+	"memstream/internal/engine"
 	"memstream/internal/explore"
 	"memstream/internal/lifetime"
 	"memstream/internal/sim"
@@ -243,12 +244,39 @@ type (
 	SimConfig = sim.Config
 	// SimStats is what the simulator observed.
 	SimStats = sim.Stats
+	// SimBackend is a pluggable device backend for the event-driven
+	// simulation engine: power per cycle state, the positioning and shutdown
+	// transitions, the media rate and the write-wear inflation. Assign one
+	// to SimConfig.Backend to simulate a device other than the MEMS default.
+	SimBackend = engine.Backend
 	// Stream describes a streaming session for the simulator.
 	Stream = workload.Stream
 	// BestEffortProcess generates background OS/file-system requests.
 	BestEffortProcess = workload.BestEffortProcess
 	// PlaybackCalendar converts daily usage into yearly totals.
 	PlaybackCalendar = workload.PlaybackCalendar
+)
+
+// DevicePowerState identifies one of the refill-cycle power states indexing
+// SimStats.StateTime and SimStats.StateEnergy.
+type DevicePowerState = device.PowerState
+
+// The refill-cycle power states, in cycle order.
+const (
+	// StateSeek is the positioning transition before a refill (the sled
+	// seek for MEMS, spin-up plus seek for the disk backend).
+	StateSeek = device.StateSeek
+	// StateReadWrite is the media transfer during a refill.
+	StateReadWrite = device.StateReadWrite
+	// StateShutdown is the transition from active to standby.
+	StateShutdown = device.StateShutdown
+	// StateStandby is the deep low-power state between refills.
+	StateStandby = device.StateStandby
+	// StateIdle is the ready-but-not-transferring state of an always-on
+	// device.
+	StateIdle = device.StateIdle
+	// StateBestEffort is media activity spent on non-streaming requests.
+	StateBestEffort = device.StateBestEffort
 )
 
 // NewCBRStream returns a constant-bit-rate stream with the Table I write mix.
@@ -295,6 +323,18 @@ func SimulateBatchContext(ctx context.Context, workers int, cfgs []SimConfig) ([
 	return stats, nil
 }
 
+// MEMSBackend wraps a MEMS device as a simulation backend. SimConfig runs
+// against it implicitly when Backend is nil, so it is only needed to pass a
+// MEMS device through backend-generic plumbing such as DefaultSimConfigFor.
+func MEMSBackend(dev Device) SimBackend { return engine.NewMEMS(dev) }
+
+// DiskBackend wraps a 1.8-inch disk drive as a simulation backend: the
+// positioning transition is the spin-up plus an average seek, the shutdown
+// transition the spin-down. Assign it to SimConfig.Backend (or use
+// SimulateDisk / DefaultDiskSimConfig) to simulate the paper's mechanical
+// baseline through the same refill cycle as the MEMS device.
+func DiskBackend(d Disk) SimBackend { return engine.NewDisk(d) }
+
 // DefaultSimConfig returns a ready-to-run simulation of the Table I device
 // streaming at the given rate through the given buffer for five minutes,
 // including the 5 % best-effort load.
@@ -309,6 +349,27 @@ func DefaultSimConfig(rate BitRate, buffer Size) SimConfig {
 		Duration:   5 * units.Minute,
 		Seed:       1,
 	}
+}
+
+// DefaultSimConfigFor is the backend-aware DefaultSimConfig: a ready-to-run
+// five-minute CBR simulation of the given device backend, with the 5 %
+// best-effort load served at the backend's media rate. For a MEMS backend
+// the Device field is populated too, so the MEMS-specific wear projections
+// (ProjectedSpringsLifetime, ProjectedProbesLifetime) stay available.
+func DefaultSimConfigFor(b SimBackend, rate BitRate, buffer Size) SimConfig {
+	cfg := SimConfig{
+		Backend:    b,
+		DRAM:       device.DefaultDRAM(),
+		Buffer:     buffer,
+		Stream:     workload.NewCBRStream(rate),
+		BestEffort: workload.NewBestEffortProcess(0.05, b.MediaRate(), 1),
+		Duration:   5 * units.Minute,
+		Seed:       1,
+	}
+	if m, ok := b.(interface{ Device() device.MEMS }); ok {
+		cfg.Device = m.Device()
+	}
+	return cfg
 }
 
 // BreakEvenBuffer returns the break-even streaming buffer of the MEMS device

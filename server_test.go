@@ -93,6 +93,37 @@ func TestErrorPrefixOnRemainingEntryPoints(t *testing.T) {
 			_, err := Simulate(cfg)
 			return err
 		}},
+		{"SimulateBatch", func() error {
+			good := DefaultSimConfig(1024*Kbps, 64*KiB)
+			bad := good
+			bad.Buffer = 0
+			_, err := SimulateBatch(good, bad)
+			return err
+		}},
+		{"SimulateBatchContext", func() error {
+			bad := DefaultSimConfig(1024*Kbps, 64*KiB)
+			bad.Duration = 0
+			_, err := SimulateBatchContext(context.Background(), 2, []SimConfig{bad})
+			return err
+		}},
+		{"SimulateDisk", func() error {
+			// A MEMS-sized buffer cannot cover the disk's spin-up drain.
+			cfg := DefaultDiskSimConfig(DefaultDisk(), 1024*Kbps, 64*KiB)
+			_, err := SimulateDisk(DefaultDisk(), cfg)
+			return err
+		}},
+		{"SimulateDiskInvalidConfig", func() error {
+			cfg := DefaultDiskSimConfig(DefaultDisk(), 1024*Kbps, 8*MB)
+			cfg.Duration = 0
+			_, err := SimulateDisk(DefaultDisk(), cfg)
+			return err
+		}},
+		{"SimulateWithDiskBackend", func() error {
+			cfg := DefaultSimConfigFor(DiskBackend(DefaultDisk()), 1024*Kbps, 8*MB)
+			cfg.BitErrorRate = -1
+			_, err := Simulate(cfg)
+			return err
+		}},
 		{"SweepBuffer", func() error {
 			_, err := SweepBuffer(dev, 1024*Kbps, 8*KiB, 64*KiB, 1)
 			return err
