@@ -9,7 +9,18 @@
 //
 // Usage:
 //
-//	memssim -rate 1024kbps -buffer 20KiB -duration 5min [-device mems|improved|disk] [-vbr] [-besteffort 0.05] [-ber 1e-4] [-validate] [-replicas 8]
+//	memssim -rate 1024kbps -buffer 20KiB -duration 5min [-stream cbr|vbr|video|trace]
+//	        [-trace frames.txt] [-dump-trace frames.txt] [-device mems|improved|disk]
+//	        [-besteffort 0.05] [-ber 1e-4] [-validate] [-replicas 8]
+//
+// -stream selects the workload: constant bit rate ("cbr", the default), the
+// segment-wise variable-bit-rate model ("vbr"), an MPEG-like frame-accurate
+// video trace generated for the full run duration ("video"), or a
+// user-supplied frame trace ("trace", read from -trace in the
+// one-frame-per-line format "<timestamp> <size> [class]"). The deprecated
+// -vbr and -video flags remain as aliases. -dump-trace writes the frame
+// trace a video or trace run replays, so generated traces round-trip
+// through -stream trace.
 //
 // -device selects the simulated backend: the Table I MEMS device ("mems",
 // the default), the improved-durability MEMS scenario ("improved"), or the
@@ -27,22 +38,41 @@ import (
 	"memstream/internal/units"
 )
 
+// options collects every knob of one memssim invocation.
+type options struct {
+	rate, buffer, duration string
+	stream                 string
+	vbrAlias, videoAlias   bool
+	traceFile              string
+	dumpTrace              string
+	bestEffort, ber        float64
+	device                 string
+	improvedAlias          bool
+	seed                   uint64
+	validate               bool
+	replicas               int
+}
+
 func main() {
-	rateStr := flag.String("rate", "1024kbps", "streaming bit rate")
-	bufferStr := flag.String("buffer", "20KiB", "streaming buffer capacity")
-	durationStr := flag.String("duration", "5min", "simulated streaming time")
-	vbr := flag.Bool("vbr", false, "use a variable-bit-rate stream instead of CBR")
-	video := flag.Bool("video", false, "use an MPEG-like frame-accurate video trace (overrides -vbr)")
-	bestEffort := flag.Float64("besteffort", 0.05, "best-effort share of device time (0 disables)")
-	ber := flag.Float64("ber", 0, "raw media bit-error rate exercised through the ECC codec")
-	deviceStr := flag.String("device", "", "device backend: mems, improved or disk (default mems)")
-	improved := flag.Bool("improved", false, "deprecated: alias for -device improved")
-	seed := flag.Uint64("seed", 1, "random seed")
-	validate := flag.Bool("validate", false, "compare the simulation against the analytical model")
-	replicas := flag.Int("replicas", 1, "run this many seed-varied replicas concurrently and report the spread")
+	var o options
+	flag.StringVar(&o.rate, "rate", "1024kbps", "streaming bit rate (ignored for -stream trace)")
+	flag.StringVar(&o.buffer, "buffer", "20KiB", "streaming buffer capacity")
+	flag.StringVar(&o.duration, "duration", "5min", "simulated streaming time")
+	flag.StringVar(&o.stream, "stream", "", "stream workload: cbr, vbr, video or trace (default cbr)")
+	flag.BoolVar(&o.vbrAlias, "vbr", false, "deprecated: alias for -stream vbr")
+	flag.BoolVar(&o.videoAlias, "video", false, "deprecated: alias for -stream video")
+	flag.StringVar(&o.traceFile, "trace", "", "frame-trace file for -stream trace (one \"<timestamp> <size> [class]\" per line)")
+	flag.StringVar(&o.dumpTrace, "dump-trace", "", "write the replayed frame trace of a video/trace run to this file")
+	flag.Float64Var(&o.bestEffort, "besteffort", 0.05, "best-effort share of device time (0 disables)")
+	flag.Float64Var(&o.ber, "ber", 0, "raw media bit-error rate exercised through the ECC codec")
+	flag.StringVar(&o.device, "device", "", "device backend: mems, improved or disk (default mems)")
+	flag.BoolVar(&o.improvedAlias, "improved", false, "deprecated: alias for -device improved")
+	flag.Uint64Var(&o.seed, "seed", 1, "random seed")
+	flag.BoolVar(&o.validate, "validate", false, "compare the simulation against the analytical model")
+	flag.IntVar(&o.replicas, "replicas", 1, "run this many seed-varied replicas concurrently and report the spread")
 	flag.Parse()
 
-	if err := run(os.Stdout, *rateStr, *bufferStr, *durationStr, *vbr, *video, *bestEffort, *ber, *deviceStr, *improved, *seed, *validate, *replicas); err != nil {
+	if err := run(os.Stdout, o); err != nil {
 		fmt.Fprintln(os.Stderr, "memssim:", err)
 		os.Exit(1)
 	}
@@ -70,24 +100,86 @@ func resolveDevice(deviceStr string, improvedAlias bool) (string, error) {
 	}
 }
 
-func run(w io.Writer, rateStr, bufferStr, durationStr string, vbr, video bool, bestEffort, ber float64,
-	deviceStr string, improvedAlias bool, seed uint64, validate bool, replicas int) error {
+// resolveStream turns -stream, the deprecated -vbr/-video aliases and the
+// -trace file into a canonical workload kind, mirroring resolveDevice's
+// strictness: aliases may restate the flag but not contradict it, and a
+// trace file selects (or requires) the trace kind.
+func resolveStream(stream string, vbrAlias, videoAlias bool, traceFile string) (memstream.SimSpecKind, error) {
+	name := stream
+	if name == "" {
+		switch {
+		case videoAlias:
+			// -video historically overrode -vbr.
+			name = "video"
+		case vbrAlias:
+			name = "vbr"
+		case traceFile != "":
+			name = "trace"
+		default:
+			name = "cbr"
+		}
+	} else {
+		if vbrAlias && name != "vbr" {
+			return "", fmt.Errorf("-vbr is an alias for -stream vbr and contradicts -stream %s", name)
+		}
+		if videoAlias && name != "video" {
+			return "", fmt.Errorf("-video is an alias for -stream video and contradicts -stream %s", name)
+		}
+	}
+	switch name {
+	case "cbr", "vbr", "video", "trace":
+	default:
+		return "", fmt.Errorf("unknown -stream %q (want cbr, vbr, video or trace)", name)
+	}
+	if name == "trace" && traceFile == "" {
+		return "", fmt.Errorf("-stream trace needs a -trace file")
+	}
+	if name != "trace" && traceFile != "" {
+		return "", fmt.Errorf("-trace only applies to -stream trace, not -stream %s", name)
+	}
+	return memstream.SimSpecKind(name), nil
+}
 
-	rate, err := units.ParseBitRate(rateStr)
+// loadTrace reads and normalizes a frame-trace file.
+func loadTrace(path string) ([]memstream.Frame, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	frames, err := memstream.ParseFrameTrace(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return frames, nil
+}
+
+func run(w io.Writer, o options) error {
+	rate, err := units.ParseBitRate(o.rate)
 	if err != nil {
 		return err
 	}
-	buffer, err := units.ParseSize(bufferStr)
+	buffer, err := units.ParseSize(o.buffer)
 	if err != nil {
 		return err
 	}
-	duration, err := units.ParseDuration(durationStr)
+	duration, err := units.ParseDuration(o.duration)
 	if err != nil {
 		return err
 	}
-	deviceName, err := resolveDevice(deviceStr, improvedAlias)
+	deviceName, err := resolveDevice(o.device, o.improvedAlias)
 	if err != nil {
 		return err
+	}
+	kind, err := resolveStream(o.stream, o.vbrAlias, o.videoAlias, o.traceFile)
+	if err != nil {
+		return err
+	}
+	var traceFrames []memstream.Frame
+	if kind == memstream.SpecTrace {
+		if traceFrames, err = loadTrace(o.traceFile); err != nil {
+			return err
+		}
 	}
 	dev := memstream.DefaultDevice()
 	var backend memstream.SimBackend
@@ -95,81 +187,120 @@ func run(w io.Writer, rateStr, bufferStr, durationStr string, vbr, video bool, b
 	case "improved":
 		dev = memstream.ImprovedDevice()
 	case "disk":
-		if validate {
+		if o.validate {
 			return fmt.Errorf("-validate compares against the analytical MEMS model; it does not support -device disk")
 		}
 		backend = memstream.DiskBackend(memstream.DefaultDisk())
 	}
 	mediaRate := memstream.SimConfig{Device: dev, Backend: backend}.MediaRate()
 
-	// configFor builds the full simulation configuration for one seed: the
-	// stream, the optional video trace and the best-effort process all
+	// specFor builds the stream spec for one seed: the stochastic kinds
 	// re-derive their randomness from it, so seed-varied replicas differ in
-	// every stochastic source, not only the simulator RNG.
-	configFor := func(s uint64) (memstream.SimConfig, error) {
+	// every stochastic source. The trace spec is seed-independent and built
+	// once — it memoizes its demand pattern, which every replica shares.
+	var traceSpec memstream.SimStreamSpec
+	if kind == memstream.SpecTrace {
+		traceSpec = memstream.TraceSpec(traceFrames)
+	}
+	specFor := func(s uint64) memstream.SimStreamSpec {
+		switch kind {
+		case memstream.SpecVBR:
+			return memstream.VBRSpec(rate, s)
+		case memstream.SpecVideo:
+			return memstream.VideoSpec(rate, s)
+		case memstream.SpecTrace:
+			return traceSpec
+		default:
+			return memstream.CBRSpec(rate)
+		}
+	}
+
+	// configFor builds the full simulation configuration for one seed; the
+	// best-effort process re-derives its arrivals from it too. The video
+	// trace horizon follows the run duration (capped at
+	// memstream.MaxTraceHorizon, wrapping beyond), so a 5-minute run
+	// simulates 5 minutes of distinct frames — not a replayed 60 s window.
+	configFor := func(s uint64) memstream.SimConfig {
 		cfg := memstream.SimConfig{
 			Device:       dev,
 			Backend:      backend,
 			DRAM:         memstream.DefaultDRAM(),
 			Buffer:       buffer,
-			Stream:       memstream.NewCBRStream(rate),
+			Spec:         specFor(s),
 			Duration:     duration,
-			BitErrorRate: ber,
+			BitErrorRate: o.ber,
 			Seed:         s,
 		}
-		if vbr {
-			cfg.Stream = memstream.NewVBRStream(rate, s)
+		if o.bestEffort > 0 {
+			cfg.BestEffort = memstream.NewBestEffortProcess(o.bestEffort, mediaRate, s)
 		}
-		if video {
-			pattern, err := memstream.NewVideoRatePattern(memstream.NewVideoStream(rate, s), 60*memstream.Second)
-			if err != nil {
-				return memstream.SimConfig{}, err
-			}
-			cfg.Stream = memstream.NewCBRStream(rate)
-			cfg.RateSource = pattern
-		}
-		if bestEffort > 0 {
-			cfg.BestEffort = memstream.NewBestEffortProcess(bestEffort, mediaRate, s)
-		}
-		return cfg, nil
+		return cfg
 	}
 
-	if replicas < 1 {
-		return fmt.Errorf("replicas must be at least 1, got %d", replicas)
+	// Reject incoherent flag combinations before producing any output or
+	// artifacts (the -dump-trace file included).
+	if o.replicas < 1 {
+		return fmt.Errorf("replicas must be at least 1, got %d", o.replicas)
 	}
-	if replicas > 1 {
-		if validate {
+	if o.validate {
+		if o.replicas > 1 {
 			return fmt.Errorf("-validate compares a single run against the model; drop it or use -replicas 1")
 		}
-		cfgs := make([]memstream.SimConfig, replicas)
+		if kind == memstream.SpecTrace {
+			return fmt.Errorf("-validate builds the analytical model at -rate, which -stream trace ignores; drop one of them")
+		}
+	}
+
+	if o.dumpTrace != "" {
+		spec := specFor(o.seed)
+		frames, err := spec.TraceFrames(duration)
+		if err != nil {
+			return fmt.Errorf("-dump-trace: %w", err)
+		}
+		f, err := os.Create(o.dumpTrace)
+		if err != nil {
+			return err
+		}
+		if err := memstream.WriteFrameTrace(f, frames); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %d frames to %s\n", len(frames), o.dumpTrace)
+	}
+
+	// Reports name the rate the run actually streams at: the nominal -rate,
+	// or the trace's own average (where -rate is ignored).
+	reportRate := rate
+	if kind == memstream.SpecTrace {
+		reportRate = specFor(o.seed).AverageRate()
+	}
+	if o.replicas > 1 {
+		cfgs := make([]memstream.SimConfig, o.replicas)
 		for i := range cfgs {
-			c, err := configFor(seed + uint64(i))
-			if err != nil {
-				return err
-			}
-			cfgs[i] = c
+			cfgs[i] = configFor(o.seed + uint64(i))
 		}
 		batch, err := memstream.SimulateBatch(cfgs...)
 		if err != nil {
 			return err
 		}
-		return reportReplicas(w, cfgs, batch, rate, buffer)
+		return reportReplicas(w, cfgs, batch, reportRate, buffer)
 	}
 
-	cfg, err := configFor(seed)
-	if err != nil {
-		return err
-	}
+	cfg := configFor(o.seed)
 	stats, err := memstream.Simulate(cfg)
 	if err != nil {
 		return err
 	}
-
-	fmt.Fprintf(w, "simulated %v of streaming at %v through a %v buffer\n",
-		stats.SimulatedTime, rate, buffer)
+	fmt.Fprintf(w, "simulated %v of %s streaming at %v through a %v buffer\n",
+		stats.SimulatedTime, kind, reportRate, buffer)
 	fmt.Fprintf(w, "refill cycles:        %d (%.2f per second)\n", stats.RefillCycles, stats.RefillsPerSecond())
 	fmt.Fprintf(w, "streamed data:        %v (underruns: %d, min buffer level: %v)\n",
 		stats.StreamedBits, stats.Underruns, stats.MinBufferLevel)
+	fmt.Fprintf(w, "playback:             startup delay %v, %d rebuffer episodes (%v stalled)\n",
+		stats.StartupDelay, stats.RebufferEpisodes, stats.RebufferTime)
 	fmt.Fprintf(w, "best-effort traffic:  %d requests, %v\n", stats.BestEffortRequests, stats.BestEffortBits)
 	fmt.Fprintf(w, "device energy:        %v (average power %v, duty cycle %.1f%%)\n",
 		stats.DeviceEnergy(), stats.AverageDevicePower(), 100*stats.DutyCycle())
@@ -183,18 +314,18 @@ func run(w io.Writer, rateStr, bufferStr, durationStr string, vbr, video bool, b
 			stats.ProjectedSpringsLifetime(dev, cal).Years(), cal)
 		fmt.Fprintf(w, "probes projection:    %.1f years\n", stats.ProjectedProbesLifetime(dev, cal).Years())
 	}
-	if ber > 0 {
+	if o.ber > 0 {
 		fmt.Fprintf(w, "ECC activity:         %d corrected, %d uncorrectable\n",
 			stats.ECCCorrected, stats.ECCUncorrectable)
 	}
 
-	if !validate {
+	if !o.validate {
 		return nil
 	}
 
 	fmt.Fprintln(w, "\nvalidation against the analytical model:")
 	wl := memstream.DefaultWorkload()
-	wl.BestEffortFraction = bestEffort
+	wl.BestEffortFraction = o.bestEffort
 	model, err := memstream.NewWithOptions(dev, rate, memstream.Options{Workload: &wl})
 	if err != nil {
 		return err
@@ -215,7 +346,7 @@ func run(w io.Writer, rateStr, bufferStr, durationStr string, vbr, video bool, b
 	modelProbes := pt.ProbesLifetime.Years()
 	fmt.Fprintf(w, "  probes lifetime:  sim %.2f years vs model %.2f years (%+.1f%%)\n",
 		simProbes, modelProbes, 100*(simProbes-modelProbes)/modelProbes)
-	if bestEffort > 0 {
+	if o.bestEffort > 0 {
 		fmt.Fprintln(w, "  note: Eq. 6 accounts only streaming writes; the simulator also charges")
 		fmt.Fprintln(w, "        best-effort writes to probe wear, so its probes projection is lower.")
 	}

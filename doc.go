@@ -89,6 +89,47 @@
 // StateEnergy, indexed by the re-exported power states (StateSeek,
 // StateReadWrite, StateShutdown, StateStandby, StateIdle, StateBestEffort).
 //
+// # Workloads
+//
+// Stream demand is described by a typed spec (SimStreamSpec, assigned to
+// SimConfig.Spec) selecting one of four workload kinds:
+//
+//   - "cbr" (CBRSpec): constant bit rate — the paper's Table I stream.
+//   - "vbr" (VBRSpec): segment-wise variable bit rate, two-second segments
+//     varying ±30 % around the nominal rate.
+//   - "video" (VideoSpec): an MPEG-like frame-accurate trace generated from
+//     a GOP structure (frame rate, GOP length, anchor distance, I/P/B
+//     weights, jitter). The trace horizon follows the simulated duration,
+//     capped at MaxTraceHorizon; longer runs wrap around and replay the
+//     trace explicitly.
+//   - "trace" (TraceSpec): a user-supplied frame trace, replayed with
+//     wrap-around beyond its last frame.
+//
+// User traces travel in a one-frame-per-line text format read by
+// ParseFrameTrace and written by WriteFrameTrace:
+//
+//	# comment
+//	<timestamp> <size> [class]
+//	0      6250bit  I
+//	40ms   4000bit
+//	0.08   3000bit  B
+//
+// Timestamps accept the duration grammar (bare numbers are seconds), sizes
+// the size grammar (bare numbers are bytes), and the optional class is I, P
+// or B (default P). Timestamps must be strictly increasing; traces are
+// normalized to start at time zero.
+//
+// The same kinds are exposed end to end: memssim selects them with
+// -stream cbr|vbr|video|trace (-trace loads a trace file, -dump-trace saves
+// the replayed trace), and POST /v1/simulate accepts "stream": "video" with
+// an optional "video" parameter object and "stream": "trace" with inline
+// "frames": [{"timestamp", "size", "class"}]. Video parameters are resolved
+// and traces normalized before fingerprinting, so equivalent spellings share
+// one cache entry. Beyond underrun steps, SimStats reports the playback
+// metrics a player would surface: StartupDelay (positioning plus one buffer
+// fill at the media rate), RebufferEpisodes (distinct stalls) and
+// RebufferTime (total stalled time).
+//
 // # Serving
 //
 // The same questions are served as long-lived API calls through NewService,

@@ -83,4 +83,53 @@ func main() {
 	fmt.Println("The HD recording row shows the paper's point: with today's probe durability no")
 	fmt.Println("buffer size rescues a seven-year lifetime at camcorder rates, so the designer")
 	fmt.Println("must either improve the tips (second table) or cap the recording rate.")
+	fmt.Println()
+
+	// The tables above dimension against the smooth analytical demand. Real
+	// H.264 playback is bursty — I frames several times the average — so
+	// play two minutes of a frame-accurate MPEG-like trace through the
+	// dimensioned SD-playback buffer and check the player's view: startup
+	// delay, rebuffer episodes, underruns.
+	simulateVideo(memstream.DefaultDevice(), goal, 1024*memstream.Kbps)
+}
+
+// simulateVideo replays a frame-accurate video trace through the buffer the
+// analytical model dimensions for the given rate and reports the playback
+// health a user would observe.
+func simulateVideo(dev memstream.Device, goal memstream.Goal, rate memstream.BitRate) {
+	model, err := memstream.New(dev, rate)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dim, err := model.Dimension(goal)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !dim.Feasible {
+		log.Fatalf("SD playback at %v should be dimensionable", rate)
+	}
+	cfg := memstream.SimConfig{
+		Device:   dev,
+		DRAM:     memstream.DefaultDRAM(),
+		Buffer:   dim.Buffer,
+		Spec:     memstream.VideoSpec(rate, 1),
+		Duration: 2 * memstream.Minute,
+		Seed:     1,
+	}
+	stats, err := memstream.Simulate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("frame-accurate playback check at %v through the dimensioned %.0f KiB buffer:\n",
+		rate, dim.Buffer.KiBytes())
+	fmt.Printf("  simulated %v: startup delay %v, %d rebuffer episodes, %d underrun steps\n",
+		stats.SimulatedTime, stats.StartupDelay, stats.RebufferEpisodes, stats.Underruns)
+	fmt.Printf("  delivered %v at %v per bit, duty cycle %.1f%%\n",
+		stats.StreamedBits, stats.PerBitEnergy(), 100*stats.DutyCycle())
+	if stats.RebufferEpisodes == 0 {
+		fmt.Println("  the analytically dimensioned buffer also absorbs the I-frame bursts.")
+	} else {
+		fmt.Println("  the bursty trace stalls where the smooth model predicted headroom —")
+		fmt.Println("  provision against the peak demand, not the average.")
+	}
 }

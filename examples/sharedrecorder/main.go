@@ -95,18 +95,14 @@ func main() {
 	fmt.Println("stream (and the shared springs budget) inflates every faster stream's buffer too.")
 
 	// Cross-check with the simulator: run the playback stream as an MPEG-like
-	// frame trace through its dimensioned buffer and confirm it never starves.
-	video := memstream.NewVideoStream(1024*memstream.Kbps, 42)
-	pattern, err := memstream.NewVideoRatePattern(video, 60*memstream.Second)
-	if err != nil {
-		log.Fatal(err)
-	}
+	// frame trace through its dimensioned buffer and confirm it never
+	// starves. The spec derives the trace horizon from the run duration, so
+	// all five minutes are distinct frames rather than a replayed window.
 	cfg := memstream.SimConfig{
 		Device:     dev,
 		DRAM:       memstream.DefaultDRAM(),
 		Buffer:     dim.Plan.Buffers[0],
-		Stream:     memstream.NewCBRStream(1024 * memstream.Kbps),
-		RateSource: pattern,
+		Spec:       memstream.VideoSpec(1024*memstream.Kbps, 42),
 		BestEffort: memstream.NewBestEffortProcess(0.05, dev.MediaRate(), 42),
 		Duration:   5 * 60 * memstream.Second,
 		Seed:       42,

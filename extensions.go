@@ -10,6 +10,7 @@ package memstream
 
 import (
 	"fmt"
+	"io"
 
 	"memstream/internal/device"
 	"memstream/internal/energy"
@@ -87,13 +88,64 @@ type (
 	// VideoRatePattern samples the frame-accurate demand of a video stream;
 	// it plugs into SimConfig.RateSource.
 	VideoRatePattern = workload.VideoRatePattern
+	// TracePattern samples the demand of a user-supplied frame trace,
+	// wrapping around beyond its horizon.
+	TracePattern = workload.TracePattern
 	// Frame is one encoded frame of a generated trace.
 	Frame = workload.Frame
 	// FrameClass is the coding class of a frame (I, P or B).
 	FrameClass = workload.FrameClass
 	// SimRateSource is the demand-sampling interface the simulator accepts.
 	SimRateSource = sim.RateSource
+	// SimStreamSpec is the typed stream description SimConfig.Spec consumes:
+	// one value selects the workload family (SpecCBR, SpecVBR, SpecVideo or
+	// SpecTrace) and carries its parameters; the simulator derives the
+	// demand pattern (with the video-trace horizon tied to the run duration)
+	// and the write mix from it.
+	SimStreamSpec = workload.StreamSpec
+	// SimSpecKind names a workload family of a SimStreamSpec.
+	SimSpecKind = workload.SpecKind
 )
+
+// The workload families a SimStreamSpec can select.
+const (
+	// SpecCBR is a constant-bit-rate stream.
+	SpecCBR = workload.SpecCBR
+	// SpecVBR is the segment-wise variable-bit-rate stream.
+	SpecVBR = workload.SpecVBR
+	// SpecVideo is the generated MPEG-like frame-accurate video trace.
+	SpecVideo = workload.SpecVideo
+	// SpecTrace replays a user-supplied frame trace.
+	SpecTrace = workload.SpecTrace
+)
+
+// MaxTraceHorizon caps the generated video-trace length; longer runs wrap
+// around explicitly.
+const MaxTraceHorizon = workload.MaxTraceHorizon
+
+// CBRSpec returns a constant-bit-rate stream spec with the Table I write mix.
+func CBRSpec(rate BitRate) SimStreamSpec { return workload.CBRSpec(rate) }
+
+// VBRSpec returns a variable-bit-rate stream spec averaging the given rate.
+func VBRSpec(rate BitRate, seed uint64) SimStreamSpec { return workload.VBRSpec(rate, seed) }
+
+// VideoSpec returns an MPEG-like video stream spec with the NewVideoStream
+// defaults (12-frame GOP at 25 fps, 5:3:1 weights, 20 % jitter).
+func VideoSpec(rate BitRate, seed uint64) SimStreamSpec { return workload.VideoSpec(rate, seed) }
+
+// TraceSpec returns a stream spec replaying the given frames (as produced
+// by ParseFrameTrace) with the Table I write mix.
+func TraceSpec(frames []Frame) SimStreamSpec { return workload.TraceSpec(frames) }
+
+// ParseFrameTrace reads a frame trace in the one-frame-per-line text format
+// ("<timestamp> <size> [class]"; timestamps accept the duration grammar,
+// sizes the size grammar, bare numbers are seconds and bytes). The trace is
+// normalized to start at time zero.
+func ParseFrameTrace(r io.Reader) ([]Frame, error) { return workload.ParseFrames(r) }
+
+// WriteFrameTrace writes frames in the ParseFrameTrace text format, so a
+// generated trace can be saved and replayed through a SpecTrace stream.
+func WriteFrameTrace(w io.Writer, frames []Frame) error { return workload.FormatFrames(w, frames) }
 
 // Video frame classes.
 const (

@@ -196,7 +196,13 @@ func (c *Cache) Do(ctx context.Context, key string, compute func() ([]byte, erro
 				// The leader failed (possibly on its own cancelled context);
 				// nothing was cached, so retry the flight under this caller's
 				// still-live context rather than propagating a foreign error.
+				// A waiter whose own context is already dead must not retry:
+				// it could become the new leader and run a full compute whose
+				// result nobody can use.
 				if errors.Is(fl.err, context.Canceled) || errors.Is(fl.err, context.DeadlineExceeded) {
+					if err := ctx.Err(); err != nil {
+						return nil, false, err
+					}
 					continue
 				}
 				return nil, false, fl.err

@@ -289,3 +289,59 @@ func TestHitRate(t *testing.T) {
 		t.Errorf("hit rate = %v; want 0.75", r)
 	}
 }
+
+// deadContext models the losing side of the waiter race: its Err reports a
+// cancellation, but its Done channel never fires — exactly the state a
+// waiter is in when its context dies after the select has already committed
+// to the flight branch.
+type deadContext struct{ context.Context }
+
+func (deadContext) Done() <-chan struct{} { return nil }
+func (deadContext) Err() error            { return context.Canceled }
+
+// TestDoWaiterWithDeadContextDoesNotRetry locks in the waiter-retry guard:
+// when the flight leader fails with a cancellation and the waiter's own
+// context is dead by the time it observes that failure, the waiter must
+// return its context error instead of retrying the flight — a retry would
+// make it the new leader and run a full compute whose result nobody can use.
+func TestDoWaiterWithDeadContextDoesNotRetry(t *testing.T) {
+	c := New(8, 1)
+	const key = "dead-ctx"
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+	leaderDone := make(chan struct{})
+	go func() {
+		c.Do(context.Background(), key, func() ([]byte, error) {
+			close(leaderIn)
+			<-release
+			return nil, context.Canceled
+		})
+		close(leaderDone)
+	}()
+	<-leaderIn
+
+	var waiterComputes atomic.Int32
+	waiterErr := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do(deadContext{context.Background()}, key, func() ([]byte, error) {
+			waiterComputes.Add(1)
+			return []byte("zombie"), nil
+		})
+		waiterErr <- err
+	}()
+	// Give the waiter time to join the flight, then fail the leader: the
+	// waiter can only wake through the flight branch (its Done never fires)
+	// and must bail out on its dead context instead of leading a retry.
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	if err := <-waiterErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("waiter err = %v, want context.Canceled", err)
+	}
+	if n := waiterComputes.Load(); n != 0 {
+		t.Fatalf("dead-context waiter ran its compute %d times", n)
+	}
+	<-leaderDone
+	if _, ok := c.Get(key); ok {
+		t.Fatal("a failed flight cached a value")
+	}
+}

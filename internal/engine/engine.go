@@ -127,8 +127,24 @@ type Stats struct {
 	RefillCycles int
 	// BestEffortRequests counts served background requests.
 	BestEffortRequests int
-	// Underruns counts moments the buffer ran dry while the stream drained.
+	// Underruns counts accounting steps in which the buffer ran dry while
+	// the stream drained — an integration-granularity diagnostic, not a
+	// user-visible event count (several consecutive dry steps are one
+	// playback stall; see RebufferEpisodes).
 	Underruns int
+	// RebufferEpisodes counts distinct playback stalls: maximal runs of dry
+	// accounting steps, the paper-relevant "rebuffering events per run"
+	// metric a player would surface.
+	RebufferEpisodes int
+	// RebufferTime is the total playback time lost to stalls: for each dry
+	// step, the time the missing bits would have taken at the demand in
+	// effect.
+	RebufferTime units.Duration
+	// StartupDelay is the modelled playback start-up latency: the device
+	// positions and fills the buffer once at the media rate before the
+	// stream may start draining it. The simulated run itself starts with a
+	// full buffer, so this is derived at construction, not observed.
+	StartupDelay units.Duration
 	// MinBufferLevel is the lowest buffer fill level observed.
 	MinBufferLevel units.Size
 	// ECCCorrected counts single-bit errors repaired by the codec.
@@ -226,7 +242,10 @@ type Core struct {
 
 	now   units.Duration
 	level units.Size
-	stats Stats
+	// inRebuffer marks that the previous accounting step ran the buffer dry,
+	// so consecutive dry steps collapse into one rebuffer episode.
+	inRebuffer bool
+	stats      Stats
 }
 
 // NewCore builds a core for one run: the buffer starts full.
@@ -248,6 +267,9 @@ func NewCore(b Backend, src RateSource, buffer units.Size) *Core {
 		c.stepper = st
 	}
 	c.stats.MinBufferLevel = buffer
+	if c.mediaRate.Positive() {
+		c.stats.StartupDelay = c.positioning.Add(c.mediaRate.TimeFor(buffer))
+	}
 	return c
 }
 
@@ -282,8 +304,20 @@ func (c *Core) Account(state device.PowerState, dt units.Duration) {
 	c.level = c.level.Sub(drained)
 	if c.level < 0 {
 		c.stats.Underruns++
+		// The missing bits stall playback for the time they would have
+		// taken at the current demand; consecutive dry steps are one
+		// user-visible rebuffer episode.
+		if rate.Positive() {
+			c.stats.RebufferTime = c.stats.RebufferTime.Add(rate.TimeFor(c.level.Scale(-1)))
+		}
+		if !c.inRebuffer {
+			c.stats.RebufferEpisodes++
+			c.inRebuffer = true
+		}
 		drained = drained.Add(c.level) // only what was actually there
 		c.level = 0
+	} else {
+		c.inRebuffer = false
 	}
 	c.stats.StreamedBits = c.stats.StreamedBits.Add(drained)
 	if c.level < c.stats.MinBufferLevel {
@@ -366,8 +400,19 @@ func (c *Core) RefillToFull(state device.PowerState, writeFraction float64) {
 		rate := c.source.RateAt(c.now)
 		net := media.Sub(rate)
 		if net <= 0 {
-			// The stream momentarily outruns the media rate; nothing refills.
-			c.Account(state, units.Duration(1e-3))
+			// The stream momentarily outruns the media rate; nothing refills
+			// until the demand drops. Step straight to the source's next rate
+			// change so one oversized video frame costs one step — falling
+			// back to 1 ms slices only for sources that cannot announce their
+			// changes (or whose next change fails to advance time).
+			dt := units.Duration(1e-3)
+			if c.stepper != nil {
+				next := c.stepper.NextRateChange(c.now)
+				if remaining := next.Sub(c.now); remaining.Positive() && !math.IsInf(remaining.Seconds(), 0) {
+					dt = remaining
+				}
+			}
+			c.Account(state, dt)
 			continue
 		}
 		dt := net.TimeFor(c.buffer.Sub(c.level))
@@ -393,6 +438,14 @@ func (c *Core) creditWrites(transferred units.Size, writeFraction float64) {
 	userWritten := transferred.Scale(writeFraction)
 	c.stats.WrittenUserBits = c.stats.WrittenUserBits.Add(userWritten)
 	c.stats.WrittenPhysicalBits = c.stats.WrittenPhysicalBits.Add(userWritten.Scale(c.inflation))
+}
+
+// CreditWrite routes a non-streaming (best-effort) write through the same
+// wear accounting as refill writes: the data counts as user bits and the
+// physical volume carries the backend's formatting inflation, so probe
+// lifetime projections see background writes and stream writes identically.
+func (c *Core) CreditWrite(size units.Size) {
+	c.creditWrites(size, 1)
 }
 
 // CycleTimes is the steady-state composition of one refill cycle, used by

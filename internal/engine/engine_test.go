@@ -219,6 +219,126 @@ func (s stepRate) NextRateChange(t units.Duration) units.Duration {
 	return units.Duration(math.Inf(1))
 }
 
+// spikeRate models one oversized video frame: demand above the media rate
+// until switchAt, modest afterwards, with the boundary announced.
+type spikeRate struct {
+	switchAt          units.Duration
+	highRate, lowRate units.BitRate
+	calls             int
+}
+
+func (s *spikeRate) RateAt(t units.Duration) units.BitRate {
+	s.calls++
+	if t < s.switchAt {
+		return s.highRate
+	}
+	return s.lowRate
+}
+func (s *spikeRate) PeakRate() units.BitRate { return s.highRate }
+func (s *spikeRate) NextRateChange(t units.Duration) units.Duration {
+	if t < s.switchAt {
+		return s.switchAt
+	}
+	return units.Duration(math.Inf(1))
+}
+
+// TestRefillStepsOverDemandSpike locks in the RefillToFull fix: while demand
+// momentarily outruns the media rate, the engine must step straight to the
+// source's next rate change instead of degrading to fixed 1 ms slices for
+// the whole interval.
+func TestRefillStepsOverDemandSpike(t *testing.T) {
+	b := NewMEMS(device.DefaultMEMS())
+	media := b.MediaRate()
+	src := &spikeRate{
+		switchAt: units.Duration(0.2), // a 200 ms spike = 200 legacy slices
+		highRate: media.Scale(2),
+		lowRate:  media.Scale(0.01),
+	}
+	buffer := 64 * units.KiB
+	c := NewCore(b, src, buffer)
+	// Open a gap so the refill loop engages while the spike is still on.
+	c.Account(device.StateSeek, units.Duration(0.001))
+	callsBefore := src.calls
+	c.RefillToFull(device.StateReadWrite, 0.4)
+	if c.Level() != buffer {
+		t.Fatalf("refill ended at %v, want full %v", c.Level(), buffer)
+	}
+	if c.Now() < src.switchAt {
+		t.Fatalf("refill finished at %v, before the spike ended at %v", c.Now(), src.switchAt)
+	}
+	// One step to the spike boundary plus a handful of refill steps — the
+	// 1 ms fallback would have sampled the source hundreds of times.
+	if got := src.calls - callsBefore; got > 20 {
+		t.Errorf("refill sampled the source %d times across the spike; want a few event steps", got)
+	}
+}
+
+// TestRebufferEpisodesCollapseConsecutiveDrySteps checks the playback
+// metrics: several consecutive dry accounting steps are one rebuffer
+// episode, a recovery starts a new one, and the stalled time accumulates.
+func TestRebufferEpisodesCollapseConsecutiveDrySteps(t *testing.T) {
+	b := NewMEMS(device.DefaultMEMS())
+	rate := 4096 * units.Kbps
+	pattern, err := workload.NewRatePattern(workload.NewCBRStream(rate))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buffer := units.Size(1000)
+	c := NewCore(b, pattern, buffer)
+	if !c.Stats().StartupDelay.Positive() {
+		t.Error("startup delay missing")
+	}
+	wantStartup := b.PositioningTime().Add(b.MediaRate().TimeFor(buffer))
+	if got := c.Stats().StartupDelay; !almostEqual(got.Seconds(), wantStartup.Seconds(), 1e-12) {
+		t.Errorf("startup delay %v, want %v", got, wantStartup)
+	}
+
+	// Two consecutive dry one-second steps: two underruns, one episode.
+	c.Account(device.StateSeek, units.Duration(1))
+	c.Account(device.StateSeek, units.Duration(1))
+	st := c.Stats()
+	if st.Underruns != 2 || st.RebufferEpisodes != 1 {
+		t.Errorf("underruns = %d, episodes = %d; want 2 dry steps in 1 episode", st.Underruns, st.RebufferEpisodes)
+	}
+	if !st.RebufferTime.Positive() {
+		t.Error("rebuffer time missing")
+	}
+	// Recover, then stall again: a second episode.
+	c.RefillToFull(device.StateReadWrite, 0)
+	c.Account(device.StateSeek, units.Duration(0.0001)) // drains 410 bits: no stall
+	c.Account(device.StateSeek, units.Duration(1))
+	st = c.Stats()
+	if st.RebufferEpisodes != 2 {
+		t.Errorf("episodes = %d after a recovery and a new stall, want 2", st.RebufferEpisodes)
+	}
+}
+
+// TestCreditWriteCarriesInflation checks the best-effort crediting path:
+// the write counts as user bits and its physical volume is inflated by the
+// formatting overhead, exactly like refill writes.
+func TestCreditWriteCarriesInflation(t *testing.T) {
+	b := NewMEMS(device.DefaultMEMS())
+	buffer := 20 * units.KiB
+	pattern, err := workload.NewRatePattern(workload.NewCBRStream(1024 * units.Kbps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCore(b, pattern, buffer)
+	size := 4 * units.KiB
+	c.CreditWrite(size)
+	st := c.Stats()
+	if st.WrittenUserBits != size {
+		t.Errorf("user bits = %v, want %v", st.WrittenUserBits, size)
+	}
+	want := size.Scale(b.WriteInflation(buffer))
+	if !almostEqual(st.WrittenPhysicalBits.Bits(), want.Bits(), 1e-12) {
+		t.Errorf("physical bits = %v, want the inflated %v", st.WrittenPhysicalBits, want)
+	}
+	if st.WrittenPhysicalBits <= st.WrittenUserBits {
+		t.Error("inflation should exceed 1 for a 20 KiB sector")
+	}
+}
+
 // TestTransitionDrainsAcrossRateChanges locks in the fix for seconds-long
 // transitions (the disk's spin-up) spanning demand changes: the drain during
 // Positioning must integrate each phase at its own rate, not left-endpoint

@@ -9,6 +9,7 @@ import (
 	"memstream/internal/device"
 	"memstream/internal/multistream"
 	"memstream/internal/units"
+	"memstream/internal/workload"
 )
 
 // ValidationError marks a request the service rejected before computing
@@ -313,20 +314,211 @@ type SweepResponse struct {
 	DominanceShare map[string]float64 `json:"dominance_share"`
 }
 
+// VideoSpec tunes the MPEG-like video workload of a simulate request with
+// "stream": "video". Omitted fields take the library defaults (25 fps,
+// 12-frame GOP, anchor distance 3, 5:3:1 weights, 20 % jitter); the resolved
+// values — not the spelling — enter the cache fingerprint, so an explicit
+// default and an omitted field share an entry.
+type VideoSpec struct {
+	// FrameRate is the display rate in frames per second.
+	FrameRate float64 `json:"frame_rate,omitempty"`
+	// GOPLength is the number of frames per group of pictures (N).
+	GOPLength int `json:"gop_length,omitempty"`
+	// IPDistance is the distance between anchor frames (M).
+	IPDistance int `json:"ip_distance,omitempty"`
+	// WeightI, WeightP and WeightB are the relative frame sizes per class.
+	WeightI float64 `json:"weight_i,omitempty"`
+	WeightP float64 `json:"weight_p,omitempty"`
+	WeightB float64 `json:"weight_b,omitempty"`
+	// Jitter is the relative frame-size noise in [0, 1); a pointer so an
+	// explicit 0 (no jitter) is distinct from the omitted default.
+	Jitter *float64 `json:"jitter,omitempty"`
+}
+
+// resolve merges the spec with the library defaults into a canonical
+// workload spec at the given rate.
+func (v *VideoSpec) resolve(rate units.BitRate) (workload.StreamSpec, error) {
+	spec := workload.VideoSpec(rate, 0)
+	if v == nil {
+		return spec, nil
+	}
+	for name, f := range map[string]float64{
+		"frame_rate": v.FrameRate, "weight_i": v.WeightI, "weight_p": v.WeightP, "weight_b": v.WeightB,
+	} {
+		if math.IsNaN(f) || math.IsInf(f, 0) || f < 0 {
+			return workload.StreamSpec{}, invalidf("video.%s must be a non-negative finite number, got %v", name, f)
+		}
+	}
+	if v.GOPLength < 0 || v.IPDistance < 0 {
+		return workload.StreamSpec{}, invalidf("video.gop_length and video.ip_distance must be non-negative")
+	}
+	// The generated trace holds duration * frame_rate frames, so an
+	// unbounded frame rate would let one request allocate arbitrary memory.
+	if v.FrameRate > MaxVideoFrameRate {
+		return workload.StreamSpec{}, invalidf("video.frame_rate must not exceed %d fps, got %v", MaxVideoFrameRate, v.FrameRate)
+	}
+	if v.GOPLength > MaxVideoGOPLength {
+		return workload.StreamSpec{}, invalidf("video.gop_length must not exceed %d, got %d", MaxVideoGOPLength, v.GOPLength)
+	}
+	if v.FrameRate > 0 {
+		spec.FrameRate = v.FrameRate
+	}
+	if v.GOPLength > 0 {
+		spec.GOPLength = v.GOPLength
+	}
+	if v.IPDistance > 0 {
+		spec.IPDistance = v.IPDistance
+	}
+	if v.WeightI > 0 {
+		spec.WeightI = v.WeightI
+	}
+	if v.WeightP > 0 {
+		spec.WeightP = v.WeightP
+	}
+	if v.WeightB > 0 {
+		spec.WeightB = v.WeightB
+	}
+	if v.Jitter != nil {
+		j := *v.Jitter
+		if math.IsNaN(j) || j < 0 || j >= 1 {
+			return workload.StreamSpec{}, invalidf("video.jitter must be in [0, 1), got %v", j)
+		}
+		spec.Jitter = j
+	}
+	if err := spec.Validate(); err != nil {
+		return workload.StreamSpec{}, invalidf("video: %v", err)
+	}
+	return spec, nil
+}
+
+// videoKey is the canonical video fingerprint payload: the fully resolved
+// parameters, so equivalent spellings share a cache entry.
+type videoKey struct {
+	FrameRate  float64
+	GOPLength  int
+	IPDistance int
+	WeightI    float64
+	WeightP    float64
+	WeightB    float64
+	Jitter     float64
+}
+
+// videoKeyOf extracts the fingerprinted video parameters of a resolved spec.
+func videoKeyOf(spec workload.StreamSpec) videoKey {
+	return videoKey{
+		FrameRate:  spec.FrameRate,
+		GOPLength:  spec.GOPLength,
+		IPDistance: spec.IPDistance,
+		WeightI:    spec.WeightI,
+		WeightP:    spec.WeightP,
+		WeightB:    spec.WeightB,
+		Jitter:     spec.Jitter,
+	}
+}
+
+// TraceFrameSpec is one frame of an inline trace ("stream": "trace").
+type TraceFrameSpec struct {
+	// Timestamp is the frame's display time (unit string or seconds).
+	Timestamp Quantity `json:"timestamp"`
+	// Size is the encoded frame size (unit string or bytes).
+	Size Quantity `json:"size"`
+	// Class is the coding class: "I", "P" (default) or "B".
+	Class string `json:"class,omitempty"`
+}
+
+// MaxTraceFrames bounds the frames one inline trace may carry (the request
+// body bound keeps realistic traces well below it).
+const MaxTraceFrames = 65536
+
+// MaxVideoFrameRate bounds the frame rate of a generated video workload:
+// together with MaxSimSeconds and workload.MaxTraceHorizon it bounds the
+// memory one simulate request can demand. 1000 fps covers every real
+// display rate with a wide margin.
+const MaxVideoFrameRate = 1000
+
+// MaxVideoGOPLength bounds the GOP length of a generated video workload.
+const MaxVideoGOPLength = 4096
+
+// traceFrameKey is one frame of the canonical trace fingerprint payload:
+// normalized timestamp in seconds, size in bits and the class letter, so
+// unit spellings and constant timestamp offsets share a cache entry.
+type traceFrameKey struct {
+	T float64
+	S float64
+	C string
+}
+
+// resolveFrames parses and normalizes an inline trace, returning the frames
+// and their canonical fingerprint form.
+func resolveFrames(specs []TraceFrameSpec) ([]workload.Frame, []traceFrameKey, error) {
+	if len(specs) == 0 {
+		return nil, nil, invalidf(`frames is required when stream is "trace"`)
+	}
+	if len(specs) > MaxTraceFrames {
+		return nil, nil, invalidf("at most %d frames per trace, got %d", MaxTraceFrames, len(specs))
+	}
+	frames := make([]workload.Frame, len(specs))
+	for i, f := range specs {
+		if f.Timestamp == "" {
+			return nil, nil, invalidf("frames[%d].timestamp is required", i)
+		}
+		ts, err := f.Timestamp.duration(fmt.Sprintf("frames[%d].timestamp", i), 0)
+		if err != nil {
+			return nil, nil, err
+		}
+		size, err := f.Size.size(fmt.Sprintf("frames[%d].size", i))
+		if err != nil {
+			return nil, nil, err
+		}
+		class := workload.FrameP
+		if f.Class != "" {
+			class, err = workload.ParseFrameClass(f.Class)
+			if err != nil {
+				return nil, nil, invalidf("frames[%d]: %v", i, err)
+			}
+		}
+		frames[i] = workload.Frame{Timestamp: ts, Class: class, Size: size}
+	}
+	frames, err := workload.NormalizeFrames(frames)
+	if err != nil {
+		return nil, nil, invalidf("%v", err)
+	}
+	keys := make([]traceFrameKey, len(frames))
+	for i, f := range frames {
+		// The offset normalization subtracts timestamps, which leaves
+		// sub-nanosecond floating-point noise; quantize the canonical form
+		// to nanoseconds so shifted-but-equal traces share a fingerprint.
+		keys[i] = traceFrameKey{
+			T: math.Round(f.Timestamp.Seconds()*1e9) / 1e9,
+			S: f.Size.Bits(),
+			C: f.Class.String(),
+		}
+	}
+	return frames, keys, nil
+}
+
 // SimulateRequest asks for one or more discrete-event simulation runs.
 type SimulateRequest struct {
 	// Device selects the simulated device backend: a MEMS device
 	// ("default"/"mems"/"improved", with optional durability overrides) or
 	// the 1.8-inch disk baseline ("disk").
 	Device DeviceSpec `json:"device,omitzero"`
-	// Rate is the streaming bit rate.
+	// Rate is the streaming bit rate. Must be omitted for
+	// "stream": "trace", where the rate is derived from the frames (a
+	// supplied rate is rejected rather than silently ignored).
 	Rate Quantity `json:"rate"`
 	// Buffer is the streaming-buffer capacity.
 	Buffer Quantity `json:"buffer"`
 	// Duration is the simulated streaming time (default "5 min").
 	Duration Quantity `json:"duration,omitempty"`
-	// Stream picks the stream kind: "cbr" (default) or "vbr".
+	// Stream picks the stream kind: "cbr" (default), "vbr", "video" or
+	// "trace".
 	Stream string `json:"stream,omitempty"`
+	// Video tunes the "video" stream kind (rejected for other kinds).
+	Video *VideoSpec `json:"video,omitempty"`
+	// Frames is the inline frame trace of the "trace" stream kind
+	// (required there, rejected elsewhere).
+	Frames []TraceFrameSpec `json:"frames,omitempty"`
 	// BestEffort is the best-effort share of device time (default 0.05;
 	// negative is rejected, 0 disables).
 	BestEffort *float64 `json:"best_effort,omitempty"`
@@ -358,8 +550,16 @@ type SimulateResult struct {
 	StreamedBits float64 `json:"streamed_bits"`
 	// RefillCycles counts completed seek-refill-shutdown cycles.
 	RefillCycles int `json:"refill_cycles"`
-	// Underruns counts buffer underruns.
+	// Underruns counts dry integration steps (a granularity diagnostic).
 	Underruns int `json:"underruns"`
+	// RebufferEpisodes counts distinct playback stalls (consecutive dry
+	// steps collapse into one episode).
+	RebufferEpisodes int `json:"rebuffer_episodes"`
+	// RebufferSeconds is the total playback time lost to stalls.
+	RebufferSeconds float64 `json:"rebuffer_seconds"`
+	// StartupDelaySeconds is the modelled start-up latency: positioning
+	// plus one initial buffer fill at the media rate.
+	StartupDelaySeconds float64 `json:"startup_delay_seconds"`
 	// EnergyPerBit is the observed total per-bit energy (human-readable).
 	EnergyPerBit string `json:"energy_per_bit"`
 	// EnergyPerBitJoules is the per-bit energy in J/bit.

@@ -361,6 +361,9 @@ func (s *Service) Sweep(ctx context.Context, req SweepRequest) (*SweepResponse, 
 // simulateKey is the canonical fingerprint payload of a SimulateRequest. The
 // backend kind and both device parameter sets are fingerprinted, so a MEMS
 // and a disk run of otherwise identical shape can never share a cache entry.
+// Video parameters enter fully resolved and trace frames normalized, so
+// equivalent spellings (omitted defaults, unit strings, timestamp offsets)
+// share an entry.
 type simulateKey struct {
 	Backend    string
 	Device     device.MEMS
@@ -369,6 +372,8 @@ type simulateKey struct {
 	BufferBits float64
 	DurationS  float64
 	Stream     string
+	Video      videoKey
+	Frames     []traceFrameKey
 	BestEffort float64
 	Seed       uint64
 	Replicas   int
@@ -384,9 +389,56 @@ func (s *Service) SimulateBytes(ctx context.Context, req SimulateRequest) ([]byt
 	if err != nil {
 		return nil, err
 	}
-	rate, err := req.Rate.rate("rate")
-	if err != nil {
+	kind := req.Stream
+	if kind == "" {
+		kind = "cbr"
+	}
+	switch kind {
+	case "cbr", "vbr", "video", "trace":
+	default:
+		err = invalidf("stream must be \"cbr\", \"vbr\", \"video\" or \"trace\", got %q", req.Stream)
 		return nil, err
+	}
+	if req.Video != nil && kind != "video" {
+		err = invalidf("the video object only applies to \"stream\": \"video\", not %q", kind)
+		return nil, err
+	}
+	if len(req.Frames) > 0 && kind != "trace" {
+		err = invalidf("frames only apply to \"stream\": \"trace\", not %q", kind)
+		return nil, err
+	}
+	// The trace defines its own rate; for every other kind the rate is the
+	// nominal stream rate and is required.
+	var rate units.BitRate
+	var videoSpec, traceSpec workload.StreamSpec
+	var vkey videoKey
+	var fkeys []traceFrameKey
+	if kind == "trace" {
+		if req.Rate != "" {
+			err = invalidf("rate does not apply to \"stream\": \"trace\" (the frames define it)")
+			return nil, err
+		}
+		var frames []workload.Frame
+		frames, fkeys, err = resolveFrames(req.Frames)
+		if err != nil {
+			return nil, err
+		}
+		// Built once: the spec memoizes its demand pattern, which every
+		// replica's validation and run then shares.
+		traceSpec = workload.TraceSpec(frames)
+		rate = traceSpec.AverageRate()
+	} else {
+		rate, err = req.Rate.rate("rate")
+		if err != nil {
+			return nil, err
+		}
+		if kind == "video" {
+			videoSpec, err = req.Video.resolve(rate)
+			if err != nil {
+				return nil, err
+			}
+			vkey = videoKeyOf(videoSpec)
+		}
 	}
 	buffer, err := req.Buffer.size("buffer")
 	if err != nil {
@@ -402,14 +454,6 @@ func (s *Service) SimulateBytes(ctx context.Context, req SimulateRequest) ([]byt
 	}
 	if duration.Seconds() > MaxSimSeconds {
 		err = invalidf("duration must not exceed %d simulated seconds, got %v", MaxSimSeconds, duration)
-		return nil, err
-	}
-	kind := req.Stream
-	if kind == "" {
-		kind = "cbr"
-	}
-	if kind != "cbr" && kind != "vbr" {
-		err = invalidf("stream must be \"cbr\" or \"vbr\", got %q", req.Stream)
 		return nil, err
 	}
 	bestEffort := 0.05
@@ -436,14 +480,23 @@ func (s *Service) SimulateBytes(ctx context.Context, req SimulateRequest) ([]byt
 	if err != nil {
 		return nil, err
 	}
+	// The trace's rate is derived from its frames (with subtractive
+	// floating-point noise from the offset normalization); the quantized
+	// frames already determine the run, so the key carries no rate for it.
+	keyRate := rate.BitsPerSecond()
+	if kind == "trace" {
+		keyRate = 0
+	}
 	key, err := fingerprint("simulate", simulateKey{
 		Backend:    sd.Kind,
 		Device:     sd.MEMS,
 		Disk:       sd.Disk,
-		RateBps:    rate.BitsPerSecond(),
+		RateBps:    keyRate,
 		BufferBits: buffer.Bits(),
 		DurationS:  duration.Seconds(),
 		Stream:     kind,
+		Video:      vkey,
+		Frames:     fkeys,
 		BestEffort: bestEffort,
 		Seed:       seed,
 		Replicas:   replicas,
@@ -461,16 +514,27 @@ func (s *Service) SimulateBytes(ctx context.Context, req SimulateRequest) ([]byt
 		cfgs := make([]sim.Config, replicas)
 		for i := range cfgs {
 			replicaSeed := seed + uint64(i)
-			stream := workload.NewCBRStream(rate)
-			if kind == "vbr" {
-				stream = workload.NewVBRStream(rate, replicaSeed)
+			// Every kind routes through the typed workload spec; the
+			// stochastic kinds re-derive their randomness from the replica
+			// seed, exactly as VBR always did.
+			var spec workload.StreamSpec
+			switch kind {
+			case "cbr":
+				spec = workload.CBRSpec(rate)
+			case "vbr":
+				spec = workload.VBRSpec(rate, replicaSeed)
+			case "video":
+				spec = videoSpec
+				spec.Seed = replicaSeed
+			case "trace":
+				spec = traceSpec
 			}
 			cfg := sim.Config{
 				Device:   sd.MEMS,
 				Backend:  backend,
 				DRAM:     device.DefaultDRAM(),
 				Buffer:   buffer,
-				Stream:   stream,
+				Spec:     spec,
 				Duration: duration,
 				Seed:     replicaSeed,
 			}
@@ -502,14 +566,17 @@ func (s *Service) SimulateBytes(ctx context.Context, req SimulateRequest) ([]byt
 		for i, st := range stats {
 			perBit := st.PerBitEnergy()
 			resp.Runs[i] = SimulateResult{
-				Seed:               cfgs[i].Seed,
-				SimulatedSeconds:   st.SimulatedTime.Seconds(),
-				StreamedBits:       st.StreamedBits.Bits(),
-				RefillCycles:       st.RefillCycles,
-				Underruns:          st.Underruns,
-				EnergyPerBit:       perBit.String(),
-				EnergyPerBitJoules: perBit.JoulesPerBit(),
-				DutyCycle:          st.DutyCycle(),
+				Seed:                cfgs[i].Seed,
+				SimulatedSeconds:    st.SimulatedTime.Seconds(),
+				StreamedBits:        st.StreamedBits.Bits(),
+				RefillCycles:        st.RefillCycles,
+				Underruns:           st.Underruns,
+				RebufferEpisodes:    st.RebufferEpisodes,
+				RebufferSeconds:     st.RebufferTime.Seconds(),
+				StartupDelaySeconds: st.StartupDelay.Seconds(),
+				EnergyPerBit:        perBit.String(),
+				EnergyPerBitJoules:  perBit.JoulesPerBit(),
+				DutyCycle:           st.DutyCycle(),
 			}
 			if sd.Kind == "mems" {
 				// The wear projections are MEMS-specific: springs and probes

@@ -15,6 +15,9 @@ import (
 	"time"
 
 	"memstream/internal/device"
+	"memstream/internal/sim"
+	"memstream/internal/units"
+	"memstream/internal/workload"
 )
 
 // newTestServer starts an httptest server over a fresh service.
@@ -549,6 +552,218 @@ func TestSimulateMEMSAlias(t *testing.T) {
 	}
 	if hits := svc.CacheStats().Hits; hits == 0 {
 		t.Error("alias request should have hit the cache")
+	}
+}
+
+// TestSimulateVideoEndpoint drives /v1/simulate with the frame-accurate
+// video workload: a 200 with plausible playback metrics, and replicas
+// re-seeded per run exactly like VBR.
+func TestSimulateVideoEndpoint(t *testing.T) {
+	_, srv := newTestServer(t, Config{})
+	status, body := post(t, srv, "/v1/simulate",
+		`{"rate":"1024 kbps","buffer":"64 KiB","duration":"30 s","stream":"video","replicas":2}`)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, body %s", status, body)
+	}
+	var resp SimulateResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Runs) != 2 {
+		t.Fatalf("runs = %d; want 2", len(resp.Runs))
+	}
+	for i, run := range resp.Runs {
+		if run.Seed != uint64(1+i) {
+			t.Errorf("run %d seed = %d; want %d (replica re-seeding)", i, run.Seed, 1+i)
+		}
+		if run.RefillCycles <= 0 {
+			t.Errorf("run %d completed no refill cycles", i)
+		}
+		if run.Underruns != 0 || run.RebufferEpisodes != 0 {
+			t.Errorf("run %d stalled (%d underruns, %d episodes) through a 64 KiB buffer",
+				i, run.Underruns, run.RebufferEpisodes)
+		}
+		if run.StartupDelaySeconds <= 0 {
+			t.Errorf("run %d startup delay = %v; want positive", i, run.StartupDelaySeconds)
+		}
+	}
+	// Two seed-varied replicas of a jittered trace must not be identical.
+	if resp.Runs[0].EnergyPerBitJoules == resp.Runs[1].EnergyPerBitJoules {
+		t.Error("video replicas returned identical energies — re-seeding lost?")
+	}
+}
+
+// TestSimulateVideoEquivalentSpellingsShareACacheEntry locks in the
+// canonical video fingerprint: an omitted video object, an empty one and
+// one spelling out the library defaults are byte-identical cache hits.
+func TestSimulateVideoEquivalentSpellingsShareACacheEntry(t *testing.T) {
+	svc, srv := newTestServer(t, Config{})
+	base := `"rate":"1024 kbps","buffer":"64 KiB","duration":"10 s","stream":"video"`
+	_, a := post(t, srv, "/v1/simulate", `{`+base+`}`)
+	_, b := post(t, srv, "/v1/simulate", `{`+base+`,"video":{}}`)
+	_, c := post(t, srv, "/v1/simulate",
+		`{`+base+`,"video":{"frame_rate":25,"gop_length":12,"ip_distance":3,"weight_i":5,"weight_p":3,"weight_b":1,"jitter":0.2}}`)
+	if !bytes.Equal(a, b) || !bytes.Equal(a, c) {
+		t.Fatal("equivalent video spellings must return byte-identical cached bodies")
+	}
+	if st := svc.CacheStats(); st.Entries != 1 {
+		t.Errorf("entries = %d; want 1 shared entry", st.Entries)
+	}
+	// A genuinely different GOP length must not share the entry.
+	_, d := post(t, srv, "/v1/simulate", `{`+base+`,"video":{"gop_length":15}}`)
+	if bytes.Equal(a, d) {
+		t.Error("different GOP lengths shared a cache entry")
+	}
+	// An explicit zero jitter is a different workload than the 20 % default,
+	// not a respelling of it.
+	_, e := post(t, srv, "/v1/simulate", `{`+base+`,"video":{"jitter":0}}`)
+	if bytes.Equal(a, e) {
+		t.Error("explicit zero jitter shared the default-jitter cache entry")
+	}
+}
+
+// TestSimulateTraceEndpoint drives /v1/simulate with an inline frame trace:
+// a 200, byte-identical cache hits for equivalent spellings (unit strings
+// and timestamp offsets), and strict field validation.
+func TestSimulateTraceEndpoint(t *testing.T) {
+	svc, srv := newTestServer(t, Config{})
+	// Four 40 ms frames around 1 Mbps.
+	frames := `[{"timestamp":0,"size":"6250bit","class":"I"},
+		{"timestamp":"40ms","size":"4000bit"},
+		{"timestamp":0.08,"size":"3000bit","class":"B"},
+		{"timestamp":0.12,"size":"4500bit","class":"P"}]`
+	status, body := post(t, srv, "/v1/simulate",
+		`{"buffer":"64 KiB","duration":"10 s","stream":"trace","frames":`+frames+`}`)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, body %s", status, body)
+	}
+	var resp SimulateResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Runs) != 1 || resp.Runs[0].RefillCycles == 0 {
+		t.Fatalf("trace run produced no cycles: %s", body)
+	}
+	if resp.Runs[0].Underruns != 0 {
+		t.Errorf("trace run underran %d times through a 64 KiB buffer", resp.Runs[0].Underruns)
+	}
+	// The same trace with second-spelled timestamps and a constant offset
+	// must hit the same entry byte-identically.
+	shifted := `[{"timestamp":"1s","size":"6250bit","class":"I"},
+		{"timestamp":1.04,"size":"4000bit","class":"P"},
+		{"timestamp":1.08,"size":"3000bit","class":"B"},
+		{"timestamp":"1.12","size":"4500bit"}]`
+	status, body2 := post(t, srv, "/v1/simulate",
+		`{"buffer":"64 KiB","duration":"10 s","stream":"trace","frames":`+shifted+`}`)
+	if status != http.StatusOK {
+		t.Fatalf("shifted status = %d, body %s", status, body2)
+	}
+	if !bytes.Equal(body, body2) {
+		t.Fatal("equivalent trace spellings must return byte-identical cached bodies")
+	}
+	if st := svc.CacheStats(); st.Entries != 1 {
+		t.Errorf("entries = %d; want 1 shared entry", st.Entries)
+	}
+}
+
+// TestSimulateVideoTraceValidation locks in the 400s of the new kinds,
+// including the acceptance criterion that peak demand at or above the
+// backend media rate is rejected.
+func TestSimulateVideoTraceValidation(t *testing.T) {
+	_, srv := newTestServer(t, Config{})
+	cases := []struct {
+		name, body, wantErr string
+	}{
+		{"video peak above media rate",
+			`{"rate":"90 Mbps","buffer":"10 MiB","stream":"video"}`,
+			"peak demand"},
+		{"trace peak above media rate",
+			`{"buffer":"10 MiB","stream":"trace","frames":[
+				{"timestamp":0,"size":"8Mbit"},{"timestamp":0.04,"size":"8Mbit"}]}`,
+			"peak demand"},
+		{"video object on cbr",
+			`{"rate":"1024 kbps","buffer":"64 KiB","video":{"frame_rate":30}}`,
+			"video object only applies"},
+		{"frames on video",
+			`{"rate":"1024 kbps","buffer":"64 KiB","stream":"video","frames":[{"timestamp":0,"size":"4000bit"}]}`,
+			"frames only apply"},
+		{"trace without frames",
+			`{"buffer":"64 KiB","stream":"trace"}`,
+			"frames is required"},
+		{"trace with rate",
+			`{"rate":"1024 kbps","buffer":"64 KiB","stream":"trace","frames":[{"timestamp":0,"size":"4000bit"}]}`,
+			"rate does not apply"},
+		{"bad jitter",
+			`{"rate":"1024 kbps","buffer":"64 KiB","stream":"video","video":{"jitter":1.5}}`,
+			"jitter"},
+		{"absurd frame rate",
+			`{"rate":"1024 kbps","buffer":"64 KiB","duration":"1 h","stream":"video","video":{"frame_rate":1e9}}`,
+			"frame_rate"},
+		{"absurd gop length",
+			`{"rate":"1024 kbps","buffer":"64 KiB","stream":"video","video":{"gop_length":100000}}`,
+			"gop_length"},
+		{"bad frame class",
+			`{"buffer":"64 KiB","stream":"trace","frames":[{"timestamp":0,"size":"4000bit","class":"X"}]}`,
+			"frame class"},
+		{"non-increasing timestamps",
+			`{"buffer":"64 KiB","stream":"trace","frames":[
+				{"timestamp":0,"size":"4000bit"},{"timestamp":0,"size":"4000bit"}]}`,
+			"strictly increasing"},
+		{"missing timestamp",
+			`{"buffer":"64 KiB","stream":"trace","frames":[{"size":"4000bit"}]}`,
+			"timestamp is required"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			status, body := post(t, srv, "/v1/simulate", c.body)
+			if status != http.StatusBadRequest {
+				t.Fatalf("status = %d, body %s; want 400", status, body)
+			}
+			if !strings.Contains(string(body), c.wantErr) {
+				t.Errorf("body %s does not mention %q", body, c.wantErr)
+			}
+		})
+	}
+}
+
+// TestSimulateVideoMatchesLibraryRun is the cross-layer parity check: the
+// service's "stream": "video" answer must equal a direct sim.RunConfig with
+// the same spec and seed.
+func TestSimulateVideoMatchesLibraryRun(t *testing.T) {
+	svc := New(Config{})
+	resp, err := svc.Simulate(context.Background(), SimulateRequest{
+		Rate: "1024 kbps", Buffer: "64 KiB", Duration: "30 s", Stream: "video", Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := workload.VideoSpec(1024*units.Kbps, 9)
+	cfg := sim.Config{
+		Device:     device.DefaultMEMS(),
+		DRAM:       device.DefaultDRAM(),
+		Buffer:     64 * units.KiB,
+		Spec:       spec,
+		BestEffort: workload.NewBestEffortProcess(0.05, device.DefaultMEMS().MediaRate(), 9),
+		Duration:   30 * units.Second,
+		Seed:       9,
+	}
+	stats, err := sim.RunConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := resp.Runs[0]
+	if run.RefillCycles != stats.RefillCycles {
+		t.Errorf("refill cycles: service %d vs library %d", run.RefillCycles, stats.RefillCycles)
+	}
+	if run.StreamedBits != stats.StreamedBits.Bits() {
+		t.Errorf("streamed bits: service %v vs library %v", run.StreamedBits, stats.StreamedBits.Bits())
+	}
+	if run.EnergyPerBitJoules != stats.PerBitEnergy().JoulesPerBit() {
+		t.Errorf("per-bit energy: service %v vs library %v", run.EnergyPerBitJoules, stats.PerBitEnergy().JoulesPerBit())
+	}
+	if run.Underruns != stats.Underruns || run.RebufferEpisodes != stats.RebufferEpisodes {
+		t.Errorf("stall metrics diverge: service (%d, %d) vs library (%d, %d)",
+			run.Underruns, run.RebufferEpisodes, stats.Underruns, stats.RebufferEpisodes)
 	}
 }
 

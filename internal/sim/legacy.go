@@ -27,7 +27,10 @@ type slicedSimulator struct {
 	// variableRate marks demand that changes over time, requiring the drain
 	// and refill integrations to proceed in small slices.
 	variableRate bool
-	rng          *workload.Rng
+	// writeFraction is the resolved stream write share (from Spec when set,
+	// from the legacy Stream otherwise).
+	writeFraction float64
+	rng           *workload.Rng
 
 	// live state
 	now      units.Duration
@@ -44,10 +47,20 @@ func newSliced(cfg Config) (*slicedSimulator, error) {
 	}
 	var source RateSource
 	variable := false
-	if cfg.RateSource != nil {
+	writeFraction := cfg.Stream.WriteFraction
+	switch {
+	case cfg.Spec.Kind != "":
+		pattern, err := cfg.Spec.Pattern(cfg.Duration)
+		if err != nil {
+			return nil, err
+		}
+		source = pattern
+		variable = cfg.Spec.Kind != workload.SpecCBR
+		writeFraction = cfg.Spec.WriteFraction
+	case cfg.RateSource != nil:
 		source = cfg.RateSource
 		variable = true
-	} else {
+	default:
 		pattern, err := workload.NewRatePattern(cfg.Stream)
 		if err != nil {
 			return nil, err
@@ -67,13 +80,14 @@ func newSliced(cfg Config) (*slicedSimulator, error) {
 		cfg.ECCSampleWords = 8
 	}
 	s := &slicedSimulator{
-		cfg:          cfg,
-		layout:       format.NewLayout(cfg.Device),
-		source:       source,
-		variableRate: variable,
-		rng:          workload.NewRng(cfg.Seed ^ 0xdeadbeefcafef00d),
-		level:        cfg.Buffer,
-		requests:     requests,
+		cfg:           cfg,
+		layout:        format.NewLayout(cfg.Device),
+		source:        source,
+		variableRate:  variable,
+		writeFraction: writeFraction,
+		rng:           workload.NewRng(cfg.Seed ^ 0xdeadbeefcafef00d),
+		level:         cfg.Buffer,
+		requests:      requests,
 	}
 	s.stats.MinBufferLevel = cfg.Buffer
 	return s, nil
@@ -142,7 +156,7 @@ func (s *slicedSimulator) refillToFull(state device.PowerState) {
 		}
 		transferred := s.cfg.Device.MediaRate().Times(dt)
 		s.stats.MediaBits = s.stats.MediaBits.Add(transferred)
-		s.creditWrites(transferred)
+		s.creditWrites(transferred, s.writeFraction)
 		// The refill and the drain happen concurrently: credit the incoming
 		// data before accounting the drain so the net fill never reads as an
 		// artificial underrun. The true occupancy minimum of a cycle occurs
@@ -155,10 +169,10 @@ func (s *slicedSimulator) refillToFull(state device.PowerState) {
 	}
 }
 
-// creditWrites attributes the write share of transferred stream data to probe
+// creditWrites attributes the written fraction of transferred data to probe
 // wear, inflated by the formatting overhead.
-func (s *slicedSimulator) creditWrites(transferred units.Size) {
-	userWritten := transferred.Scale(s.cfg.Stream.WriteFraction)
+func (s *slicedSimulator) creditWrites(transferred units.Size, fraction float64) {
+	userWritten := transferred.Scale(fraction)
 	s.stats.WrittenUserBits = s.stats.WrittenUserBits.Add(userWritten)
 	sector := s.layout.FormatSector(s.cfg.Buffer)
 	inflation := 1.0
@@ -178,7 +192,9 @@ func (s *slicedSimulator) serveBestEffort() {
 		s.stats.BestEffortBits = s.stats.BestEffortBits.Add(req.Size)
 		s.stats.BestEffortRequests++
 		if req.Write {
-			s.stats.WrittenPhysicalBits = s.stats.WrittenPhysicalBits.Add(req.Size)
+			// Same crediting as the event-driven path: user bits plus the
+			// formatting inflation, so the parity oracle stays comparable.
+			s.creditWrites(req.Size, 1)
 		}
 	}
 }

@@ -53,11 +53,21 @@ type Config struct {
 	DRAM device.DRAM
 	// Buffer is the streaming-buffer capacity B.
 	Buffer units.Size
-	// Stream is the streaming session to play or record.
+	// Spec describes the stream for any built-in workload kind (CBR, VBR,
+	// frame-accurate video, user frame traces). When Spec.Kind is set it is
+	// the single source of truth: the simulator derives the demand pattern
+	// from it — for video, with the trace horizon tied to Duration (capped
+	// at workload.MaxTraceHorizon, wrapping beyond) — and takes the write
+	// mix from Spec.WriteFraction; Stream and RateSource are ignored.
+	Spec workload.StreamSpec
+	// Stream is the legacy stream description, used when Spec.Kind is
+	// empty. New code should prefer Spec.
 	Stream workload.Stream
 	// RateSource optionally overrides the demand sampling of Stream (for
-	// example with a frame-accurate video trace). Stream still provides the
-	// nominal rate and the write fraction.
+	// example with a pre-generated video trace). Stream still provides the
+	// nominal rate and the write fraction. Ignored when Spec.Kind is set;
+	// sources that cannot announce their own rate changes fall back to
+	// half-frame slicing, which the Spec path never needs.
 	RateSource RateSource
 	// BestEffort is the background request process. Leave the zero value for
 	// a clean stream with no best-effort traffic.
@@ -107,7 +117,11 @@ func (c Config) Validate() error {
 	if err := c.DRAM.Validate(); err != nil {
 		errs = append(errs, err)
 	}
-	if err := c.Stream.Validate(); err != nil {
+	if c.Spec.Kind != "" {
+		if err := c.Spec.Validate(); err != nil {
+			errs = append(errs, err)
+		}
+	} else if err := c.Stream.Validate(); err != nil {
 		errs = append(errs, err)
 	}
 	if c.BestEffort.TargetFraction > 0 {
@@ -123,11 +137,24 @@ func (c Config) Validate() error {
 	}
 	mediaRate := c.backend().MediaRate()
 	if mediaRate.Positive() {
-		if c.Stream.NominalRate >= mediaRate {
-			errs = append(errs, errors.New("sim: stream rate must be below the media rate"))
-		}
-		if c.RateSource != nil && c.RateSource.PeakRate() >= mediaRate {
-			errs = append(errs, errors.New("sim: the rate source's peak demand must be below the media rate"))
+		if c.Spec.Kind != "" {
+			// The peak bound covers the average too, but both checks name the
+			// quantity a user would recognise in the error. RateBounds scans
+			// a trace once for both values.
+			average, peak := c.Spec.RateBounds()
+			if average >= mediaRate {
+				errs = append(errs, errors.New("sim: stream rate must be below the media rate"))
+			}
+			if peak >= mediaRate {
+				errs = append(errs, errors.New("sim: the stream's peak demand must be below the media rate"))
+			}
+		} else {
+			if c.Stream.NominalRate >= mediaRate {
+				errs = append(errs, errors.New("sim: stream rate must be below the media rate"))
+			}
+			if c.RateSource != nil && c.RateSource.PeakRate() >= mediaRate {
+				errs = append(errs, errors.New("sim: the rate source's peak demand must be below the media rate"))
+			}
 		}
 	}
 	if c.BitErrorRate < 0 || c.BitErrorRate >= 1 {
@@ -142,6 +169,9 @@ type Simulator struct {
 	backend engine.Backend
 	core    *engine.Core
 	rng     *workload.Rng
+	// writeFraction is the resolved stream write share (from Spec when set,
+	// from the legacy Stream otherwise).
+	writeFraction float64
 
 	requests []workload.BestEffortRequest
 	nextReq  int
@@ -153,11 +183,22 @@ func New(cfg Config) (*Simulator, error) {
 		return nil, err
 	}
 	var source RateSource
-	if cfg.RateSource != nil {
+	writeFraction := cfg.Stream.WriteFraction
+	switch {
+	case cfg.Spec.Kind != "":
+		// Every built-in kind announces its own rate changes, so the spec
+		// path never needs the half-frame Sliced fallback.
+		pattern, err := cfg.Spec.Pattern(cfg.Duration)
+		if err != nil {
+			return nil, err
+		}
+		source = pattern
+		writeFraction = cfg.Spec.WriteFraction
+	case cfg.RateSource != nil:
 		// A custom source that cannot announce its own rate changes falls
 		// back to the legacy half-frame sampling resolution.
 		source = engine.Sliced(cfg.RateSource, units.Duration(0.02))
-	} else {
+	default:
 		pattern, err := workload.NewRatePattern(cfg.Stream)
 		if err != nil {
 			return nil, err
@@ -177,11 +218,12 @@ func New(cfg Config) (*Simulator, error) {
 	}
 	backend := cfg.backend()
 	return &Simulator{
-		cfg:      cfg,
-		backend:  backend,
-		core:     engine.NewCore(backend, source, cfg.Buffer),
-		rng:      workload.NewRng(cfg.Seed ^ 0xdeadbeefcafef00d),
-		requests: requests,
+		cfg:           cfg,
+		backend:       backend,
+		core:          engine.NewCore(backend, source, cfg.Buffer),
+		rng:           workload.NewRng(cfg.Seed ^ 0xdeadbeefcafef00d),
+		writeFraction: writeFraction,
+		requests:      requests,
 	}, nil
 }
 
@@ -196,7 +238,10 @@ func (s *Simulator) serveBestEffort() {
 		stats.BestEffortBits = stats.BestEffortBits.Add(req.Size)
 		stats.BestEffortRequests++
 		if req.Write {
-			stats.WrittenPhysicalBits = stats.WrittenPhysicalBits.Add(req.Size)
+			// Route background writes through the same crediting path as
+			// refill writes, so probe-lifetime projections count their user
+			// bits and formatting inflation consistently.
+			s.core.CreditWrite(req.Size)
 		}
 	}
 }
@@ -257,9 +302,9 @@ func (s *Simulator) Run() (*Stats, error) {
 		// Position back to the stream region, refill to full, serve queued
 		// best-effort work, top off, shut down.
 		s.core.Positioning()
-		s.core.RefillToFull(device.StateReadWrite, s.cfg.Stream.WriteFraction)
+		s.core.RefillToFull(device.StateReadWrite, s.writeFraction)
 		s.serveBestEffort()
-		s.core.RefillToFull(device.StateReadWrite, s.cfg.Stream.WriteFraction)
+		s.core.RefillToFull(device.StateReadWrite, s.writeFraction)
 		s.injectErrors()
 		s.core.Shutdown()
 

@@ -1,0 +1,198 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"memstream/internal/units"
+)
+
+func TestSpecValidate(t *testing.T) {
+	good := []StreamSpec{
+		CBRSpec(1024 * units.Kbps),
+		VBRSpec(1024*units.Kbps, 7),
+		VideoSpec(1024*units.Kbps, 7),
+		TraceSpec([]Frame{
+			{Timestamp: 0, Size: 4000},
+			{Timestamp: units.Duration(0.04), Size: 5000},
+		}),
+	}
+	for _, s := range good {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s spec invalid: %v", s.Kind, err)
+		}
+	}
+	bad := []StreamSpec{
+		{},                                // no kind
+		{Kind: "chaos", Rate: units.Kbps}, // unknown kind
+		CBRSpec(0),                        // no rate
+		func() StreamSpec { s := VideoSpec(units.Kbps, 1); s.Jitter = 2; return s }(),
+		TraceSpec(nil), // no frames
+		TraceSpec([]Frame{{Timestamp: units.Second, Size: 4000}}), // not at zero
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad spec %d (%q) validated", i, s.Kind)
+		}
+	}
+}
+
+func TestSpecPeakRateBounds(t *testing.T) {
+	rate := 1024 * units.Kbps
+	if got := CBRSpec(rate).PeakRate(); got != rate {
+		t.Errorf("cbr peak = %v, want %v", got, rate)
+	}
+	if got, want := VBRSpec(rate, 1).PeakRate(), rate.Scale(1.3); math.Abs(got.BitsPerSecond()-want.BitsPerSecond()) > 1 {
+		t.Errorf("vbr peak = %v, want %v", got, want)
+	}
+	// The analytic video bound dominates the realized peak of any trace.
+	spec := VideoSpec(rate, 5)
+	bound := spec.PeakRate()
+	if bound <= rate {
+		t.Fatalf("video peak bound %v not above nominal %v", bound, rate)
+	}
+	p, err := spec.Pattern(60 * units.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if realized := p.PeakRate(); realized > bound {
+		t.Errorf("realized peak %v exceeds the analytic bound %v", realized, bound)
+	}
+	// Nothing forces I frames to be the largest class: with inverted
+	// weights the bound must still dominate the realized (P-frame) peak.
+	inverted := VideoSpec(rate, 5)
+	inverted.WeightI, inverted.WeightP, inverted.WeightB = 1, 10, 1
+	invBound := inverted.PeakRate()
+	ip, err := inverted.Pattern(60 * units.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if realized := ip.PeakRate(); realized > invBound {
+		t.Errorf("inverted-weight realized peak %v exceeds the bound %v", realized, invBound)
+	}
+}
+
+// TestSpecVideoHorizonFollowsDuration is the regression test for the
+// fixed-60-second CLI horizon bug: the generated trace must cover the whole
+// requested duration (here 5 minutes), not silently wrap a shorter window.
+func TestSpecVideoHorizonFollowsDuration(t *testing.T) {
+	spec := VideoSpec(1024*units.Kbps, 3)
+	p, err := spec.Pattern(5 * units.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vp, ok := p.(*VideoRatePattern)
+	if !ok {
+		t.Fatalf("video spec built a %T, want *VideoRatePattern", p)
+	}
+	want := int(5 * 60 * 25) // 25 fps over 5 minutes
+	if got := len(vp.Frames()); got != want {
+		t.Errorf("trace holds %d frames, want %d covering the full 5 minutes", got, want)
+	}
+}
+
+func TestSpecVideoHorizonCappedAndFloored(t *testing.T) {
+	spec := VideoSpec(1024*units.Kbps, 3)
+	// Beyond the cap the trace stops growing (the pattern wraps instead).
+	long, err := spec.Pattern(2 * MaxTraceHorizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capFrames := int(MaxTraceHorizon.Seconds() * 25)
+	if got := len(long.(*VideoRatePattern).Frames()); got != capFrames {
+		t.Errorf("capped trace holds %d frames, want %d", got, capFrames)
+	}
+	// A duration below one frame interval still yields a (wrapping) one-frame
+	// trace instead of an error.
+	short, err := spec.Pattern(units.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(short.(*VideoRatePattern).Frames()); got != 1 {
+		t.Errorf("sub-frame duration yielded %d frames, want 1", got)
+	}
+}
+
+func TestSpecPatternKinds(t *testing.T) {
+	rate := 1024 * units.Kbps
+	for _, spec := range []StreamSpec{CBRSpec(rate), VBRSpec(rate, 3), VideoSpec(rate, 3)} {
+		p, err := spec.Pattern(10 * units.Second)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Kind, err)
+		}
+		// CBR and VBR report the nominal average exactly; the video pattern
+		// reports the realized trace mean, which jitters around nominal.
+		if got := p.AverageRate().BitsPerSecond(); math.Abs(got-rate.BitsPerSecond())/rate.BitsPerSecond() > 0.05 {
+			t.Errorf("%s average = %v, want near nominal %v", spec.Kind, p.AverageRate(), rate)
+		}
+		if !p.RateAt(units.Second).Positive() {
+			t.Errorf("%s rate at 1 s not positive", spec.Kind)
+		}
+		if next := p.NextRateChange(units.Second); next <= units.Second && spec.Kind != SpecCBR {
+			t.Errorf("%s next rate change %v does not advance", spec.Kind, next)
+		}
+	}
+	if _, err := (StreamSpec{Kind: "chaos"}).Pattern(units.Second); err == nil {
+		t.Error("unknown kind produced a pattern")
+	}
+}
+
+// TestSpecVideoZeroJitterIsDeterministic locks in that an explicit zero
+// jitter means "no jitter" — it must not fall back to the 20 % default, so
+// every frame of a class has exactly its mean size.
+func TestSpecVideoZeroJitterIsDeterministic(t *testing.T) {
+	spec := VideoSpec(1024*units.Kbps, 5)
+	spec.Jitter = 0
+	frames, err := spec.TraceFrames(10 * units.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := map[FrameClass]units.Size{}
+	for _, f := range frames {
+		if prev, ok := sizes[f.Class]; ok && prev != f.Size {
+			t.Fatalf("jitter-free %v frames vary in size: %v vs %v", f.Class, prev, f.Size)
+		}
+		sizes[f.Class] = f.Size
+	}
+}
+
+// TestGenerateTraceRejectsAbsurdFrameCounts locks in the generation bound:
+// a horizon × frame-rate product in the billions must error, not overflow
+// the float-to-int conversion or exhaust memory.
+func TestGenerateTraceRejectsAbsurdFrameCounts(t *testing.T) {
+	v := NewVideoStream(1024*units.Kbps, 1)
+	v.FrameRate = 1e9
+	if _, err := v.GenerateTrace(units.Hour); err == nil {
+		t.Error("3.6e12-frame trace accepted")
+	}
+}
+
+// TestVideoRatePatternWrapAround locks in the wrap-around semantics when
+// the run outlives the generated trace: sampling beyond the horizon replays
+// the trace from the start, frame boundaries keep advancing, and the
+// long-run average is unchanged.
+func TestVideoRatePatternWrapAround(t *testing.T) {
+	v := NewVideoStream(1024*units.Kbps, 3)
+	horizon := 10 * units.Second
+	p, err := NewVideoRatePattern(v, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, at := range []units.Duration{0, units.Duration(3.7), units.Duration(9.96)} {
+		for cycle := 1; cycle <= 3; cycle++ {
+			wrapped := at.Add(horizon.Scale(float64(cycle)))
+			if got, want := p.RateAt(wrapped), p.RateAt(at); got != want {
+				t.Errorf("rate at %v = %v, want the first-cycle value %v", wrapped, got, want)
+			}
+		}
+	}
+	// Rate changes stay strictly advancing across the wrap itself.
+	at := horizon.Sub(units.Millisecond)
+	for i := 0; i < 5; i++ {
+		next := p.NextRateChange(at)
+		if next <= at {
+			t.Fatalf("next rate change %v did not advance past %v", next, at)
+		}
+		at = next
+	}
+}

@@ -1,0 +1,243 @@
+package workload
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"memstream/internal/units"
+)
+
+// DefaultFrameInterval is the display interval assumed when a trace is too
+// short to reveal its own spacing (a single frame): one frame at 25 fps.
+const DefaultFrameInterval = units.Duration(1.0 / 25)
+
+// ParseFrames reads a frame trace in the one-frame-per-line text format:
+//
+//	# comment (blank lines are skipped too)
+//	<timestamp> <size> [class]
+//
+// The timestamp accepts the duration grammar of internal/units without
+// spaces ("0.04", "40ms"; bare numbers are seconds) and the size accepts the
+// size grammar ("3.1KiB", "25000bit"; bare numbers are bytes). The optional
+// class is I, P or B (defaulting to P). Timestamps must be strictly
+// increasing; the trace is normalized so the first frame starts at zero.
+func ParseFrames(r io.Reader) ([]Frame, error) {
+	var frames []Frame
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 || len(fields) > 3 {
+			return nil, fmt.Errorf("workload: trace line %d: want \"timestamp size [class]\", got %d fields", line, len(fields))
+		}
+		ts, err := units.ParseDuration(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: %w", line, err)
+		}
+		size, err := units.ParseSize(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: %w", line, err)
+		}
+		class := FrameP
+		if len(fields) == 3 {
+			class, err = ParseFrameClass(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("workload: trace line %d: %w", line, err)
+			}
+		}
+		frames = append(frames, Frame{Timestamp: ts, Class: class, Size: size})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: read trace: %w", err)
+	}
+	if len(frames) == 0 {
+		return nil, errors.New("workload: trace holds no frames")
+	}
+	return NormalizeFrames(frames)
+}
+
+// ParseFrameClass parses a frame class letter (I, P or B, case-insensitive).
+func ParseFrameClass(s string) (FrameClass, error) {
+	switch strings.ToUpper(s) {
+	case "I":
+		return FrameI, nil
+	case "P":
+		return FrameP, nil
+	case "B":
+		return FrameB, nil
+	default:
+		return 0, fmt.Errorf("workload: unknown frame class %q (want I, P or B)", s)
+	}
+}
+
+// FormatFrames writes a trace in the ParseFrames text format, one frame per
+// line with the timestamp in seconds and the size in bits, so a generated
+// trace can be replayed through the trace path byte-faithfully.
+func FormatFrames(w io.Writer, frames []Frame) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# frame trace: <timestamp seconds> <size> <class>")
+	for _, f := range frames {
+		if _, err := fmt.Fprintf(bw, "%g %gbit %s\n", f.Timestamp.Seconds(), f.Size.Bits(), f.Class); err != nil {
+			return fmt.Errorf("workload: write trace: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("workload: write trace: %w", err)
+	}
+	return nil
+}
+
+// NormalizeFrames shifts the trace so the first frame starts at time zero,
+// renumbers the indices, and validates the result. The input order is
+// preserved (timestamps must already be strictly increasing).
+func NormalizeFrames(frames []Frame) ([]Frame, error) {
+	if len(frames) == 0 {
+		return nil, errors.New("workload: trace holds no frames")
+	}
+	offset := frames[0].Timestamp
+	out := make([]Frame, len(frames))
+	for i, f := range frames {
+		f.Timestamp = f.Timestamp.Sub(offset)
+		f.Index = i
+		out[i] = f
+	}
+	if err := ValidateFrames(out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ValidateFrames checks a trace in normalized form: at least one frame, the
+// first at time zero, timestamps strictly increasing, every size positive.
+func ValidateFrames(frames []Frame) error {
+	if len(frames) == 0 {
+		return errors.New("workload: trace holds no frames")
+	}
+	if frames[0].Timestamp != 0 {
+		return fmt.Errorf("workload: trace must start at time zero (first frame at %v; NormalizeFrames shifts it)", frames[0].Timestamp)
+	}
+	for i, f := range frames {
+		if !f.Size.Positive() {
+			return fmt.Errorf("workload: trace frame %d has non-positive size %v", i, f.Size)
+		}
+		if i > 0 && f.Timestamp <= frames[i-1].Timestamp {
+			return fmt.Errorf("workload: trace timestamps must be strictly increasing (frame %d at %v after %v)",
+				i, f.Timestamp, frames[i-1].Timestamp)
+		}
+	}
+	return nil
+}
+
+// TracePattern samples the instantaneous demand of a user-supplied frame
+// trace: between two frame timestamps the rate is the earlier frame's size
+// over the interval. The last frame's interval repeats the one before it
+// (DefaultFrameInterval for a single-frame trace). Beyond the trace horizon
+// the pattern wraps around and replays from the start, so simulations longer
+// than the trace remain well defined.
+type TracePattern struct {
+	frames  []Frame
+	starts  []float64 // frame start times in seconds, starts[0] == 0
+	rates   []units.BitRate
+	horizon float64
+	peak    units.BitRate
+	average units.BitRate
+}
+
+// NewTracePattern builds a demand sampler over the given frames (in
+// ValidateFrames form).
+func NewTracePattern(frames []Frame) (*TracePattern, error) {
+	if err := ValidateFrames(frames); err != nil {
+		return nil, err
+	}
+	n := len(frames)
+	p := &TracePattern{
+		frames: frames,
+		starts: make([]float64, n),
+		rates:  make([]units.BitRate, n),
+	}
+	lastInterval := DefaultFrameInterval.Seconds()
+	if n > 1 {
+		lastInterval = frames[n-1].Timestamp.Sub(frames[n-2].Timestamp).Seconds()
+	}
+	p.horizon = frames[n-1].Timestamp.Seconds() + lastInterval
+	var total units.Size
+	for i, f := range frames {
+		p.starts[i] = f.Timestamp.Seconds()
+		end := p.horizon
+		if i+1 < n {
+			end = frames[i+1].Timestamp.Seconds()
+		}
+		p.rates[i] = units.BitRate(f.Size.Bits() / (end - p.starts[i]))
+		if p.rates[i] > p.peak {
+			p.peak = p.rates[i]
+		}
+		total = total.Add(f.Size)
+	}
+	p.average = units.BitRate(total.Bits() / p.horizon)
+	return p, nil
+}
+
+// Horizon returns the trace length; the pattern repeats beyond it.
+func (p *TracePattern) Horizon() units.Duration { return units.Duration(p.horizon) }
+
+// Frames exposes the trace (for reports and round-trips).
+func (p *TracePattern) Frames() []Frame { return p.frames }
+
+// frameIndex returns the frame in effect at the wrapped time w.
+func (p *TracePattern) frameIndex(w float64) int {
+	// First start strictly greater than w, minus one.
+	i := sort.SearchFloat64s(p.starts, w)
+	if i == len(p.starts) || p.starts[i] > w {
+		i--
+	}
+	if i < 0 {
+		i = 0
+	}
+	return i
+}
+
+// RateAt returns the demand in effect at time t.
+func (p *TracePattern) RateAt(t units.Duration) units.BitRate {
+	if t < 0 {
+		t = 0
+	}
+	return p.rates[p.frameIndex(mod(t.Seconds(), p.horizon))]
+}
+
+// PeakRate returns the largest instantaneous demand of the trace.
+func (p *TracePattern) PeakRate() units.BitRate { return p.peak }
+
+// AverageRate returns the trace's long-run average demand.
+func (p *TracePattern) AverageRate() units.BitRate { return p.average }
+
+// NextRateChange returns the earliest time strictly after t at which RateAt
+// may return a different value: the next frame boundary, or the wrap-around
+// itself. A boundary that fails to advance t (a sub-ulp sliver at large t)
+// falls through to the boundary after it, mirroring NextBoundary's guard;
+// integrators treat a non-advancing result as "no change", so the final
+// fallback of one full cycle is safe even at absurd magnitudes.
+func (p *TracePattern) NextRateChange(t units.Duration) units.Duration {
+	if t < 0 {
+		t = 0
+	}
+	w := mod(t.Seconds(), p.horizon)
+	i := sort.SearchFloat64s(p.starts, w)
+	for i < len(p.starts) && p.starts[i] <= w {
+		i++
+	}
+	for ; i < len(p.starts); i++ {
+		if next := t.Add(units.Duration(p.starts[i] - w)); next > t {
+			return next
+		}
+	}
+	return t.Add(units.Duration(p.horizon - w))
+}

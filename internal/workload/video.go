@@ -118,6 +118,33 @@ func (v VideoStream) Validate() error {
 	return errors.Join(errs...)
 }
 
+// PeakRate bounds the largest instantaneous demand any trace generated from
+// this stream can reach: the largest frame of any class that actually
+// occurs in the GOP (its mean at the top of the jitter band) consumed over
+// one frame interval. Weights are arbitrary — nothing forces I frames to be
+// the largest class — so the bound maximises over the occurring classes.
+// The realized peak of a generated trace is at most this bound, so
+// admission checks against it are conservative but never unsafe.
+func (v VideoStream) PeakRate() units.BitRate {
+	meanI, meanP, meanB := v.meanFrameSizes()
+	var largest units.Size
+	for k := 0; k < v.GOPLength; k++ {
+		var mean units.Size
+		switch v.classOf(k) {
+		case FrameI:
+			mean = meanI
+		case FrameP:
+			mean = meanP
+		default:
+			mean = meanB
+		}
+		if mean > largest {
+			largest = mean
+		}
+	}
+	return units.BitRate(largest.Scale(1+v.Jitter).Bits() * v.FrameRate)
+}
+
 // classOf returns the coding class of the frame at the given position within
 // a GOP (position 0 is the I frame; every IPDistance-th frame is an anchor).
 func (v VideoStream) classOf(positionInGOP int) FrameClass {
@@ -162,6 +189,13 @@ func (v VideoStream) GenerateTrace(horizon units.Duration) ([]Frame, error) {
 	meanI, meanP, meanB := v.meanFrameSizes()
 	rng := NewRng(v.Seed ^ 0x9e3779b97f4a7c15)
 	frameInterval := units.Duration(1 / v.FrameRate)
+	// Defence against absurd horizon × frame-rate products: beyond this the
+	// float-to-int conversion would overflow (or the allocation would take
+	// the process down), so fail loudly instead.
+	const maxFrames = 100_000_000
+	if n := horizon.Seconds() * v.FrameRate; n > maxFrames {
+		return nil, fmt.Errorf("workload: trace of %.3g frames exceeds the %d-frame generation bound", n, maxFrames)
+	}
 	total := int(horizon.Seconds() * v.FrameRate)
 	frames := make([]Frame, 0, total)
 	for idx := 0; idx < total; idx++ {

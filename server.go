@@ -42,6 +42,10 @@ type (
 	SweepResponse = service.SweepResponse
 	// SimulateRequest asks for one or more simulation runs.
 	SimulateRequest = service.SimulateRequest
+	// SimulateVideoSpec tunes the "video" stream kind of a SimulateRequest.
+	SimulateVideoSpec = service.VideoSpec
+	// SimulateTraceFrame is one frame of a SimulateRequest inline trace.
+	SimulateTraceFrame = service.TraceFrameSpec
 	// SimulateResponse answers a SimulateRequest.
 	SimulateResponse = service.SimulateResponse
 	// BreakEvenRequest asks for the MEMS and disk break-even buffers.
