@@ -91,6 +91,36 @@ func BenchmarkVideoTraceSimulation(b *testing.B) {
 	b.ReportMetric(float64(stats.Underruns), "underruns")
 }
 
+// BenchmarkMultiSim simulates one minute of a three-stream mix (CBR
+// playback, VBR camera, CBR audio) sharing one device under round-robin
+// scheduling — the multi-stream event engine's hot path.
+func BenchmarkMultiSim(b *testing.B) {
+	cfg := SimMultiConfig{
+		Device: DefaultDevice(),
+		DRAM:   DefaultDRAM(),
+		Streams: []SimMultiStream{
+			{Name: "playback", Spec: CBRSpec(1024 * Kbps), Buffer: 128 * KiB},
+			{Name: "camera", Spec: VBRSpec(512*Kbps, 7), Buffer: 64 * KiB},
+			{Name: "audio", Spec: CBRSpec(128 * Kbps), Buffer: 32 * KiB},
+		},
+		BestEffort: NewBestEffortProcess(0.05, DefaultDevice().MediaRate(), 7),
+		Duration:   60 * Second,
+		Seed:       7,
+	}
+	var stats *SimMultiStats
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats, err = SimulateMulti(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(stats.Device.PerBitEnergy().NanojoulesPerBit(), "nJ/b")
+	b.ReportMetric(float64(stats.Device.RefillCycles), "wake-ups")
+	b.ReportMetric(float64(stats.Device.Underruns), "underruns")
+}
+
 // BenchmarkSpringsDurabilityAblation compares the buffer the springs demand
 // at the nickel (1e8) versus silicon (1e12) rating — the design sensitivity
 // the paper's conclusion is about.

@@ -12,6 +12,19 @@
 //	memssim -rate 1024kbps -buffer 20KiB -duration 5min [-stream cbr|vbr|video|trace]
 //	        [-trace frames.txt] [-dump-trace frames.txt] [-device mems|improved|disk]
 //	        [-besteffort 0.05] [-ber 1e-4] [-validate] [-replicas 8]
+//	memssim -streams name=playback,rate=1024kbps,buffer=128KiB,write=0 \
+//	        -streams name=camera,kind=vbr,rate=512kbps,buffer=64KiB,write=1 \
+//	        [-policy rr|edf] [-duration 5min] [-besteffort 0.05]
+//
+// With one or more repeatable -streams flags memssim simulates all the named
+// streams concurrently on one shared device: the device wakes when any
+// buffer falls to its wake level, repositions to each stream region in turn
+// (under -policy round-robin/"rr", the default, in declaration order; under
+// most-urgent/"edf", emptiest-first), refills it at the media rate and shuts
+// down again. Each -streams value is a comma-separated k=v list with the keys
+// name, kind (cbr|vbr|video|trace), rate, buffer, write (written share) and
+// trace (frame file, kind trace only). The single-stream flags -stream,
+// -trace, -dump-trace, -validate, -ber and -replicas do not combine with it.
 //
 // -stream selects the workload: constant bit rate ("cbr", the default), the
 // segment-wise variable-bit-rate model ("vbr"), an MPEG-like frame-accurate
@@ -33,10 +46,24 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 
 	"memstream"
 	"memstream/internal/units"
 )
+
+// streamFlags collects the repeatable -streams values.
+type streamFlags []string
+
+// String joins the collected specs for flag's usage output.
+func (s *streamFlags) String() string { return strings.Join(*s, "; ") }
+
+// Set appends one -streams value.
+func (s *streamFlags) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
 
 // options collects every knob of one memssim invocation.
 type options struct {
@@ -51,6 +78,8 @@ type options struct {
 	seed                   uint64
 	validate               bool
 	replicas               int
+	streams                streamFlags
+	policy                 string
 }
 
 func main() {
@@ -70,6 +99,8 @@ func main() {
 	flag.Uint64Var(&o.seed, "seed", 1, "random seed")
 	flag.BoolVar(&o.validate, "validate", false, "compare the simulation against the analytical model")
 	flag.IntVar(&o.replicas, "replicas", 1, "run this many seed-varied replicas concurrently and report the spread")
+	flag.Var(&o.streams, "streams", "add one stream of a shared-device simulation (repeatable): name=...,kind=cbr|vbr|video|trace,rate=...,buffer=...,write=...,trace=file")
+	flag.StringVar(&o.policy, "policy", "", "shared-device scheduling policy: round-robin/rr (default) or most-urgent/edf (needs -streams)")
 	flag.Parse()
 
 	if err := run(os.Stdout, o); err != nil {
@@ -154,7 +185,200 @@ func loadTrace(path string) ([]memstream.Frame, error) {
 	return frames, nil
 }
 
+// resolvePolicy maps the -policy flag onto a scheduling policy through the
+// library's single alias table.
+func resolvePolicy(s string) (memstream.SchedulingPolicy, error) {
+	p, err := memstream.ParseSchedulingPolicy(s)
+	if err != nil {
+		return "", fmt.Errorf("unknown -policy %q (want round-robin/rr or most-urgent/edf)", s)
+	}
+	return p, nil
+}
+
+// parseStreamSpec parses one -streams value: a comma-separated k=v list with
+// the keys name, kind, rate, buffer, write and trace.
+func parseStreamSpec(value string, index int, defaultSeed uint64) (memstream.SimMultiStream, error) {
+	var (
+		name      = fmt.Sprintf("stream%d", index)
+		kind      = "cbr"
+		rateStr   string
+		bufferStr string
+		writeStr  string
+		traceFile string
+		errf      = func(format string, args ...any) (memstream.SimMultiStream, error) {
+			return memstream.SimMultiStream{}, fmt.Errorf("-streams %q: "+format, append([]any{value}, args...)...)
+		}
+	)
+	for _, field := range strings.Split(value, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(field, "=")
+		if !ok {
+			return errf("field %q is not key=value", field)
+		}
+		switch k {
+		case "name":
+			name = v
+		case "kind":
+			kind = v
+		case "rate":
+			rateStr = v
+		case "buffer":
+			bufferStr = v
+		case "write":
+			writeStr = v
+		case "trace":
+			traceFile = v
+		default:
+			return errf("unknown key %q (want name, kind, rate, buffer, write or trace)", k)
+		}
+	}
+	if bufferStr == "" {
+		return errf("buffer is required")
+	}
+	buffer, err := units.ParseSize(bufferStr)
+	if err != nil {
+		return errf("%v", err)
+	}
+	var rate memstream.BitRate
+	if kind != "trace" {
+		if rateStr == "" {
+			return errf("rate is required for kind %s", kind)
+		}
+		if rate, err = units.ParseBitRate(rateStr); err != nil {
+			return errf("%v", err)
+		}
+	} else if rateStr != "" {
+		return errf("rate does not apply to kind trace (the frames define it)")
+	}
+	var spec memstream.SimStreamSpec
+	switch kind {
+	case "cbr":
+		spec = memstream.CBRSpec(rate)
+	case "vbr":
+		spec = memstream.VBRSpec(rate, defaultSeed+uint64(index))
+	case "video":
+		spec = memstream.VideoSpec(rate, defaultSeed+uint64(index))
+	case "trace":
+		if traceFile == "" {
+			return errf("kind trace needs a trace=<file> field")
+		}
+		frames, err := loadTrace(traceFile)
+		if err != nil {
+			return errf("%v", err)
+		}
+		spec = memstream.TraceSpec(frames)
+	default:
+		return errf("unknown kind %q (want cbr, vbr, video or trace)", kind)
+	}
+	if traceFile != "" && kind != "trace" {
+		return errf("trace only applies to kind trace, not %s", kind)
+	}
+	if writeStr != "" {
+		write, err := strconv.ParseFloat(writeStr, 64)
+		if err != nil || write < 0 || write > 1 {
+			return errf("write must be a number in [0, 1], got %q", writeStr)
+		}
+		spec.WriteFraction = write
+	}
+	return memstream.SimMultiStream{Name: name, Spec: spec, Buffer: buffer}, nil
+}
+
+// runMulti simulates the -streams set sharing one device and reports the
+// aggregate cycle statistics plus a per-stream health table.
+func runMulti(w io.Writer, o options) error {
+	// The shared-device path owns its flag set; reject the single-stream
+	// knobs instead of silently ignoring them.
+	switch {
+	case o.stream != "" || o.vbrAlias || o.videoAlias:
+		return fmt.Errorf("-stream (and its aliases) selects the single-stream workload; inside -streams use kind=")
+	case o.traceFile != "":
+		return fmt.Errorf("-trace selects the single-stream trace; inside -streams use trace=<file>")
+	case o.dumpTrace != "":
+		return fmt.Errorf("-dump-trace does not apply to -streams runs")
+	case o.validate:
+		return fmt.Errorf("-validate compares a single stream against the analytical model; it does not support -streams")
+	case o.ber > 0:
+		return fmt.Errorf("-ber applies only to single-stream runs")
+	case o.replicas != 1:
+		return fmt.Errorf("-replicas applies only to single-stream runs")
+	}
+	policy, err := resolvePolicy(o.policy)
+	if err != nil {
+		return err
+	}
+	duration, err := units.ParseDuration(o.duration)
+	if err != nil {
+		return err
+	}
+	deviceName, err := resolveDevice(o.device, o.improvedAlias)
+	if err != nil {
+		return err
+	}
+	dev := memstream.DefaultDevice()
+	var backend memstream.SimBackend
+	switch deviceName {
+	case "improved":
+		dev = memstream.ImprovedDevice()
+	case "disk":
+		backend = memstream.DiskBackend(memstream.DefaultDisk())
+	}
+	cfg := memstream.SimMultiConfig{
+		Device:   dev,
+		Backend:  backend,
+		DRAM:     memstream.DefaultDRAM(),
+		Policy:   policy,
+		Duration: duration,
+		Seed:     o.seed,
+	}
+	for i, value := range o.streams {
+		stream, err := parseStreamSpec(value, i, o.seed)
+		if err != nil {
+			return err
+		}
+		cfg.Streams = append(cfg.Streams, stream)
+	}
+	if o.bestEffort > 0 {
+		cfg.BestEffort = memstream.NewBestEffortProcess(o.bestEffort, cfg.MediaRate(), o.seed)
+	}
+	stats, err := memstream.SimulateMulti(cfg)
+	if err != nil {
+		return err
+	}
+
+	d := stats.Device
+	fmt.Fprintf(w, "simulated %v of %d concurrent streams on one shared device (%s scheduling)\n",
+		d.SimulatedTime, len(cfg.Streams), policy)
+	fmt.Fprintf(w, "device: %d wake-ups (%.2f per second), duty cycle %.1f%%\n",
+		d.RefillCycles, d.RefillsPerSecond(), 100*d.DutyCycle())
+	fmt.Fprintf(w, "energy: device %v, DRAM %v, per-bit %v\n", d.DeviceEnergy(), d.DRAMEnergy, d.PerBitEnergy())
+	fmt.Fprintf(w, "  %-18s %-12s %-8s %-10s %-10s %-10s %s\n",
+		"stream", "streamed", "refills", "underruns", "rebuffers", "startup", "energy share")
+	for i, st := range stats.Streams {
+		fmt.Fprintf(w, "  %-18s %-12v %-8d %-10d %-10d %-10v %.1f%%\n",
+			st.Name, st.StreamedBits, st.RefillCycles, st.Underruns,
+			st.RebufferEpisodes, st.StartupDelay, 100*stats.EnergyShare(i))
+	}
+	if deviceName == "disk" {
+		fmt.Fprintln(w, "wear projections: n/a (springs/probes wear is MEMS-specific)")
+	} else {
+		cal := memstream.DefaultCalendar()
+		fmt.Fprintf(w, "springs projection: %.1f years at the %s calendar\n",
+			d.ProjectedSpringsLifetime(dev, cal).Years(), cal)
+		fmt.Fprintf(w, "probes projection:  %.1f years\n", d.ProjectedProbesLifetime(dev, cal).Years())
+	}
+	return nil
+}
+
 func run(w io.Writer, o options) error {
+	if len(o.streams) > 0 {
+		return runMulti(w, o)
+	}
+	if o.policy != "" {
+		return fmt.Errorf("-policy needs a -streams set")
+	}
 	rate, err := units.ParseBitRate(o.rate)
 	if err != nil {
 		return err

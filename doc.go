@@ -130,6 +130,45 @@
 // fill at the media rate), RebufferEpisodes (distinct stalls) and
 // RebufferTime (total stalled time).
 //
+// # Shared-device scheduling
+//
+// The multi-stream analysis (SharedSystem, the generalised Fig. 1 cycle in
+// internal/multistream) has a simulated counterpart: SimulateMulti runs
+// several concurrent streams on one device through the event-driven engine.
+// Each stream is a SimMultiStream — any workload spec (CBR, VBR, video,
+// trace) plus its own dedicated buffer — and all buffers drain concurrently
+// while the shared device sleeps. The device wakes when any buffer falls to
+// its wake level (provisioned to survive a full service round at peak
+// demand), repositions to each stream's region in turn — paying the
+// backend's positioning transition per stream, exactly like the closed
+// form's inter-stream seeks — refills that stream at the media rate, serves
+// the best-effort backlog and shuts down again.
+//
+// Two scheduling policies order the service round (SchedulingPolicy,
+// SimMultiConfig.Policy):
+//
+//   - PolicyRoundRobin (the default): every wake-up services all streams in
+//     declaration order — the paper's gated super-cycle, and the policy the
+//     closed-form multistream.At models.
+//   - PolicyMostUrgent: an EDF-like variant that refills the buffer closest
+//     to starving first.
+//
+// SimulateMulti returns a SimMultiStats: aggregate device statistics
+// (wake-ups, per-state time and energy, DRAM energy) plus one record per
+// stream — streamed bits, refills, underruns, playback metrics, and the
+// seek/transfer energy attributed to servicing that stream, which
+// EnergyShare turns into per-stream energy fractions. SharedSystem.
+// SimulatePlan bridges the two formulations: it simulates a closed-form
+// Plan's buffers directly, and the multistream tests hold the simulated
+// per-cycle energy within 5 % of At for mixed read/write stream sets.
+//
+// The same path is exposed end to end: memssim accepts repeatable -streams
+// specs ("-streams name=playback,rate=1024kbps,buffer=128KiB,write=0") with
+// -policy rr|edf, and POST /v1/multisim takes {"policy", "streams":
+// [{"name", "stream", "rate", "buffer", "write_fraction", "video"}],
+// "duration", "best_effort", "seed", "replicas"} with the resolved policy
+// and per-stream parameters fingerprinted into the result cache.
+//
 // # Serving
 //
 // The same questions are served as long-lived API calls through NewService,
@@ -150,8 +189,8 @@
 //
 //	memsd [-addr :8377] [-cache-entries 4096] [-cache-shards 16] [-workers 0] [-timeout 30s]
 //
-// serving POST /v1/dimension, /v1/sweep, /v1/simulate, /v1/breakeven and
-// /v1/multistream (JSON bodies; quantities as unit strings, or bare numbers
+// serving POST /v1/dimension, /v1/sweep, /v1/simulate, /v1/multisim,
+// /v1/breakeven and /v1/multistream (JSON bodies; unit strings, or bare numbers
 // read as bit/s, bytes or seconds), GET /healthz for liveness and GET
 // /statsz for cache hit/miss/eviction and in-flight counters, with graceful
 // shutdown on SIGINT/SIGTERM:

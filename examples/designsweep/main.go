@@ -17,52 +17,60 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"math"
+	"os"
 
 	"memstream"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	dev := memstream.DefaultDevice()
 	const points = 25
 
-	fmt.Println("Design-space exploration of the Table I MEMS device, 32-4096 kbps")
-	fmt.Println()
+	fmt.Fprintln(w, "Design-space exploration of the Table I MEMS device, 32-4096 kbps")
+	fmt.Fprintln(w)
 
 	goals := []memstream.Goal{memstream.PaperGoalA(), memstream.PaperGoalB()}
 	sweeps := make([]*memstream.Sweep, len(goals))
 	for i, goal := range goals {
 		sweep, err := memstream.Explore(dev, goal, 32*memstream.Kbps, 4096*memstream.Kbps, points)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		sweeps[i] = sweep
 
-		fmt.Printf("goal %v\n", goal)
-		fmt.Print("  dominance regimes: ")
+		fmt.Fprintf(w, "goal %v\n", goal)
+		fmt.Fprint(w, "  dominance regimes: ")
 		for j, r := range sweep.Regimes() {
 			if j > 0 {
-				fmt.Print(" | ")
+				fmt.Fprint(w, " | ")
 			}
-			fmt.Printf("%s (%.0f-%.0f kbps)", r.Label(), r.MinRate.Kilobits(), r.MaxRate.Kilobits())
+			fmt.Fprintf(w, "%s (%.0f-%.0f kbps)", r.Label(), r.MinRate.Kilobits(), r.MaxRate.Kilobits())
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 		if limit, ok := sweep.FeasibilityLimit(); ok {
-			fmt.Printf("  infeasible from about %.0f kbps upward\n", limit.Kilobits())
+			fmt.Fprintf(w, "  infeasible from about %.0f kbps upward\n", limit.Kilobits())
 		} else {
-			fmt.Println("  feasible over the whole range")
+			fmt.Fprintln(w, "  feasible over the whole range")
 		}
 		share := sweep.DominanceShare()
 		nonEnergy := share[memstream.ConstraintCapacity] + share[memstream.ConstraintSprings] + share[memstream.ConstraintProbes]
-		fmt.Printf("  capacity or lifetime dictate the buffer at %.0f%% of the feasible rates\n\n", 100*nonEnergy)
+		fmt.Fprintf(w, "  capacity or lifetime dictate the buffer at %.0f%% of the feasible rates\n\n", 100*nonEnergy)
 	}
 
 	// The abstract's headline: trading off 10% of the optimal energy saving
 	// reduces the buffer capacity by up to three orders of magnitude. Compare
 	// the energy-efficiency buffer of both goals rate by rate.
-	fmt.Println("energy-efficiency buffer: 80% goal vs 70% goal")
-	fmt.Printf("  %-12s %-16s %-16s %s\n", "rate", "80% buffer", "70% buffer", "ratio")
+	fmt.Fprintln(w, "energy-efficiency buffer: 80% goal vs 70% goal")
+	fmt.Fprintf(w, "  %-12s %-16s %-16s %s\n", "rate", "80% buffer", "70% buffer", "ratio")
 	maxRatio := 0.0
 	for i := range sweeps[0].Points {
 		pA := sweeps[0].Points[i]
@@ -73,33 +81,33 @@ func main() {
 			continue
 		}
 		if !reqA.Feasible {
-			fmt.Printf("  %-12v %-16s %-16.1f -\n", pA.Rate, "infeasible", reqB.Buffer.KiBytes())
+			fmt.Fprintf(w, "  %-12v %-16s %-16.1f -\n", pA.Rate, "infeasible", reqB.Buffer.KiBytes())
 			continue
 		}
 		ratio := reqA.Buffer.DivideBy(reqB.Buffer)
 		maxRatio = math.Max(maxRatio, ratio)
 		if pA.Rate.Kilobits() >= 256 { // print the interesting upper half of the range
-			fmt.Printf("  %-12v %-16.1f %-16.1f %.0fx\n",
+			fmt.Fprintf(w, "  %-12v %-16.1f %-16.1f %.0fx\n",
 				pA.Rate, reqA.Buffer.KiBytes(), reqB.Buffer.KiBytes(), ratio)
 		}
 	}
-	fmt.Printf("\nnear the feasibility edge the 80%% goal needs %.0fx more buffer than the 70%% goal —\n", maxRatio)
-	fmt.Println("the system-wide energy difference is small, so the relaxed goal is usually preferable")
-	fmt.Println("(Section IV-C of the paper).")
+	fmt.Fprintf(w, "\nnear the feasibility edge the 80%% goal needs %.0fx more buffer than the 70%% goal —\n", maxRatio)
+	fmt.Fprintln(w, "the system-wide energy difference is small, so the relaxed goal is usually preferable")
+	fmt.Fprintln(w, "(Section IV-C of the paper).")
 
 	// Cross-check three dimensioned operating points of the 70 % goal in the
 	// discrete-event simulator, all replicas running as one concurrent batch.
-	fmt.Println("\nsimulating the dimensioned buffers of the 70% goal (concurrent batch):")
+	fmt.Fprintln(w, "\nsimulating the dimensioned buffers of the 70% goal (concurrent batch):")
 	rates := []memstream.BitRate{128 * memstream.Kbps, 512 * memstream.Kbps, 1024 * memstream.Kbps}
 	var cfgs []memstream.SimConfig
 	var buffers []memstream.Size
 	for _, rate := range rates {
 		buffer, feasible, err := sweeps[1].BufferAt(rate)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if !feasible {
-			log.Fatalf("70%% goal unexpectedly infeasible at %v", rate)
+			return fmt.Errorf("70%% goal unexpectedly infeasible at %v", rate)
 		}
 		cfg := memstream.DefaultSimConfig(rate, buffer)
 		cfg.Duration = 60 * memstream.Second
@@ -108,11 +116,12 @@ func main() {
 	}
 	batch, err := memstream.SimulateBatch(cfgs...)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	for i, stats := range batch {
-		fmt.Printf("  %-12v buffer %-12v -> %.2f nJ/b over %d refill cycles, %d underruns\n",
+		fmt.Fprintf(w, "  %-12v buffer %-12v -> %.2f nJ/b over %d refill cycles, %d underruns\n",
 			rates[i], buffers[i], stats.PerBitEnergy().NanojoulesPerBit(),
 			stats.RefillCycles, stats.Underruns)
 	}
+	return nil
 }

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke runs the whole example and checks the headline sections.
+func TestRunSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Design-space exploration",
+		"dominance regimes:",
+		"energy-efficiency buffer: 80% goal vs 70% goal",
+		"more buffer than the 70% goal",
+		"simulating the dimensioned buffers of the 70% goal",
+		"refill cycles, 0 underruns",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	// Both paper goals print their own sweep summary.
+	if got := strings.Count(out, "goal (E = "); got != 2 {
+		t.Errorf("found %d goal summaries, want 2", got)
+	}
+}

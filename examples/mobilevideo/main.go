@@ -15,6 +15,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"text/tabwriter"
@@ -28,6 +29,12 @@ type mediaFormat struct {
 }
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	formats := []mediaFormat{
 		{"voice memo (AMR-WB)", 32 * memstream.Kbps},
 		{"podcast audio (AAC)", 128 * memstream.Kbps},
@@ -42,71 +49,80 @@ func main() {
 		Lifetime:            7 * memstream.Year,
 	}
 
-	fmt.Printf("Buffer dimensioning for a mobile media device, goal %v\n\n", goal)
+	fmt.Fprintf(w, "Buffer dimensioning for a mobile media device, goal %v\n\n", goal)
 
-	runScenario := func(dev memstream.Device, label string) {
-		fmt.Printf("--- %s ---\n", label)
-		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-		fmt.Fprintln(w, "format\trate\tbuffer\tdictated by\tlifetime at buffer")
+	runScenario := func(dev memstream.Device, label string) error {
+		fmt.Fprintf(w, "--- %s ---\n", label)
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "format\trate\tbuffer\tdictated by\tlifetime at buffer")
 		for _, f := range formats {
 			model, err := memstream.New(dev, f.rate)
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
 			dim, err := model.Dimension(goal)
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
 			if !dim.Feasible {
-				fmt.Fprintf(w, "%s\t%v\tINFEASIBLE\t%v\t-\n", f.name, f.rate, dim.Infeasible())
+				fmt.Fprintf(tw, "%s\t%v\tINFEASIBLE\t%v\t-\n", f.name, f.rate, dim.Infeasible())
 				continue
 			}
 			pt, err := model.At(dim.Buffer)
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
-			fmt.Fprintf(w, "%s\t%v\t%.0f KiB\t%s\t%.1f y (%s)\n",
+			fmt.Fprintf(tw, "%s\t%v\t%.0f KiB\t%s\t%.1f y (%s)\n",
 				f.name, f.rate, dim.Buffer.KiBytes(), dim.Dominant.Description(),
 				pt.Lifetime.Years(), pt.LimitedBy)
 		}
-		w.Flush()
-		fmt.Println()
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+		return nil
 	}
 
 	// Today's durability (nickel springs, 100 probe write cycles).
-	runScenario(memstream.DefaultDevice(), "baseline device: nickel springs (1e8 cycles), 100 probe write cycles")
+	if err := runScenario(memstream.DefaultDevice(),
+		"baseline device: nickel springs (1e8 cycles), 100 probe write cycles"); err != nil {
+		return err
+	}
 
 	// The paper's conclusion: probe durability must improve. Same exercise
 	// with the improved device of Fig. 3c.
-	runScenario(memstream.ImprovedDevice(), "improved device: silicon springs (1e12 cycles), 200 probe write cycles")
+	if err := runScenario(memstream.ImprovedDevice(),
+		"improved device: silicon springs (1e12 cycles), 200 probe write cycles"); err != nil {
+		return err
+	}
 
-	fmt.Println("The HD recording row shows the paper's point: with today's probe durability no")
-	fmt.Println("buffer size rescues a seven-year lifetime at camcorder rates, so the designer")
-	fmt.Println("must either improve the tips (second table) or cap the recording rate.")
-	fmt.Println()
+	fmt.Fprintln(w, "The HD recording row shows the paper's point: with today's probe durability no")
+	fmt.Fprintln(w, "buffer size rescues a seven-year lifetime at camcorder rates, so the designer")
+	fmt.Fprintln(w, "must either improve the tips (second table) or cap the recording rate.")
+	fmt.Fprintln(w)
 
 	// The tables above dimension against the smooth analytical demand. Real
 	// H.264 playback is bursty — I frames several times the average — so
 	// play two minutes of a frame-accurate MPEG-like trace through the
 	// dimensioned SD-playback buffer and check the player's view: startup
 	// delay, rebuffer episodes, underruns.
-	simulateVideo(memstream.DefaultDevice(), goal, 1024*memstream.Kbps)
+	return simulateVideo(w, memstream.DefaultDevice(), goal, 1024*memstream.Kbps)
 }
 
 // simulateVideo replays a frame-accurate video trace through the buffer the
 // analytical model dimensions for the given rate and reports the playback
 // health a user would observe.
-func simulateVideo(dev memstream.Device, goal memstream.Goal, rate memstream.BitRate) {
+func simulateVideo(w io.Writer, dev memstream.Device, goal memstream.Goal, rate memstream.BitRate) error {
 	model, err := memstream.New(dev, rate)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	dim, err := model.Dimension(goal)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if !dim.Feasible {
-		log.Fatalf("SD playback at %v should be dimensionable", rate)
+		return fmt.Errorf("SD playback at %v should be dimensionable", rate)
 	}
 	cfg := memstream.SimConfig{
 		Device:   dev,
@@ -118,18 +134,19 @@ func simulateVideo(dev memstream.Device, goal memstream.Goal, rate memstream.Bit
 	}
 	stats, err := memstream.Simulate(cfg)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("frame-accurate playback check at %v through the dimensioned %.0f KiB buffer:\n",
+	fmt.Fprintf(w, "frame-accurate playback check at %v through the dimensioned %.0f KiB buffer:\n",
 		rate, dim.Buffer.KiBytes())
-	fmt.Printf("  simulated %v: startup delay %v, %d rebuffer episodes, %d underrun steps\n",
+	fmt.Fprintf(w, "  simulated %v: startup delay %v, %d rebuffer episodes, %d underrun steps\n",
 		stats.SimulatedTime, stats.StartupDelay, stats.RebufferEpisodes, stats.Underruns)
-	fmt.Printf("  delivered %v at %v per bit, duty cycle %.1f%%\n",
+	fmt.Fprintf(w, "  delivered %v at %v per bit, duty cycle %.1f%%\n",
 		stats.StreamedBits, stats.PerBitEnergy(), 100*stats.DutyCycle())
 	if stats.RebufferEpisodes == 0 {
-		fmt.Println("  the analytically dimensioned buffer also absorbs the I-frame bursts.")
+		fmt.Fprintln(w, "  the analytically dimensioned buffer also absorbs the I-frame bursts.")
 	} else {
-		fmt.Println("  the bursty trace stalls where the smooth model predicted headroom —")
-		fmt.Println("  provision against the peak demand, not the average.")
+		fmt.Fprintln(w, "  the bursty trace stalls where the smooth model predicted headroom —")
+		fmt.Fprintln(w, "  provision against the peak demand, not the average.")
 	}
+	return nil
 }

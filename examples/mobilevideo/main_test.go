@@ -1,0 +1,32 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke runs the whole example and checks the headline sections.
+func TestRunSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Buffer dimensioning for a mobile media device",
+		"baseline device: nickel springs",
+		"improved device: silicon springs",
+		"HD camcorder recording",
+		"frame-accurate playback check",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	// The paper's point: HD recording is infeasible on today's tips but
+	// dimensionable on the improved device, so exactly one INFEASIBLE row.
+	if got := strings.Count(out, "INFEASIBLE"); got != 1 {
+		t.Errorf("found %d INFEASIBLE rows, want exactly 1 (the baseline HD camcorder)", got)
+	}
+}

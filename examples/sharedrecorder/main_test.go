@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"regexp"
+	"strings"
+	"testing"
+
+	"memstream"
+)
+
+// TestRunSmoke runs the whole example and checks the headline sections.
+func TestRunSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bisects the simulated shared-device energy period")
+	}
+	var buf bytes.Buffer
+	if err := run(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"super-cycle period",
+		"per-stream buffers:",
+		"dedicated-device dimensioning",
+		"multi-stream simulation of the dimensioned plan",
+		"bisecting the simulated 70% energy-saving period",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	// Every stream of the simulated plan must report zero underruns — a
+	// single starving stream is exactly the regression this example guards
+	// against, so reject any nonzero underrun count anywhere.
+	if m := regexp.MustCompile(`[1-9][0-9]* underruns`).FindString(out); m != "" {
+		t.Errorf("a simulated stream starved: %q", m)
+	}
+	if got := strings.Count(out, "0 underruns"); got != 3 {
+		t.Errorf("found %d zero-underrun stream lines, want 3", got)
+	}
+}
+
+// TestSimulatedEnergyPeriodTracksAnalytical is the acceptance check of the
+// shared-device bisection: the super-cycle period at which the simulated
+// saving reaches the goal must track the analytical energy dimensioning.
+func TestSimulatedEnergyPeriodTracksAnalytical(t *testing.T) {
+	system, err := memstream.NewSharedSystem(memstream.DefaultDevice(), []memstream.StreamSpec{
+		{Name: "video playback", Rate: 1024 * memstream.Kbps, WriteFraction: 0},
+		{Name: "camera recording", Rate: 512 * memstream.Kbps, WriteFraction: 1},
+		{Name: "audio playback", Rate: 128 * memstream.Kbps, WriteFraction: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	goal := memstream.Goal{EnergySaving: 0.70, CapacityUtilisation: 0.88, Lifetime: 7 * memstream.Year}
+	dim, err := system.Dimension(goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analytic := dim.PeriodFor[memstream.ConstraintEnergy]
+	simulated, err := simulatedEnergyPeriod(system, memstream.DefaultDevice(), goal.EnergySaving, analytic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := simulated.Seconds() / analytic.Seconds()
+	if ratio < 0.9 || ratio > 1.3 {
+		t.Errorf("simulated energy period %v vs analytical %v (ratio %.2f outside [0.9, 1.3])",
+			simulated, analytic, ratio)
+	}
+}

@@ -15,18 +15,26 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"memstream"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	dev := memstream.DefaultDevice()
 	rate := 1024 * memstream.Kbps
 	buffer := 20 * memstream.KiB
 
 	// Part 1: clean CBR run against the analytical model.
-	fmt.Println("=== part 1: validating Eq. 1 against the simulator (CBR, no background traffic) ===")
+	fmt.Fprintln(w, "=== part 1: validating Eq. 1 against the simulator (CBR, no background traffic) ===")
 	cfg := memstream.SimConfig{
 		Device:   dev,
 		DRAM:     memstream.DefaultDRAM(),
@@ -37,33 +45,33 @@ func main() {
 	}
 	stats, err := memstream.Simulate(cfg)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	wl := memstream.DefaultWorkload()
 	wl.BestEffortFraction = 0
 	model, err := memstream.NewWithOptions(dev, rate, memstream.Options{Workload: &wl})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	pt, err := model.At(buffer)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	simNJ := stats.PerBitEnergy().NanojoulesPerBit()
 	modelNJ := pt.EnergyPerBit.NanojoulesPerBit()
-	fmt.Printf("per-bit energy:  simulator %.2f nJ/b, Eq. 1 %.2f nJ/b (%+.1f%%)\n",
+	fmt.Fprintf(w, "per-bit energy:  simulator %.2f nJ/b, Eq. 1 %.2f nJ/b (%+.1f%%)\n",
 		simNJ, modelNJ, 100*(simNJ-modelNJ)/modelNJ)
 	cal := memstream.DefaultCalendar()
-	fmt.Printf("springs:         simulator projects %.2f years, Eq. 5 gives %.2f years\n",
+	fmt.Fprintf(w, "springs:         simulator projects %.2f years, Eq. 5 gives %.2f years\n",
 		stats.ProjectedSpringsLifetime(dev, cal).Years(), pt.SpringsLifetime.Years())
-	fmt.Printf("probes:          simulator projects %.1f years, Eq. 6 gives %.1f years\n",
+	fmt.Fprintf(w, "probes:          simulator projects %.1f years, Eq. 6 gives %.1f years\n",
 		stats.ProjectedProbesLifetime(dev, cal).Years(), pt.ProbesLifetime.Years())
-	fmt.Printf("refill cycles:   %d over %v (%.2f per second)\n\n",
+	fmt.Fprintf(w, "refill cycles:   %d over %v (%.2f per second)\n\n",
 		stats.RefillCycles, stats.SimulatedTime, stats.RefillsPerSecond())
 
 	// Part 2: VBR + best-effort + media errors — beyond the closed forms.
-	fmt.Println("=== part 2: VBR stream, 5% best-effort traffic, 1e-4 raw bit-error rate ===")
+	fmt.Fprintln(w, "=== part 2: VBR stream, 5% best-effort traffic, 1e-4 raw bit-error rate ===")
 	stress := memstream.SimConfig{
 		Device:       dev,
 		DRAM:         memstream.DefaultDRAM(),
@@ -76,35 +84,36 @@ func main() {
 	}
 	stressStats, err := memstream.Simulate(stress)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("per-bit energy:  %.2f nJ/b (+%.1f%% over the clean CBR run)\n",
+	fmt.Fprintf(w, "per-bit energy:  %.2f nJ/b (+%.1f%% over the clean CBR run)\n",
 		stressStats.PerBitEnergy().NanojoulesPerBit(),
 		100*(stressStats.PerBitEnergy().NanojoulesPerBit()-simNJ)/simNJ)
-	fmt.Printf("buffer health:   minimum level %v, %d underruns\n",
+	fmt.Fprintf(w, "buffer health:   minimum level %v, %d underruns\n",
 		stressStats.MinBufferLevel, stressStats.Underruns)
-	fmt.Printf("best-effort:     %d requests (%v) served inside the refill cycles\n",
+	fmt.Fprintf(w, "best-effort:     %d requests (%v) served inside the refill cycles\n",
 		stressStats.BestEffortRequests, stressStats.BestEffortBits)
-	fmt.Printf("ECC:             %d single-bit errors corrected, %d uncorrectable codewords\n",
+	fmt.Fprintf(w, "ECC:             %d single-bit errors corrected, %d uncorrectable codewords\n",
 		stressStats.ECCCorrected, stressStats.ECCUncorrectable)
-	fmt.Printf("duty cycle:      %.1f%% active (was %.1f%% in the clean run)\n",
+	fmt.Fprintf(w, "duty cycle:      %.1f%% active (was %.1f%% in the clean run)\n",
 		100*stressStats.DutyCycle(), 100*stats.DutyCycle())
 
 	// Part 3: how much margin does the dimensioned buffer really have? Try a
 	// buffer sized only for energy and watch the springs projection collapse.
-	fmt.Println("\n=== part 3: what happens with an energy-only buffer ===")
+	fmt.Fprintln(w, "\n=== part 3: what happens with an energy-only buffer ===")
 	be, err := model.BreakEvenBuffer()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	tiny := cfg
 	tiny.Buffer = be.Scale(3) // comfortably above break-even, fine for energy
 	tinyStats, err := memstream.Simulate(tiny)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("a %v buffer (3x break-even) still saves energy (%.2f nJ/b) but the springs\n",
+	fmt.Fprintf(w, "a %v buffer (3x break-even) still saves energy (%.2f nJ/b) but the springs\n",
 		tiny.Buffer, tinyStats.PerBitEnergy().NanojoulesPerBit())
-	fmt.Printf("would last only %.1f years at 8 h/day — the lifetime, not energy, dictates the buffer.\n",
+	fmt.Fprintf(w, "would last only %.1f years at 8 h/day — the lifetime, not energy, dictates the buffer.\n",
 		tinyStats.ProjectedSpringsLifetime(dev, cal).Years())
+	return nil
 }

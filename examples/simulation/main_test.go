@@ -1,0 +1,32 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke runs the whole example and checks the headline sections.
+func TestRunSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"=== part 1: validating Eq. 1 against the simulator",
+		"per-bit energy:  simulator",
+		"=== part 2: VBR stream, 5% best-effort traffic",
+		"single-bit errors corrected",
+		"=== part 3: what happens with an energy-only buffer",
+		"the lifetime, not energy, dictates the buffer",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	// The clean CBR run must not underrun at the Fig. 2 operating point.
+	if !strings.Contains(out, "refill cycles:") {
+		t.Error("refill-cycle summary missing")
+	}
+}

@@ -9,11 +9,13 @@ package memstream
 //   - MPEG-like frame-accurate video traces for the simulator.
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"memstream/internal/device"
 	"memstream/internal/energy"
+	"memstream/internal/engine"
 	"memstream/internal/lifetime"
 	"memstream/internal/multistream"
 	"memstream/internal/sim"
@@ -42,6 +44,76 @@ func NewSharedSystem(dev Device, streams []StreamSpec) (*SharedSystem, error) {
 // workload and DRAM model.
 func NewSharedSystemWithWorkload(dev Device, dram DRAM, wl Workload, streams []StreamSpec) (*SharedSystem, error) {
 	return multistream.NewSystem(dev, dram, wl, streams)
+}
+
+// Multi-stream simulation: several concurrent streams scheduled on one
+// shared device by the event-driven engine.
+type (
+	// SimMultiConfig describes one shared-device simulation run: the
+	// concurrent streams (each with its own workload spec and buffer), the
+	// scheduling policy and the shared backend.
+	SimMultiConfig = sim.MultiConfig
+	// SimMultiStream is one stream of a SimMultiConfig.
+	SimMultiStream = sim.MultiStream
+	// SimMultiStats is what a shared-device run observed: aggregate device
+	// statistics plus one record per stream (and per-stream energy shares
+	// through EnergyShare).
+	SimMultiStats = sim.MultiStats
+	// SimNamedStats is one stream's statistics within a SimMultiStats.
+	SimNamedStats = sim.NamedStats
+	// SchedulingPolicy selects the order in which a woken device services
+	// the stream buffers.
+	SchedulingPolicy = engine.Policy
+)
+
+// The shared-device scheduling policies.
+const (
+	// PolicyRoundRobin services every stream in declaration order per
+	// wake-up — the paper's gated cycle model, and the default.
+	PolicyRoundRobin = engine.PolicyRoundRobin
+	// PolicyMostUrgent services the buffer closest to starving first (an
+	// EDF-like variant).
+	PolicyMostUrgent = engine.PolicyMostUrgent
+)
+
+// ParseSchedulingPolicy canonicalizes a policy spelling: "round-robin" (or
+// "rr"), "most-urgent" (or "edf"), or empty for the round-robin default.
+func ParseSchedulingPolicy(s string) (SchedulingPolicy, error) {
+	p, err := engine.ParsePolicy(s)
+	if err != nil {
+		return "", fmt.Errorf("memstream: %w", err)
+	}
+	return p, nil
+}
+
+// SimulateMulti runs a shared-device simulation: every stream drains its own
+// buffer continuously while the device wakes when any buffer falls to its
+// wake level, repositions to each stream region in turn, refills it at the
+// media rate and shuts down again.
+func SimulateMulti(cfg SimMultiConfig) (*SimMultiStats, error) {
+	stats, err := sim.RunMulti(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("memstream: %w", err)
+	}
+	return stats, nil
+}
+
+// SimulateMultiBatch runs many independent shared-device simulations
+// concurrently on one worker per CPU and returns the statistics in input
+// order, with the same determinism guarantee as SimulateBatch.
+func SimulateMultiBatch(cfgs ...SimMultiConfig) ([]*SimMultiStats, error) {
+	return SimulateMultiBatchContext(context.Background(), 0, cfgs)
+}
+
+// SimulateMultiBatchContext is SimulateMultiBatch with explicit cancellation
+// and worker bound. workers <= 0 uses one worker per CPU; workers == 1 forces
+// the sequential path. The first failing configuration aborts the batch.
+func SimulateMultiBatchContext(ctx context.Context, workers int, cfgs []SimMultiConfig) ([]*SimMultiStats, error) {
+	stats, err := sim.RunMultiBatch(ctx, workers, cfgs)
+	if err != nil {
+		return nil, fmt.Errorf("memstream: %w", err)
+	}
+	return stats, nil
 }
 
 // Disk baseline carried through the full energy model.

@@ -2,6 +2,7 @@ package memstream
 
 import (
 	"math"
+	"strings"
 	"testing"
 )
 
@@ -153,5 +154,51 @@ func TestVideoStreamFacade(t *testing.T) {
 	}
 	if !sawP || !sawB {
 		t.Error("first GOP lacks P or B frames")
+	}
+}
+
+func TestSimulateMultiFacade(t *testing.T) {
+	cfg := SimMultiConfig{
+		Device: DefaultDevice(),
+		DRAM:   DefaultDRAM(),
+		Streams: []SimMultiStream{
+			{Name: "playback", Spec: VideoSpec(1024*Kbps, 42), Buffer: 256 * KiB},
+			{Name: "recording", Spec: CBRSpec(512 * Kbps), Buffer: 64 * KiB},
+		},
+		Policy:   PolicyMostUrgent,
+		Duration: 30 * Second,
+		Seed:     42,
+	}
+	stats, err := SimulateMulti(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Device.Underruns != 0 {
+		t.Errorf("shared device underran %d times", stats.Device.Underruns)
+	}
+	if len(stats.Streams) != 2 {
+		t.Fatalf("stream records = %d, want 2", len(stats.Streams))
+	}
+	if stats.Streams[0].Name != "playback" {
+		t.Errorf("stream order lost: %q first", stats.Streams[0].Name)
+	}
+
+	// Batch runs are bit-identical to sequential ones.
+	batch, err := SimulateMultiBatch(cfg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch[0].Device != batch[1].Device {
+		t.Error("identical batch entries diverged")
+	}
+
+	// Facade errors carry the package prefix.
+	bad := cfg
+	bad.Duration = 0
+	if _, err := SimulateMulti(bad); err == nil || !strings.HasPrefix(err.Error(), "memstream: ") {
+		t.Errorf("error %v lacks the memstream prefix", err)
+	}
+	if _, err := SimulateMultiBatch(bad); err == nil || !strings.HasPrefix(err.Error(), "memstream: ") {
+		t.Errorf("batch error %v lacks the memstream prefix", err)
 	}
 }

@@ -1,0 +1,409 @@
+package engine
+
+// Multi-source scheduling: one device shared by several concurrent streams,
+// the simulated counterpart of internal/multistream's closed-form super-cycle
+// model. Each stream owns a buffer fed by its own RateSource; the device
+// wakes when any buffer falls to its wake level, services every stream's
+// buffer under a scheduling Policy — paying the backend's positioning
+// transition before each stream, so inter-stream repositioning is accounted
+// exactly like the closed form's (n-1) extra seeks — and shuts down again.
+// MultiCore carries per-stream Stats (streamed bits, underruns, playback
+// metrics, attributed seek/transfer energy) alongside the aggregate device
+// Stats the drivers report.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"memstream/internal/device"
+	"memstream/internal/units"
+)
+
+// Policy selects the order in which a woken device services the stream
+// buffers. The string values are the wire and CLI spellings.
+type Policy string
+
+// The scheduling policies.
+const (
+	// PolicyRoundRobin is the paper's gated cycle model: every wake-up
+	// services all streams in fixed declaration order.
+	PolicyRoundRobin Policy = "round-robin"
+	// PolicyMostUrgent services the streams in ascending time-to-empty at
+	// the moment of the wake-up (an EDF-like variant: the buffer closest to
+	// starving is refilled first).
+	PolicyMostUrgent Policy = "most-urgent"
+)
+
+// Validate checks that the policy is one of the known schedulers.
+func (p Policy) Validate() error {
+	switch p {
+	case PolicyRoundRobin, PolicyMostUrgent:
+		return nil
+	}
+	return fmt.Errorf("engine: unknown scheduling policy %q (want %q or %q)",
+		string(p), string(PolicyRoundRobin), string(PolicyMostUrgent))
+}
+
+// ParsePolicy canonicalizes a policy spelling: the canonical names, the short
+// aliases "rr" and "edf", or empty for the round-robin default. It is the
+// single alias table behind both the CLI flag and the wire field.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "", "rr", string(PolicyRoundRobin):
+		return PolicyRoundRobin, nil
+	case "edf", string(PolicyMostUrgent):
+		return PolicyMostUrgent, nil
+	default:
+		return "", fmt.Errorf("engine: unknown scheduling policy %q (want \"round-robin\"/\"rr\" or \"most-urgent\"/\"edf\")", s)
+	}
+}
+
+// StreamConfig describes one stream driven through a shared device.
+type StreamConfig struct {
+	// Source samples the stream's demand.
+	Source RateSource
+	// Buffer is the stream's dedicated buffer capacity.
+	Buffer units.Size
+	// WriteFraction is the share of the stream's traffic written to the
+	// device (1 for a recording, 0 for pure playback).
+	WriteFraction float64
+}
+
+// streamState is the per-stream accounting of a MultiCore.
+type streamState struct {
+	source        RateSource
+	stepper       RateStepper // nil for sources without announced rate changes
+	buffer        units.Size
+	level         units.Size
+	wakeLevel     units.Size
+	inflation     float64
+	writeFraction float64
+	inRebuffer    bool
+	stats         Stats
+}
+
+// drain removes dt's worth of demand from the stream buffer, tracking
+// underruns, rebuffer episodes and the minimum level in both the stream's own
+// statistics and the aggregate device statistics.
+func (st *streamState) drain(rate units.BitRate, dt units.Duration, dev *Stats) {
+	drained := rate.Times(dt)
+	st.level = st.level.Sub(drained)
+	if st.level < 0 {
+		st.stats.Underruns++
+		dev.Underruns++
+		if rate.Positive() {
+			stall := rate.TimeFor(st.level.Scale(-1))
+			st.stats.RebufferTime = st.stats.RebufferTime.Add(stall)
+			dev.RebufferTime = dev.RebufferTime.Add(stall)
+		}
+		if !st.inRebuffer {
+			st.stats.RebufferEpisodes++
+			dev.RebufferEpisodes++
+			st.inRebuffer = true
+		}
+		drained = drained.Add(st.level) // only what was actually there
+		st.level = 0
+	} else {
+		st.inRebuffer = false
+	}
+	st.stats.StreamedBits = st.stats.StreamedBits.Add(drained)
+	dev.StreamedBits = dev.StreamedBits.Add(drained)
+	if st.level < st.stats.MinBufferLevel {
+		st.stats.MinBufferLevel = st.level
+	}
+}
+
+// MultiCore is the accounting heart of one shared device: N stream buffers
+// draining concurrently, one backend servicing them. Like Core it only does
+// the bookkeeping; a driver (internal/sim's multi-stream cycle loop) walks it
+// through wake-ups, per-stream refills and shutdowns.
+type MultiCore struct {
+	backend Backend
+	streams []*streamState
+
+	statePower  [device.NumStates]units.Power
+	mediaRate   units.BitRate
+	positioning units.Duration
+	shutdown    units.Duration
+
+	now    units.Duration
+	device Stats
+}
+
+// NewMultiCore builds a shared-device core: every buffer starts full. Wake
+// levels are provisioned so that the last-serviced stream survives a full
+// service round — all positionings plus every refill at peak demand — with a
+// small safety margin, mirroring Core.WakeLevel's single-stream rule.
+func NewMultiCore(b Backend, streams []StreamConfig) *MultiCore {
+	m := &MultiCore{
+		backend:     b,
+		mediaRate:   b.MediaRate(),
+		positioning: b.PositioningTime(),
+		shutdown:    b.ShutdownTime(),
+	}
+	for s := 0; s < device.NumStates; s++ {
+		m.statePower[s] = b.StatePower(device.PowerState(s))
+	}
+
+	// The longest a full service round can take: one positioning per stream
+	// plus each refill at the slowest net rate (media minus peak demand).
+	serviceBound := m.positioning.Scale(float64(len(streams)))
+	for _, sc := range streams {
+		if peak := sc.Source.PeakRate(); peak < m.mediaRate {
+			serviceBound = serviceBound.Add(m.mediaRate.Sub(peak).TimeFor(sc.Buffer))
+		}
+	}
+
+	var total units.Size
+	startup := units.Duration(0)
+	for _, sc := range streams {
+		st := &streamState{
+			source:        sc.Source,
+			buffer:        sc.Buffer,
+			level:         sc.Buffer,
+			wakeLevel:     sc.Source.PeakRate().Times(serviceBound).Scale(1.05),
+			inflation:     b.WriteInflation(sc.Buffer),
+			writeFraction: sc.WriteFraction,
+		}
+		if stepper, ok := sc.Source.(RateStepper); ok {
+			st.stepper = stepper
+		}
+		st.stats.MinBufferLevel = sc.Buffer
+		// Startup: the device positions to and fills each region in turn at
+		// the media rate before any stream may start draining; stream i can
+		// start once its own fill completes.
+		if m.mediaRate.Positive() {
+			startup = startup.Add(m.positioning).Add(m.mediaRate.TimeFor(sc.Buffer))
+			st.stats.StartupDelay = startup
+		}
+		total = total.Add(sc.Buffer)
+		m.streams = append(m.streams, st)
+	}
+	m.device.MinBufferLevel = total
+	// The device-level startup delay is the time until every stream plays.
+	m.device.StartupDelay = startup
+	return m
+}
+
+// Now returns the current simulated time.
+func (m *MultiCore) Now() units.Duration { return m.now }
+
+// Backend returns the shared device backend being driven.
+func (m *MultiCore) Backend() Backend { return m.backend }
+
+// NumStreams returns the number of streams sharing the device.
+func (m *MultiCore) NumStreams() int { return len(m.streams) }
+
+// Level returns stream i's current buffer fill level.
+func (m *MultiCore) Level(i int) units.Size { return m.streams[i].level }
+
+// WakeLevel returns the buffer level at which stream i forces a wake-up.
+func (m *MultiCore) WakeLevel(i int) units.Size { return m.streams[i].wakeLevel }
+
+// DeviceStats exposes the aggregate statistics; drivers add their own
+// counters (best-effort traffic, DRAM energy) to it directly.
+func (m *MultiCore) DeviceStats() *Stats { return &m.device }
+
+// StreamStats exposes stream i's statistics. Seek and transfer time spent
+// servicing the stream's buffer is attributed here as well as to the device
+// aggregate; shared states (standby, shutdown, best-effort) appear only in
+// the aggregate.
+func (m *MultiCore) StreamStats(i int) *Stats { return &m.streams[i].stats }
+
+// Account records dt seconds in the given device state while every stream
+// drains its buffer at its own demand. focus names the stream being serviced
+// (its statistics receive the state time and energy too); pass -1 for shared
+// states.
+func (m *MultiCore) Account(state device.PowerState, dt units.Duration, focus int) {
+	if dt <= 0 {
+		return
+	}
+	for _, st := range m.streams {
+		st.drain(st.source.RateAt(m.now), dt, &m.device)
+	}
+	m.now = m.now.Add(dt)
+	energy := m.statePower[state].Times(dt)
+	m.device.StateTime[state] = m.device.StateTime[state].Add(dt)
+	m.device.StateEnergy[state] = m.device.StateEnergy[state].Add(energy)
+	if focus >= 0 {
+		fs := &m.streams[focus].stats
+		fs.StateTime[state] = fs.StateTime[state].Add(dt)
+		fs.StateEnergy[state] = fs.StateEnergy[state].Add(energy)
+	}
+	var total units.Size
+	for _, st := range m.streams {
+		total = total.Add(st.level)
+	}
+	if total < m.device.MinBufferLevel {
+		m.device.MinBufferLevel = total
+	}
+}
+
+// stepBound trims an integration step so it ends no later than the earliest
+// rate change of any stream, keeping left-endpoint sampling exact for
+// piecewise-constant demand across all sources at once.
+func (m *MultiCore) stepBound(dt units.Duration) units.Duration {
+	for _, st := range m.streams {
+		if st.stepper == nil {
+			continue
+		}
+		next := st.stepper.NextRateChange(m.now)
+		if remaining := next.Sub(m.now); remaining.Positive() && remaining < dt {
+			dt = remaining
+		}
+	}
+	return dt
+}
+
+// wokenStream returns the lowest-indexed stream at or below its wake level,
+// or -1 when every buffer still has headroom.
+func (m *MultiCore) wokenStream() int {
+	for i, st := range m.streams {
+		if st.level <= st.wakeLevel {
+			return i
+		}
+	}
+	return -1
+}
+
+// DrainToWake stays in the given state until some stream's buffer falls to
+// its wake level or the deadline passes, stepping exactly from rate change to
+// rate change. It returns the index of the stream that forced the wake-up, or
+// -1 when the deadline arrived first.
+func (m *MultiCore) DrainToWake(state device.PowerState, deadline units.Duration) int {
+	for m.now < deadline {
+		if i := m.wokenStream(); i >= 0 {
+			return i
+		}
+		dt := deadline.Sub(m.now)
+		for _, st := range m.streams {
+			rate := st.source.RateAt(m.now)
+			if !rate.Positive() {
+				continue
+			}
+			if need := rate.TimeFor(st.level.Sub(st.wakeLevel)); need < dt {
+				dt = need
+			}
+		}
+		dt = m.stepBound(dt)
+		m.Account(state, dt, -1)
+	}
+	return -1
+}
+
+// ServiceOrder returns the order in which the given policy services the
+// streams at the current moment: declaration order for round-robin, ascending
+// time-to-empty for most-urgent (ties keep declaration order).
+func (m *MultiCore) ServiceOrder(p Policy) []int {
+	order := make([]int, len(m.streams))
+	for i := range order {
+		order[i] = i
+	}
+	if p == PolicyMostUrgent {
+		sort.SliceStable(order, func(a, b int) bool {
+			return m.urgency(order[a]) < m.urgency(order[b])
+		})
+	}
+	return order
+}
+
+// urgency returns the seconds until stream i's buffer runs dry at its current
+// demand (infinite for a momentarily idle stream).
+func (m *MultiCore) urgency(i int) float64 {
+	st := m.streams[i]
+	rate := st.source.RateAt(m.now)
+	if !rate.Positive() {
+		return math.Inf(1)
+	}
+	return rate.TimeFor(st.level).Seconds()
+}
+
+// transition accounts a mechanical transition, stepping through every
+// stream's rate changes so the concurrent drains stay exact.
+func (m *MultiCore) transition(state device.PowerState, total units.Duration, focus int) {
+	for total.Positive() {
+		dt := m.stepBound(total)
+		if remaining := total.Sub(dt); remaining < total {
+			m.Account(state, dt, focus)
+			total = remaining
+			continue
+		}
+		// dt vanished against total (a sub-ulp boundary sliver); finish in
+		// one step rather than loop without advancing.
+		m.Account(state, total, focus)
+		return
+	}
+}
+
+// Positioning runs the standby-to-active transition (or the inter-stream
+// repositioning — the backend models both with the same transition) towards
+// the given stream's region, draining every buffer along the way.
+func (m *MultiCore) Positioning(focus int) {
+	m.transition(device.StateSeek, m.positioning, focus)
+}
+
+// Shutdown runs the active-to-standby transition.
+func (m *MultiCore) Shutdown() {
+	m.transition(device.StateShutdown, m.shutdown, -1)
+}
+
+// RefillStream runs the device in the read/write state until stream focus's
+// buffer is full, crediting its media bits and write wear while every other
+// stream keeps draining.
+func (m *MultiCore) RefillStream(focus int) {
+	st := m.streams[focus]
+	media := m.mediaRate
+	for st.level < st.buffer {
+		rate := st.source.RateAt(m.now)
+		net := media.Sub(rate)
+		if net <= 0 {
+			// The stream momentarily outruns the media rate; step straight to
+			// the next rate change of any stream, falling back to 1 ms slices
+			// only when no source can announce one.
+			dt := units.Duration(1e-3)
+			if bound := m.stepBound(units.Duration(math.Inf(1))); bound.Positive() && !math.IsInf(bound.Seconds(), 0) {
+				dt = bound
+			}
+			m.Account(device.StateReadWrite, dt, focus)
+			continue
+		}
+		dt := net.TimeFor(st.buffer.Sub(st.level))
+		dt = m.stepBound(dt)
+		transferred := media.Times(dt)
+		m.device.MediaBits = m.device.MediaBits.Add(transferred)
+		st.stats.MediaBits = st.stats.MediaBits.Add(transferred)
+		m.creditWrites(st, transferred.Scale(st.writeFraction))
+		// Credit the incoming data before accounting the drain so the net
+		// fill never reads as an artificial underrun (same ordering as
+		// Core.RefillToFull).
+		st.level = st.level.Add(transferred)
+		m.Account(device.StateReadWrite, dt, focus)
+		if st.level > st.buffer {
+			st.level = st.buffer
+		}
+	}
+}
+
+// creditWrites attributes user bits written for one stream to device wear,
+// inflated by that stream's region formatting overhead (sectors sized to its
+// own buffer, as in the closed-form shared-device model).
+func (m *MultiCore) creditWrites(st *streamState, user units.Size) {
+	if !user.Positive() {
+		return
+	}
+	st.stats.WrittenUserBits = st.stats.WrittenUserBits.Add(user)
+	m.device.WrittenUserBits = m.device.WrittenUserBits.Add(user)
+	phys := user.Scale(st.inflation)
+	st.stats.WrittenPhysicalBits = st.stats.WrittenPhysicalBits.Add(phys)
+	m.device.WrittenPhysicalBits = m.device.WrittenPhysicalBits.Add(phys)
+}
+
+// CreditBestEffortWrite counts a background write against device wear. The
+// background region's formatting overhead is not modelled for the shared
+// device (its volume is tiny next to the streams), so the physical volume
+// equals the user volume.
+func (m *MultiCore) CreditBestEffortWrite(size units.Size) {
+	m.device.WrittenUserBits = m.device.WrittenUserBits.Add(size)
+	m.device.WrittenPhysicalBits = m.device.WrittenPhysicalBits.Add(size)
+}

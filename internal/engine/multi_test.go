@@ -1,0 +1,192 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"memstream/internal/device"
+	"memstream/internal/units"
+	"memstream/internal/workload"
+)
+
+// cbrSource builds a CBR demand pattern for multi-core tests.
+func cbrSource(t *testing.T, rate units.BitRate) RateSource {
+	t.Helper()
+	p, err := workload.NewRatePattern(workload.NewCBRStream(rate))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPolicyValidate(t *testing.T) {
+	for _, p := range []Policy{PolicyRoundRobin, PolicyMostUrgent} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%q rejected: %v", p, err)
+		}
+	}
+	if err := Policy("fifo").Validate(); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+// newTestMultiCore builds a two-stream core: 1024 kbps playback and 512 kbps
+// recording through rate-proportional buffers.
+func newTestMultiCore(t *testing.T) *MultiCore {
+	t.Helper()
+	return NewMultiCore(NewMEMS(device.DefaultMEMS()), []StreamConfig{
+		{Source: cbrSource(t, 1024*units.Kbps), Buffer: 128 * units.KB, WriteFraction: 0},
+		{Source: cbrSource(t, 512*units.Kbps), Buffer: 64 * units.KB, WriteFraction: 1},
+	})
+}
+
+func TestMultiCoreWakeLevelsAreRateProportional(t *testing.T) {
+	m := newTestMultiCore(t)
+	w0, w1 := m.WakeLevel(0), m.WakeLevel(1)
+	if !w0.Positive() || !w1.Positive() {
+		t.Fatalf("wake levels must be positive, got %v and %v", w0, w1)
+	}
+	// Both wake levels cover the same service round, so they scale with the
+	// streams' peak rates (1024 vs 512 kbps).
+	if ratio := w0.DivideBy(w1); math.Abs(ratio-2) > 1e-9 {
+		t.Errorf("wake level ratio = %g, want 2 for a 2:1 rate mix", ratio)
+	}
+	if w0 >= 128*units.KB || w1 >= 64*units.KB {
+		t.Errorf("wake levels %v/%v should sit well below the buffers", w0, w1)
+	}
+}
+
+func TestMultiCoreDrainToWake(t *testing.T) {
+	m := newTestMultiCore(t)
+	idx := m.DrainToWake(device.StateStandby, units.Hour)
+	if idx < 0 {
+		t.Fatal("no stream reached its wake level")
+	}
+	// Rate-proportional buffers and wake levels drain in lockstep, so the
+	// lowest index wins the tie.
+	if idx != 0 {
+		t.Errorf("woken stream = %d, want 0", idx)
+	}
+	if m.Level(idx) > m.WakeLevel(idx) {
+		t.Errorf("woken stream still above its wake level: %v > %v", m.Level(idx), m.WakeLevel(idx))
+	}
+	// Both streams drained for the whole standby interval.
+	elapsed := m.Now()
+	if !elapsed.Positive() {
+		t.Fatal("time did not advance")
+	}
+	wantStreamed := (1024*units.Kbps + 512*units.Kbps).Times(elapsed)
+	if got := m.DeviceStats().StreamedBits; math.Abs(got.DivideBy(wantStreamed)-1) > 1e-9 {
+		t.Errorf("device streamed %v, want %v over %v of standby", got, wantStreamed, elapsed)
+	}
+}
+
+func TestMultiCoreServiceOrder(t *testing.T) {
+	m := newTestMultiCore(t)
+	if got := m.ServiceOrder(PolicyRoundRobin); got[0] != 0 || got[1] != 1 {
+		t.Errorf("round-robin order = %v, want [0 1]", got)
+	}
+	// Drain the recording stream harder: with rate-proportional levels both
+	// streams run dry at the same time, so force an imbalance by draining
+	// only until stream 0 is just above its wake level, then refill stream 0.
+	m.DrainToWake(device.StateStandby, units.Hour)
+	m.Positioning(0)
+	m.RefillStream(0)
+	// Stream 0 is full again; stream 1 is nearly empty, so most-urgent must
+	// service it first while round-robin sticks to declaration order.
+	if got := m.ServiceOrder(PolicyMostUrgent); got[0] != 1 {
+		t.Errorf("most-urgent order = %v, want stream 1 first", got)
+	}
+	if got := m.ServiceOrder(PolicyRoundRobin); got[0] != 0 {
+		t.Errorf("round-robin order = %v, want stream 0 first", got)
+	}
+}
+
+func TestMultiCoreInterStreamSeekAccounting(t *testing.T) {
+	dev := device.DefaultMEMS()
+	m := newTestMultiCore(t)
+	const cycles = 5
+	for c := 0; c < cycles; c++ {
+		if m.DrainToWake(device.StateStandby, units.Hour) < 0 {
+			t.Fatal("no wake-up")
+		}
+		for _, idx := range m.ServiceOrder(PolicyRoundRobin) {
+			m.Positioning(idx)
+			m.RefillStream(idx)
+		}
+		m.Shutdown()
+	}
+	// Two streams cost two positioning transitions per wake-up.
+	wantSeek := dev.SeekTime.Scale(2 * cycles)
+	if got := m.DeviceStats().StateTime[device.StateSeek]; math.Abs(got.Seconds()-wantSeek.Seconds()) > 1e-12 {
+		t.Errorf("seek time = %v, want %v for %d two-stream cycles", got, wantSeek, cycles)
+	}
+	wantShutdown := dev.ShutdownTime.Scale(cycles)
+	if got := m.DeviceStats().StateTime[device.StateShutdown]; math.Abs(got.Seconds()-wantShutdown.Seconds()) > 1e-12 {
+		t.Errorf("shutdown time = %v, want %v", got, wantShutdown)
+	}
+}
+
+func TestMultiCoreRefillCreditsFocusedStreamOnly(t *testing.T) {
+	m := newTestMultiCore(t)
+	m.DrainToWake(device.StateStandby, units.Hour)
+	m.Positioning(0)
+	m.RefillStream(0)
+	if m.Level(0) != 128*units.KB {
+		t.Errorf("stream 0 not full after refill: %v", m.Level(0))
+	}
+	s0, s1 := m.StreamStats(0), m.StreamStats(1)
+	if !s0.MediaBits.Positive() {
+		t.Error("refilled stream has no media bits")
+	}
+	if s1.MediaBits.Positive() {
+		t.Errorf("stream 1 credited %v media bits without being serviced", s1.MediaBits)
+	}
+	// Stream 0 is pure playback; only stream 1 (write fraction 1) may wear
+	// the probes, and it has not been refilled yet.
+	if s0.WrittenUserBits.Positive() || m.DeviceStats().WrittenUserBits.Positive() {
+		t.Error("playback refill credited write wear")
+	}
+	m.Positioning(1)
+	m.RefillStream(1)
+	if !s1.WrittenUserBits.Positive() {
+		t.Error("recording refill credited no write wear")
+	}
+	if s1.WrittenPhysicalBits < s1.WrittenUserBits {
+		t.Errorf("physical writes %v below user writes %v (formatting inflation lost)",
+			s1.WrittenPhysicalBits, s1.WrittenUserBits)
+	}
+}
+
+func TestMultiCoreUnderrunIsPerStream(t *testing.T) {
+	// Starve stream 1 by servicing only stream 0: drain both buffers almost
+	// dry (128 KB at 1024 kbps and 64 KB at 512 kbps both last one second),
+	// refill stream 0 alone, and keep draining until stream 1 runs out.
+	m := newTestMultiCore(t)
+	m.Account(device.StateStandby, units.Duration(0.9), -1)
+	m.Positioning(0)
+	m.RefillStream(0) // stream 1 is never refilled
+	m.Account(device.StateStandby, units.Duration(0.5), -1)
+	s0, s1 := m.StreamStats(0), m.StreamStats(1)
+	if s1.Underruns == 0 || s1.RebufferEpisodes == 0 {
+		t.Errorf("starved stream recorded no underruns (%d) or rebuffers (%d)", s1.Underruns, s1.RebufferEpisodes)
+	}
+	if s0.Underruns != 0 {
+		t.Errorf("serviced stream recorded %d underruns", s0.Underruns)
+	}
+	if dev := m.DeviceStats(); dev.Underruns != s1.Underruns {
+		t.Errorf("device underruns %d != starved stream's %d", dev.Underruns, s1.Underruns)
+	}
+}
+
+func TestMultiCoreStartupDelaysAreSequential(t *testing.T) {
+	m := newTestMultiCore(t)
+	d0 := m.StreamStats(0).StartupDelay
+	d1 := m.StreamStats(1).StartupDelay
+	if !d0.Positive() || d1 <= d0 {
+		t.Errorf("startup delays must be positive and sequential: %v then %v", d0, d1)
+	}
+	if dev := m.DeviceStats().StartupDelay; dev != d1 {
+		t.Errorf("device startup delay %v should equal the last stream's %v", dev, d1)
+	}
+}

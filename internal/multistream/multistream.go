@@ -28,8 +28,10 @@ import (
 	"memstream/internal/engine"
 	"memstream/internal/format"
 	"memstream/internal/lifetime"
+	"memstream/internal/sim"
 	"memstream/internal/solve"
 	"memstream/internal/units"
+	"memstream/internal/workload"
 )
 
 // StreamSpec describes one of the concurrent streams.
@@ -306,6 +308,50 @@ func (s *System) At(t units.Duration) (Plan, error) {
 		plan.Lifetime = plan.ProbesLifetime
 	}
 	return plan, nil
+}
+
+// SimConfigForPlan builds the event-driven shared-device simulation of a
+// plan: one CBR stream per StreamSpec through its dimensioned buffer, the
+// system's best-effort share at the media rate, and gated round-robin
+// scheduling (the closed form's cycle model). The returned configuration is
+// the parity bridge between At and the simulator — run it with sim.RunMulti
+// and the observed per-cycle composition should match the plan's.
+func (s *System) SimConfigForPlan(plan Plan, duration units.Duration, seed uint64) (sim.MultiConfig, error) {
+	if len(plan.Buffers) != len(s.Streams) {
+		return sim.MultiConfig{}, fmt.Errorf("multistream: plan has %d buffers for %d streams",
+			len(plan.Buffers), len(s.Streams))
+	}
+	cfg := sim.MultiConfig{
+		Device:   s.Device,
+		DRAM:     s.Buffer,
+		Policy:   engine.PolicyRoundRobin,
+		Duration: duration,
+		Seed:     seed,
+	}
+	for i, st := range s.Streams {
+		spec := workload.CBRSpec(st.Rate)
+		spec.WriteFraction = st.WriteFraction
+		cfg.Streams = append(cfg.Streams, sim.MultiStream{
+			Name:   st.Name,
+			Spec:   spec,
+			Buffer: plan.Buffers[i],
+		})
+	}
+	if s.Workload.BestEffortFraction > 0 {
+		cfg.BestEffort = workload.NewBestEffortProcess(s.Workload.BestEffortFraction, s.Device.MediaRate(), seed)
+	}
+	return cfg, nil
+}
+
+// SimulatePlan runs the plan through the multi-stream event engine for the
+// given simulated time and returns what the simulator observed, so the
+// closed-form dimensioning of At can be validated (or refuted) by simulation.
+func (s *System) SimulatePlan(plan Plan, duration units.Duration, seed uint64) (*sim.MultiStats, error) {
+	cfg, err := s.SimConfigForPlan(plan, duration, seed)
+	if err != nil {
+		return nil, err
+	}
+	return sim.RunMulti(cfg)
 }
 
 // Dimensioning is the answer to the shared-device design question.

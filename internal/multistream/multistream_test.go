@@ -423,6 +423,91 @@ func TestSingleStreamMatchesSimEngine(t *testing.T) {
 	}
 }
 
+// TestSimulatePlanMatchesAt is the shared-device parity table: for K = 1, 2
+// and 4 mixed read/write streams, the multi-stream event-engine simulation of
+// a plan must reproduce the closed form's per-cycle energy — compared as
+// energy per streamed bit, since the simulated steady-state cycle repeats the
+// plan's — within 5 %, mirroring the single-stream TestSingleStreamMatchesSimEngine.
+func TestSimulatePlanMatchesAt(t *testing.T) {
+	cases := []struct {
+		name    string
+		streams []StreamSpec
+	}{
+		{"K=1", []StreamSpec{
+			{Name: "only", Rate: 1024 * units.Kbps, WriteFraction: 0.4},
+		}},
+		{"K=2", []StreamSpec{
+			{Name: "playback", Rate: 1024 * units.Kbps, WriteFraction: 0},
+			{Name: "recording", Rate: 512 * units.Kbps, WriteFraction: 1},
+		}},
+		{"K=4", []StreamSpec{
+			{Name: "video playback", Rate: 1024 * units.Kbps, WriteFraction: 0},
+			{Name: "camera", Rate: 1536 * units.Kbps, WriteFraction: 1},
+			{Name: "audio", Rate: 128 * units.Kbps, WriteFraction: 0},
+			{Name: "voice memo", Rate: 64 * units.Kbps, WriteFraction: 1},
+		}},
+	}
+	wl := lifetime.DefaultWorkload()
+	wl.BestEffortFraction = 0 // compare the clean streaming cycle
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := NewSystem(device.DefaultMEMS(), device.DefaultDRAM(), wl, tc.streams)
+			if err != nil {
+				t.Fatal(err)
+			}
+			period := units.Second
+			plan, err := s.At(period)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stats, err := s.SimulatePlan(plan, 10*units.Minute, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stats.Device.Underruns != 0 {
+				t.Errorf("plan-dimensioned buffers underran %d times", stats.Device.Underruns)
+			}
+			simPerBit := stats.Device.PerBitEnergy().NanojoulesPerBit()
+			planPerBit := plan.EnergyPerBit.NanojoulesPerBit()
+			if rel := math.Abs(simPerBit-planPerBit) / planPerBit; rel > 0.05 {
+				t.Errorf("per-bit energy: sim %.3f vs plan %.3f nJ/b (rel %.3f)", simPerBit, planPerBit, rel)
+			}
+			// The wake-up frequency (and with it the springs projection)
+			// must track the plan's super-cycle period.
+			cal := workload.PlaybackCalendar{HoursPerDay: wl.HoursPerDay, DaysPerYear: 365}
+			simSprings := stats.Device.ProjectedSpringsLifetime(s.Device, cal).Years()
+			planSprings := plan.SpringsLifetime.Years()
+			if rel := math.Abs(simSprings-planSprings) / planSprings; rel > 0.05 {
+				t.Errorf("springs lifetime: sim %.3f vs plan %.3f years (rel %.3f)", simSprings, planSprings, rel)
+			}
+			// Writing streams wear the probes in the simulation too.
+			simProbes := stats.Device.ProjectedProbesLifetime(s.Device, cal).Years()
+			planProbes := plan.ProbesLifetime.Years()
+			if math.IsInf(planProbes, 1) {
+				if !math.IsInf(simProbes, 1) {
+					t.Errorf("probes: sim %.3f years for a read-only plan, want unbounded", simProbes)
+				}
+			} else if rel := math.Abs(simProbes-planProbes) / planProbes; rel > 0.05 {
+				t.Errorf("probes lifetime: sim %.3f vs plan %.3f years (rel %.3f)", simProbes, planProbes, rel)
+			}
+		})
+	}
+}
+
+// TestSimConfigForPlanRejectsMismatchedPlan locks in the obvious misuse: a
+// plan evaluated for a different stream set cannot be simulated.
+func TestSimConfigForPlanRejectsMismatchedPlan(t *testing.T) {
+	s := playbackAndRecord(t)
+	plan, err := s.At(units.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan.Buffers = plan.Buffers[:1]
+	if _, err := s.SimConfigForPlan(plan, units.Minute, 1); err == nil {
+		t.Error("mismatched plan accepted")
+	}
+}
+
 // TestValidateInadmissibleRateError locks in a clear failure mode: an
 // aggregate rate beyond the admissible media share must fail Validate with
 // an error naming both quantities, not a generic rejection.

@@ -1,0 +1,63 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeSimulateRequest drives the strict-JSON decode and field
+// resolution of /v1/simulate with arbitrary bodies: nothing may panic, and
+// any accepted body must round-trip — re-marshaling the decoded request and
+// decoding it again must land on the same canonical form, because the cache
+// fingerprints are built from exactly these resolved values.
+func FuzzDecodeSimulateRequest(f *testing.F) {
+	f.Add(`{"rate":"1024 kbps","buffer":"64 KiB"}`)
+	f.Add(`{"rate":1024000,"buffer":65536,"duration":"5 min","stream":"vbr","seed":7,"replicas":3}`)
+	f.Add(`{"device":{"name":"disk"},"rate":"1024 kbps","buffer":"4 MB"}`)
+	f.Add(`{"rate":"1 Mbps","buffer":"64 KiB","stream":"video","video":{"frame_rate":30,"gop_length":15,"jitter":0}}`)
+	f.Add(`{"stream":"trace","buffer":"64 KiB","frames":[{"timestamp":0,"size":1500},{"timestamp":"40ms","size":"3 KiB","class":"I"}]}`)
+	f.Add(`{"rate":"-5 kbps","buffer":""}`)
+	f.Add(`{"rate":{},"buffer":[1]}`)
+	f.Add(`{"unknown":"field"}`)
+	f.Add(`{"best_effort":0.05,"workers":-1}`)
+	f.Fuzz(func(t *testing.T, data string) {
+		dec := json.NewDecoder(strings.NewReader(data))
+		dec.DisallowUnknownFields()
+		var req SimulateRequest
+		if err := dec.Decode(&req); err != nil || dec.More() {
+			return
+		}
+
+		// Exercise the field-resolution layer the endpoint runs before any
+		// compute: none of it may panic on decoded input.
+		_, _ = req.Device.resolveSim()
+		if rate, err := req.Rate.rate("rate"); err == nil {
+			_, _ = req.Video.resolve(rate)
+		}
+		if len(req.Frames) > 0 {
+			_, _, _ = resolveFrames(req.Frames)
+		}
+		_, _ = req.Buffer.size("buffer")
+		_, _ = req.Duration.duration("duration", 0)
+
+		// Accepted bodies round-trip: marshal is a fixed point of
+		// decode-then-marshal.
+		blob, err := json.Marshal(req)
+		if err != nil {
+			t.Fatalf("marshal decoded request: %v", err)
+		}
+		var again SimulateRequest
+		if err := json.Unmarshal(blob, &again); err != nil {
+			t.Fatalf("re-decode canonical form: %v", err)
+		}
+		blob2, err := json.Marshal(again)
+		if err != nil {
+			t.Fatalf("re-marshal canonical form: %v", err)
+		}
+		if !bytes.Equal(blob, blob2) {
+			t.Errorf("canonical form is not a fixed point:\n%s\n%s", blob, blob2)
+		}
+	})
+}

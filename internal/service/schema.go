@@ -2,11 +2,13 @@ package service
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 
 	"memstream/internal/core"
 	"memstream/internal/device"
+	"memstream/internal/engine"
 	"memstream/internal/multistream"
 	"memstream/internal/units"
 	"memstream/internal/workload"
@@ -671,6 +673,231 @@ type MultiStreamResponse struct {
 	LifetimeYears *float64 `json:"lifetime_years,omitempty"`
 	// Reasons explains infeasible constraints by label.
 	Reasons map[string]string `json:"reasons,omitempty"`
+}
+
+// MultiSimStreamSpec describes one stream of a shared-device simulation
+// request ("POST /v1/multisim").
+type MultiSimStreamSpec struct {
+	// Name labels the stream in results.
+	Name string `json:"name"`
+	// Stream picks the stream kind: "cbr" (default), "vbr" or "video".
+	Stream string `json:"stream,omitempty"`
+	// Rate is the stream's nominal bit rate.
+	Rate Quantity `json:"rate"`
+	// Buffer is the stream's dedicated buffer capacity.
+	Buffer Quantity `json:"buffer"`
+	// WriteFraction is the written share of this stream's traffic (default
+	// 0.4, the Table I mix; 0 for pure playback, 1 for a recording).
+	WriteFraction *float64 `json:"write_fraction,omitempty"`
+	// Video tunes the "video" stream kind (rejected for other kinds).
+	Video *VideoSpec `json:"video,omitempty"`
+}
+
+// MultiSimRequest asks for shared-device simulation runs: several concurrent
+// streams on one device under a scheduling policy.
+type MultiSimRequest struct {
+	// Device selects the simulated backend, as in SimulateRequest.
+	Device DeviceSpec `json:"device,omitzero"`
+	// Policy selects the service order within a wake-up: "round-robin" (or
+	// "rr", the default) services every stream in declaration order, per the
+	// paper's cycle model; "most-urgent" (or "edf") refills the buffer
+	// closest to starving first.
+	Policy string `json:"policy,omitempty"`
+	// Streams are the concurrent streams sharing the device.
+	Streams []MultiSimStreamSpec `json:"streams"`
+	// Duration is the simulated streaming time (default "5 min").
+	Duration Quantity `json:"duration,omitempty"`
+	// BestEffort is the best-effort share of device time (default 0.05).
+	BestEffort *float64 `json:"best_effort,omitempty"`
+	// Seed makes the run reproducible (default 1).
+	Seed uint64 `json:"seed,omitempty"`
+	// Replicas runs this many seed-varied copies concurrently (default 1).
+	Replicas int `json:"replicas,omitempty"`
+	// Workers bounds the per-request worker pool; excluded from the cache
+	// fingerprint like SweepRequest.Workers.
+	Workers int `json:"workers,omitempty"`
+}
+
+// MultiSimStreamResult is one stream's view of a shared-device run.
+type MultiSimStreamResult struct {
+	// Name labels the stream (request order is preserved).
+	Name string `json:"name"`
+	// StreamedBits is the data this stream consumed or produced.
+	StreamedBits float64 `json:"streamed_bits"`
+	// RefillCycles counts this stream's buffer refills.
+	RefillCycles int `json:"refill_cycles"`
+	// Underruns counts this stream's dry integration steps.
+	Underruns int `json:"underruns"`
+	// RebufferEpisodes counts this stream's distinct playback stalls.
+	RebufferEpisodes int `json:"rebuffer_episodes"`
+	// RebufferSeconds is this stream's total stalled playback time.
+	RebufferSeconds float64 `json:"rebuffer_seconds"`
+	// StartupDelaySeconds is the modelled start-up latency of this stream
+	// (the device fills every earlier stream's buffer first).
+	StartupDelaySeconds float64 `json:"startup_delay_seconds"`
+	// MinBufferLevelBits is the lowest fill level this stream's buffer saw.
+	MinBufferLevelBits float64 `json:"min_buffer_level_bits"`
+	// EnergyShare is this stream's share of the device energy: its
+	// attributed seek/transfer energy plus a proportional share of the
+	// shared cycle states.
+	EnergyShare float64 `json:"energy_share"`
+}
+
+// MultiSimResult is one shared-device run's statistics in a response.
+type MultiSimResult struct {
+	// Seed is the seed this replica ran with.
+	Seed uint64 `json:"seed"`
+	// SimulatedSeconds is the covered streaming time.
+	SimulatedSeconds float64 `json:"simulated_seconds"`
+	// WakeUps counts device super-cycles (one positioning run services every
+	// stream).
+	WakeUps int `json:"wake_ups"`
+	// StreamedBits is the aggregate data streamed across all streams.
+	StreamedBits float64 `json:"streamed_bits"`
+	// Underruns is the aggregate dry-step count across all streams.
+	Underruns int `json:"underruns"`
+	// EnergyPerBit is the observed total per-bit energy (human-readable).
+	EnergyPerBit string `json:"energy_per_bit"`
+	// EnergyPerBitJoules is the per-bit energy in J/bit.
+	EnergyPerBitJoules float64 `json:"energy_per_bit_j"`
+	// DutyCycle is the fraction of time the device was active.
+	DutyCycle float64 `json:"duty_cycle"`
+	// SpringsLifetimeYears and ProbesLifetimeYears project the observed wear
+	// under the default calendar; omitted for the disk backend and for
+	// unbounded projections, as in SimulateResult.
+	SpringsLifetimeYears *float64 `json:"springs_lifetime_years,omitempty"`
+	ProbesLifetimeYears  *float64 `json:"probes_lifetime_years,omitempty"`
+	// Streams holds one entry per stream, in request order.
+	Streams []MultiSimStreamResult `json:"streams"`
+}
+
+// MultiSimResponse is the answer to a MultiSimRequest.
+type MultiSimResponse struct {
+	// Policy echoes the canonical scheduling policy.
+	Policy string `json:"policy"`
+	// Runs holds one entry per replica, in seed order.
+	Runs []MultiSimResult `json:"runs"`
+}
+
+// resolvePolicy canonicalizes the policy spelling of a multisim request
+// through the engine's single alias table.
+func resolvePolicy(s string) (engine.Policy, error) {
+	p, err := engine.ParsePolicy(s)
+	if err != nil {
+		return "", invalidf("unknown policy %q (want \"round-robin\"/\"rr\" or \"most-urgent\"/\"edf\")", s)
+	}
+	return p, nil
+}
+
+// multiSimStream is one resolved stream of a multisim request, carrying both
+// the simulator inputs and the canonical fingerprint fields.
+type multiSimStream struct {
+	name          string
+	kind          string
+	rate          units.BitRate
+	buffer        units.Size
+	writeFraction float64
+	video         workload.StreamSpec // resolved spec for kind "video"
+}
+
+// multiSimStreamKey is one stream of the canonical multisim fingerprint.
+type multiSimStreamKey struct {
+	Name          string
+	Kind          string
+	RateBps       float64
+	BufferBits    float64
+	WriteFraction float64
+	Video         videoKey
+}
+
+// resolveMultiSimStreams parses and validates the streams of a multisim
+// request, returning the resolved streams and their fingerprint form.
+func resolveMultiSimStreams(specs []MultiSimStreamSpec) ([]multiSimStream, []multiSimStreamKey, error) {
+	if len(specs) == 0 {
+		return nil, nil, invalidf("streams is required")
+	}
+	if len(specs) > MaxMultiStreams {
+		return nil, nil, invalidf("at most %d streams per request, got %d", MaxMultiStreams, len(specs))
+	}
+	streams := make([]multiSimStream, len(specs))
+	keys := make([]multiSimStreamKey, len(specs))
+	for i, s := range specs {
+		if s.Name == "" {
+			return nil, nil, invalidf("streams[%d].name is required", i)
+		}
+		kind := s.Stream
+		if kind == "" {
+			kind = "cbr"
+		}
+		switch kind {
+		case "cbr", "vbr", "video":
+		default:
+			return nil, nil, invalidf("streams[%d].stream must be \"cbr\", \"vbr\" or \"video\", got %q", i, s.Stream)
+		}
+		if s.Video != nil && kind != "video" {
+			return nil, nil, invalidf("streams[%d]: the video object only applies to \"stream\": \"video\", not %q", i, kind)
+		}
+		rate, err := s.Rate.rate(fmt.Sprintf("streams[%d].rate", i))
+		if err != nil {
+			return nil, nil, err
+		}
+		buffer, err := s.Buffer.size(fmt.Sprintf("streams[%d].buffer", i))
+		if err != nil {
+			return nil, nil, err
+		}
+		write := 0.4
+		if s.WriteFraction != nil {
+			write = *s.WriteFraction
+		}
+		if math.IsNaN(write) || write < 0 || write > 1 {
+			return nil, nil, invalidf("streams[%d].write_fraction must be in [0, 1], got %v", i, write)
+		}
+		st := multiSimStream{name: s.Name, kind: kind, rate: rate, buffer: buffer, writeFraction: write}
+		key := multiSimStreamKey{
+			Name:          s.Name,
+			Kind:          kind,
+			RateBps:       rate.BitsPerSecond(),
+			BufferBits:    buffer.Bits(),
+			WriteFraction: write,
+		}
+		if kind == "video" {
+			st.video, err = s.Video.resolve(rate)
+			if err != nil {
+				return nil, nil, invalidf("streams[%d]: %v", i, errMessage(err))
+			}
+			key.Video = videoKeyOf(st.video)
+		}
+		streams[i] = st
+		keys[i] = key
+	}
+	return streams, keys, nil
+}
+
+// errMessage unwraps a ValidationError's message for re-prefixing (other
+// errors keep their full text).
+func errMessage(err error) string {
+	var verr *ValidationError
+	if errors.As(err, &verr) {
+		return verr.Msg
+	}
+	return err.Error()
+}
+
+// spec builds the workload spec of one resolved stream for one seed; the
+// stochastic kinds re-derive their randomness from it.
+func (s multiSimStream) spec(seed uint64) workload.StreamSpec {
+	var spec workload.StreamSpec
+	switch s.kind {
+	case "vbr":
+		spec = workload.VBRSpec(s.rate, seed)
+	case "video":
+		spec = s.video
+		spec.Seed = seed
+	default:
+		spec = workload.CBRSpec(s.rate)
+	}
+	spec.WriteFraction = s.writeFraction
+	return spec
 }
 
 // resolveStreams converts the request streams into engine stream specs.

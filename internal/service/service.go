@@ -4,6 +4,7 @@
 //	POST /v1/dimension   — buffer dimensioning at one rate
 //	POST /v1/sweep       — a Fig. 3 style dimensioning sweep over rates
 //	POST /v1/simulate    — discrete-event simulation runs (optionally batched)
+//	POST /v1/multisim    — shared-device simulation of several concurrent streams
 //	POST /v1/breakeven   — MEMS versus disk break-even buffers at one rate
 //	POST /v1/multistream — shared-device dimensioning of a stream mix
 //	GET  /healthz        — liveness
@@ -595,6 +596,181 @@ func (s *Service) Simulate(ctx context.Context, req SimulateRequest) (*SimulateR
 	return typed[SimulateResponse](s.SimulateBytes(ctx, req))
 }
 
+// multiSimKey is the canonical fingerprint payload of a MultiSimRequest. The
+// policy enters in canonical spelling, and each stream carries its resolved
+// parameters, so equivalent spellings share a cache entry.
+type multiSimKey struct {
+	Backend    string
+	Device     device.MEMS
+	Disk       device.Disk
+	Policy     string
+	Streams    []multiSimStreamKey
+	DurationS  float64
+	BestEffort float64
+	Seed       uint64
+	Replicas   int
+}
+
+// MultiSimBytes answers a MultiSimRequest with the cached response body.
+func (s *Service) MultiSimBytes(ctx context.Context, req MultiSimRequest) ([]byte, error) {
+	ctx, finish := s.begin(ctx)
+	var err error
+	defer func() { finish(err) }()
+
+	sd, err := req.Device.resolveSim()
+	if err != nil {
+		return nil, err
+	}
+	policy, err := resolvePolicy(req.Policy)
+	if err != nil {
+		return nil, err
+	}
+	streams, skeys, err := resolveMultiSimStreams(req.Streams)
+	if err != nil {
+		return nil, err
+	}
+	duration, err := req.Duration.duration("duration", 5*units.Minute)
+	if err != nil {
+		return nil, err
+	}
+	if !duration.Positive() {
+		err = invalidf("duration must be positive")
+		return nil, err
+	}
+	if duration.Seconds() > MaxSimSeconds {
+		err = invalidf("duration must not exceed %d simulated seconds, got %v", MaxSimSeconds, duration)
+		return nil, err
+	}
+	bestEffort := 0.05
+	if req.BestEffort != nil {
+		bestEffort = *req.BestEffort
+	}
+	if math.IsNaN(bestEffort) || bestEffort < 0 || bestEffort >= 1 {
+		err = invalidf("best_effort must be in [0, 1), got %v", bestEffort)
+		return nil, err
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	replicas := req.Replicas
+	if replicas == 0 {
+		replicas = 1
+	}
+	if replicas < 1 || replicas > MaxSimReplicas {
+		err = invalidf("replicas must be in [1, %d], got %d", MaxSimReplicas, req.Replicas)
+		return nil, err
+	}
+	workers, err := s.workerBound(req.Workers)
+	if err != nil {
+		return nil, err
+	}
+	key, err := fingerprint("multisim", multiSimKey{
+		Backend:    sd.Kind,
+		Device:     sd.MEMS,
+		Disk:       sd.Disk,
+		Policy:     string(policy),
+		Streams:    skeys,
+		DurationS:  duration.Seconds(),
+		BestEffort: bestEffort,
+		Seed:       seed,
+		Replicas:   replicas,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var body []byte
+	body, err = s.memoize(ctx, key, func(ctx context.Context) (any, error) {
+		var backend engine.Backend
+		if sd.Kind == "disk" {
+			backend = engine.NewDisk(sd.Disk)
+		}
+		mediaRate := sim.MultiConfig{Device: sd.MEMS, Backend: backend}.MediaRate()
+		cfgs := make([]sim.MultiConfig, replicas)
+		for i := range cfgs {
+			replicaSeed := seed + uint64(i)
+			cfg := sim.MultiConfig{
+				Device:   sd.MEMS,
+				Backend:  backend,
+				DRAM:     device.DefaultDRAM(),
+				Policy:   policy,
+				Duration: duration,
+				Seed:     replicaSeed,
+			}
+			for j, st := range streams {
+				// Each stream of each replica draws from its own seed so the
+				// stochastic kinds stay independent across both axes.
+				streamSeed := replicaSeed ^ (uint64(j+1) * 0x9e3779b97f4a7c15)
+				cfg.Streams = append(cfg.Streams, sim.MultiStream{
+					Name:   st.name,
+					Spec:   st.spec(streamSeed),
+					Buffer: st.buffer,
+				})
+			}
+			if bestEffort > 0 {
+				cfg.BestEffort = workload.NewBestEffortProcess(bestEffort, mediaRate, replicaSeed)
+			}
+			if err := cfg.Validate(); err != nil {
+				return nil, invalidf("%v", err)
+			}
+			cfgs[i] = cfg
+		}
+		stats, err := sim.RunMultiBatch(ctx, workers, cfgs)
+		if err != nil {
+			// Run-time failures are request-derived (most commonly a buffer
+			// that cannot cover the multi-stream service round); keep them
+			// 400s, but let cancellations keep their transport status codes.
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return nil, err
+			}
+			return nil, invalidf("%v", err)
+		}
+		resp := &MultiSimResponse{
+			Policy: string(policy),
+			Runs:   make([]MultiSimResult, len(stats)),
+		}
+		cal := workload.DefaultCalendar()
+		for i, st := range stats {
+			perBit := st.Device.PerBitEnergy()
+			run := MultiSimResult{
+				Seed:               cfgs[i].Seed,
+				SimulatedSeconds:   st.Device.SimulatedTime.Seconds(),
+				WakeUps:            st.Device.RefillCycles,
+				StreamedBits:       st.Device.StreamedBits.Bits(),
+				Underruns:          st.Device.Underruns,
+				EnergyPerBit:       perBit.String(),
+				EnergyPerBitJoules: perBit.JoulesPerBit(),
+				DutyCycle:          st.Device.DutyCycle(),
+			}
+			if sd.Kind == "mems" {
+				run.SpringsLifetimeYears = yearsOrNil(st.Device.ProjectedSpringsLifetime(sd.MEMS, cal))
+				run.ProbesLifetimeYears = yearsOrNil(st.Device.ProjectedProbesLifetime(sd.MEMS, cal))
+			}
+			for j, stream := range st.Streams {
+				run.Streams = append(run.Streams, MultiSimStreamResult{
+					Name:                stream.Name,
+					StreamedBits:        stream.StreamedBits.Bits(),
+					RefillCycles:        stream.RefillCycles,
+					Underruns:           stream.Underruns,
+					RebufferEpisodes:    stream.RebufferEpisodes,
+					RebufferSeconds:     stream.RebufferTime.Seconds(),
+					StartupDelaySeconds: stream.StartupDelay.Seconds(),
+					MinBufferLevelBits:  stream.MinBufferLevel.Bits(),
+					EnergyShare:         st.EnergyShare(j),
+				})
+			}
+			resp.Runs[i] = run
+		}
+		return resp, nil
+	})
+	return body, err
+}
+
+// MultiSim answers a MultiSimRequest through the cache.
+func (s *Service) MultiSim(ctx context.Context, req MultiSimRequest) (*MultiSimResponse, error) {
+	return typed[MultiSimResponse](s.MultiSimBytes(ctx, req))
+}
+
 // breakEvenKey is the canonical fingerprint payload of a BreakEvenRequest.
 type breakEvenKey struct {
 	Device  device.MEMS
@@ -767,6 +943,7 @@ func (s *Service) Handler() http.Handler {
 	mux.Handle("POST /v1/dimension", endpoint(s, s.DimensionBytes))
 	mux.Handle("POST /v1/sweep", endpoint(s, s.SweepBytes))
 	mux.Handle("POST /v1/simulate", endpoint(s, s.SimulateBytes))
+	mux.Handle("POST /v1/multisim", endpoint(s, s.MultiSimBytes))
 	mux.Handle("POST /v1/breakeven", endpoint(s, s.BreakEvenBytes))
 	mux.Handle("POST /v1/multistream", endpoint(s, s.MultiStreamBytes))
 	return mux

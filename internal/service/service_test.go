@@ -782,3 +782,185 @@ func TestSimulateDiskUndersizedBufferIs400(t *testing.T) {
 		t.Errorf("body %s does not explain the spin-up drain", body)
 	}
 }
+
+// multiSimBody is a canonical two-stream multisim request body.
+const multiSimBody = `{"streams":[` +
+	`{"name":"playback","rate":"1024 kbps","buffer":"128 KB","write_fraction":0},` +
+	`{"name":"recording","rate":"512 kbps","buffer":"64 KB","write_fraction":1}` +
+	`],"duration":"30 s","replicas":2}`
+
+func TestMultiSimEndpoint(t *testing.T) {
+	_, srv := newTestServer(t, Config{})
+	status, body := post(t, srv, "/v1/multisim", multiSimBody)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, body %s", status, body)
+	}
+	var resp MultiSimResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if resp.Policy != "round-robin" {
+		t.Errorf("policy = %q; want the round-robin default", resp.Policy)
+	}
+	if len(resp.Runs) != 2 {
+		t.Fatalf("runs = %d; want 2", len(resp.Runs))
+	}
+	for i, run := range resp.Runs {
+		if run.Seed != uint64(1+i) {
+			t.Errorf("run %d seed = %d; want %d", i, run.Seed, 1+i)
+		}
+		if run.WakeUps <= 0 {
+			t.Errorf("run %d wake-ups = %d; want positive", i, run.WakeUps)
+		}
+		if run.Underruns != 0 {
+			t.Errorf("run %d underruns = %d; provisioned buffers must not underrun", i, run.Underruns)
+		}
+		if run.SpringsLifetimeYears == nil || *run.SpringsLifetimeYears <= 0 {
+			t.Errorf("run %d springs projection = %v; want positive", i, run.SpringsLifetimeYears)
+		}
+		if len(run.Streams) != 2 {
+			t.Fatalf("run %d has %d stream records; want 2", i, len(run.Streams))
+		}
+		if run.Streams[0].Name != "playback" || run.Streams[1].Name != "recording" {
+			t.Errorf("run %d stream order = %q, %q; want request order", i, run.Streams[0].Name, run.Streams[1].Name)
+		}
+		shares := 0.0
+		for _, st := range run.Streams {
+			if st.StreamedBits <= 0 {
+				t.Errorf("run %d stream %q streamed nothing", i, st.Name)
+			}
+			if st.RefillCycles <= 0 {
+				t.Errorf("run %d stream %q never refilled", i, st.Name)
+			}
+			shares += st.EnergyShare
+		}
+		if math.Abs(shares-1) > 1e-9 {
+			t.Errorf("run %d energy shares sum to %g; want 1", i, shares)
+		}
+		if run.Streams[0].StartupDelaySeconds >= run.Streams[1].StartupDelaySeconds {
+			t.Errorf("run %d startup delays %g, %g; the second-serviced stream starts later",
+				i, run.Streams[0].StartupDelaySeconds, run.Streams[1].StartupDelaySeconds)
+		}
+	}
+}
+
+func TestMultiSimPolicySpellingsAndFingerprint(t *testing.T) {
+	_, srv := newTestServer(t, Config{})
+	canonical := `{"policy":"round-robin","streams":[{"name":"a","rate":"1024 kbps","buffer":"128 KB"}],"duration":"10 s"}`
+	alias := `{"policy":"rr","streams":[{"name":"a","rate":1024000,"buffer":"128 KB"}],"duration":10}`
+	_, a := post(t, srv, "/v1/multisim", canonical)
+	_, b := post(t, srv, "/v1/multisim", alias)
+	if !bytes.Equal(a, b) {
+		t.Error("equivalent multisim spellings must share a cache entry byte for byte")
+	}
+	status, c := post(t, srv, "/v1/multisim",
+		`{"policy":"edf","streams":[{"name":"a","rate":"1024 kbps","buffer":"128 KB"}],"duration":"10 s"}`)
+	if status != http.StatusOK {
+		t.Fatalf("edf status = %d, body %s", status, c)
+	}
+	var resp MultiSimResponse
+	if err := json.Unmarshal(c, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Policy != "most-urgent" {
+		t.Errorf("policy = %q; want the canonical most-urgent spelling", resp.Policy)
+	}
+	if bytes.Equal(a, c) {
+		t.Error("different policies must not share a response body")
+	}
+}
+
+func TestMultiSimValidation(t *testing.T) {
+	_, srv := newTestServer(t, Config{})
+	cases := []struct {
+		name, body, want string
+	}{
+		{"no streams", `{"streams":[]}`, "streams is required"},
+		{"unknown policy", `{"policy":"fifo","streams":[{"name":"a","rate":"1 Mbps","buffer":"128 KB"}]}`, "unknown policy"},
+		{"missing name", `{"streams":[{"rate":"1 Mbps","buffer":"128 KB"}]}`, "name is required"},
+		{"unknown kind", `{"streams":[{"name":"a","stream":"trace","rate":"1 Mbps","buffer":"128 KB"}]}`, `streams[0].stream must be`},
+		{"video object on cbr", `{"streams":[{"name":"a","rate":"1 Mbps","buffer":"128 KB","video":{}}]}`, "video object"},
+		{"bad write fraction", `{"streams":[{"name":"a","rate":"1 Mbps","buffer":"128 KB","write_fraction":1.5}]}`, "write_fraction"},
+		{"inadmissible aggregate", `{"streams":[{"name":"a","rate":"60 Mbps","buffer":"8 MB"},{"name":"b","rate":"60 Mbps","buffer":"8 MB"}]}`, "aggregate"},
+		{"undersized buffer", `{"streams":[{"name":"a","rate":"1 Mbps","buffer":"64 bit"}]}`, "service round"},
+		{"bad best effort", `{"best_effort":1.5,"streams":[{"name":"a","rate":"1 Mbps","buffer":"128 KB"}]}`, "best_effort"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, body := post(t, srv, "/v1/multisim", tc.body)
+			if status != http.StatusBadRequest {
+				t.Fatalf("status = %d, body %s; want 400", status, body)
+			}
+			if !strings.Contains(string(body), tc.want) {
+				t.Errorf("body %s does not mention %q", body, tc.want)
+			}
+		})
+	}
+}
+
+func TestMultiSimDiskBackend(t *testing.T) {
+	_, srv := newTestServer(t, Config{})
+	status, body := post(t, srv, "/v1/multisim",
+		`{"device":{"name":"disk"},"streams":[`+
+			`{"name":"playback","rate":"1024 kbps","buffer":"4 MB","write_fraction":0},`+
+			`{"name":"recording","rate":"512 kbps","buffer":"2 MB","write_fraction":1}`+
+			`],"duration":"60 s"}`)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, body %s", status, body)
+	}
+	var resp MultiSimResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	run := resp.Runs[0]
+	if run.SpringsLifetimeYears != nil || run.ProbesLifetimeYears != nil {
+		t.Error("disk runs must omit the MEMS wear projections")
+	}
+	if run.WakeUps <= 0 {
+		t.Errorf("wake-ups = %d; want positive", run.WakeUps)
+	}
+}
+
+func TestMultiSimMatchesLibraryRun(t *testing.T) {
+	svc, _ := newTestServer(t, Config{})
+	resp, err := svc.MultiSim(context.Background(), MultiSimRequest{
+		Streams: []MultiSimStreamSpec{
+			{Name: "playback", Rate: "1024 kbps", Buffer: "128 KiB", WriteFraction: ptr(0.0)},
+			{Name: "recording", Rate: "512 kbps", Buffer: "64 KiB", WriteFraction: ptr(1.0)},
+		},
+		Duration:   "30 s",
+		BestEffort: ptr(0.0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.MultiConfig{
+		Device: device.DefaultMEMS(),
+		DRAM:   device.DefaultDRAM(),
+		Streams: []sim.MultiStream{
+			{Name: "playback", Spec: specWithWrite(workload.CBRSpec(1024*units.Kbps), 0), Buffer: 128 * units.KiB},
+			{Name: "recording", Spec: specWithWrite(workload.CBRSpec(512*units.Kbps), 1), Buffer: 64 * units.KiB},
+		},
+		Duration: 30 * units.Second,
+		Seed:     1,
+	}
+	stats, err := sim.RunMulti(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := resp.Runs[0].EnergyPerBitJoules, stats.Device.PerBitEnergy().JoulesPerBit(); got != want {
+		t.Errorf("service per-bit energy %g != library %g", got, want)
+	}
+	if got, want := resp.Runs[0].WakeUps, stats.Device.RefillCycles; got != want {
+		t.Errorf("service wake-ups %d != library %d", got, want)
+	}
+}
+
+// specWithWrite overrides a spec's write fraction.
+func specWithWrite(s workload.StreamSpec, write float64) workload.StreamSpec {
+	s.WriteFraction = write
+	return s
+}
+
+// ptr returns a pointer to v.
+func ptr[T any](v T) *T { return &v }

@@ -1,0 +1,326 @@
+package sim
+
+// Multi-stream simulation: one shared device servicing several concurrent
+// stream buffers under a pluggable scheduling policy, the executable
+// counterpart of internal/multistream's closed-form super-cycle model. The
+// per-stream buffers drain continuously; the device wakes when any buffer
+// falls to its wake level, repositions to each stream region in turn (paying
+// the backend's positioning transition per stream, exactly like the closed
+// form's inter-stream seeks), refills that stream at the media rate, serves
+// the best-effort backlog and shuts down again.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"memstream/internal/device"
+	"memstream/internal/engine"
+	"memstream/internal/parallel"
+	"memstream/internal/units"
+	"memstream/internal/workload"
+)
+
+// MultiStream describes one stream of a shared-device simulation.
+type MultiStream struct {
+	// Name labels the stream in results.
+	Name string
+	// Spec is the stream's workload description; any kind works (CBR, VBR,
+	// frame-accurate video, user frame traces). The write mix comes from
+	// Spec.WriteFraction.
+	Spec workload.StreamSpec
+	// Buffer is the stream's dedicated buffer capacity.
+	Buffer units.Size
+}
+
+// MultiConfig describes one shared-device simulation run.
+type MultiConfig struct {
+	// Device is the MEMS storage device (ignored by the cycle machinery when
+	// Backend is set, but still used for MEMS-specific wear projections).
+	Device device.MEMS
+	// Backend optionally selects the device driven through the refill cycle,
+	// as in Config.Backend. Leave nil to simulate the MEMS Device above.
+	Backend engine.Backend
+	// DRAM is the buffer model shared by all stream buffers.
+	DRAM device.DRAM
+	// Streams are the concurrent streams sharing the device.
+	Streams []MultiStream
+	// Policy selects the service order within a wake-up. The zero value is
+	// engine.PolicyRoundRobin (the paper's gated cycle model).
+	Policy engine.Policy
+	// BestEffort is the background request process. Leave the zero value for
+	// clean streams with no best-effort traffic.
+	BestEffort workload.BestEffortProcess
+	// Duration is the simulated streaming time.
+	Duration units.Duration
+	// Seed makes the run reproducible.
+	Seed uint64
+}
+
+// backend returns the device backend the run drives: Backend when set, the
+// MEMS device otherwise.
+func (c MultiConfig) backend() engine.Backend {
+	if c.Backend != nil {
+		return c.Backend
+	}
+	return engine.NewMEMS(c.Device)
+}
+
+// MediaRate returns the media transfer rate of the simulated device.
+func (c MultiConfig) MediaRate() units.BitRate {
+	return c.backend().MediaRate()
+}
+
+// policy returns the effective scheduling policy (round-robin by default).
+func (c MultiConfig) policy() engine.Policy {
+	if c.Policy == "" {
+		return engine.PolicyRoundRobin
+	}
+	return c.Policy
+}
+
+// AggregateRate returns the sum of the streams' long-run average demands.
+func (c MultiConfig) AggregateRate() units.BitRate {
+	var total units.BitRate
+	for _, s := range c.Streams {
+		total = total.Add(s.Spec.AverageRate())
+	}
+	return total
+}
+
+// Validate checks the configuration: valid parts, schedulable policy, and an
+// admissible stream set (aggregate average demand and every stream's peak
+// demand below the media rate).
+func (c MultiConfig) Validate() error {
+	var errs []error
+	if err := c.backend().Validate(); err != nil {
+		errs = append(errs, err)
+	}
+	if c.Backend != nil && !c.Backend.MediaRate().Positive() {
+		errs = append(errs, errors.New("sim: backend media rate must be positive"))
+	}
+	if err := c.DRAM.Validate(); err != nil {
+		errs = append(errs, err)
+	}
+	if err := c.policy().Validate(); err != nil {
+		errs = append(errs, err)
+	}
+	if len(c.Streams) == 0 {
+		errs = append(errs, errors.New("sim: at least one stream is required"))
+	}
+	mediaRate := c.backend().MediaRate()
+	for i, s := range c.Streams {
+		if err := s.Spec.Validate(); err != nil {
+			errs = append(errs, fmt.Errorf("sim: stream %d (%s): %w", i, s.Name, err))
+			continue
+		}
+		if !s.Buffer.Positive() {
+			errs = append(errs, fmt.Errorf("sim: stream %d (%s): buffer must be positive", i, s.Name))
+		}
+		if peak := s.Spec.PeakRate(); mediaRate.Positive() && peak >= mediaRate {
+			errs = append(errs, fmt.Errorf("sim: stream %d (%s): peak demand %v must be below the media rate %v",
+				i, s.Name, peak, mediaRate))
+		}
+	}
+	if len(errs) == 0 && mediaRate.Positive() && c.AggregateRate() >= mediaRate {
+		errs = append(errs, fmt.Errorf("sim: aggregate stream rate %v must be below the media rate %v",
+			c.AggregateRate(), mediaRate))
+	}
+	if c.BestEffort.TargetFraction > 0 {
+		if err := c.BestEffort.Validate(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	if !c.Duration.Positive() {
+		errs = append(errs, errors.New("sim: duration must be positive"))
+	}
+	return errors.Join(errs...)
+}
+
+// NamedStats is one stream's statistics in a multi-stream result.
+type NamedStats struct {
+	// Name labels the stream (from MultiStream.Name).
+	Name string
+	// Stats holds the stream's own accounting: streamed bits, underruns,
+	// playback metrics, and the seek/transfer time and energy attributed to
+	// servicing its buffer.
+	Stats
+}
+
+// MultiStats is what a shared-device run observed: the aggregate device
+// accounting plus one statistics record per stream.
+type MultiStats struct {
+	// Device is the aggregate accounting: all state residencies and energy,
+	// the summed stream traffic, best-effort service and DRAM energy.
+	// RefillCycles counts device wake-ups (super-cycles), not per-stream
+	// refills.
+	Device Stats
+	// Streams holds the per-stream records in configuration order; each
+	// stream's RefillCycles counts its own buffer refills.
+	Streams []NamedStats
+}
+
+// EnergyShare returns stream i's share of the total device energy: the seek
+// and transfer energy attributed to servicing its buffer, plus a
+// streamed-bits-proportional share of the energy spent in shared states
+// (standby, shutdown, best-effort).
+func (m *MultiStats) EnergyShare(i int) float64 {
+	total := m.Device.DeviceEnergy()
+	if total.Joules() <= 0 {
+		return 0
+	}
+	var attributed units.Energy
+	for j := range m.Streams {
+		attributed = attributed.Add(m.Streams[j].DeviceEnergy())
+	}
+	own := m.Streams[i].DeviceEnergy()
+	if m.Device.StreamedBits.Positive() {
+		shared := total.Sub(attributed)
+		own = own.Add(shared.Scale(m.Streams[i].StreamedBits.DivideBy(m.Device.StreamedBits)))
+	}
+	return own.Joules() / total.Joules()
+}
+
+// MultiSimulator runs the shared-device scheduling loop on the event-driven
+// multi-stream engine core.
+type MultiSimulator struct {
+	cfg     MultiConfig
+	backend engine.Backend
+	core    *engine.MultiCore
+	policy  engine.Policy
+
+	requests []workload.BestEffortRequest
+	nextReq  int
+}
+
+// NewMulti builds a multi-stream simulator from a validated configuration.
+func NewMulti(cfg MultiConfig) (*MultiSimulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	streams := make([]engine.StreamConfig, len(cfg.Streams))
+	for i, s := range cfg.Streams {
+		pattern, err := s.Spec.Pattern(cfg.Duration)
+		if err != nil {
+			return nil, fmt.Errorf("sim: stream %d (%s): %w", i, s.Name, err)
+		}
+		streams[i] = engine.StreamConfig{
+			Source:        pattern,
+			Buffer:        s.Buffer,
+			WriteFraction: s.Spec.WriteFraction,
+		}
+	}
+	var requests []workload.BestEffortRequest
+	if cfg.BestEffort.TargetFraction > 0 {
+		var err error
+		requests, err = cfg.BestEffort.Generate(cfg.Duration)
+		if err != nil {
+			return nil, err
+		}
+	}
+	backend := cfg.backend()
+	return &MultiSimulator{
+		cfg:      cfg,
+		backend:  backend,
+		core:     engine.NewMultiCore(backend, streams),
+		policy:   cfg.policy(),
+		requests: requests,
+	}, nil
+}
+
+// serveBestEffort serves every queued request that has arrived by now.
+func (s *MultiSimulator) serveBestEffort() {
+	stats := s.core.DeviceStats()
+	for s.nextReq < len(s.requests) && s.requests[s.nextReq].Arrival <= s.core.Now() {
+		req := s.requests[s.nextReq]
+		s.nextReq++
+		s.core.Account(device.StateBestEffort, s.cfg.BestEffort.ServiceTime(req.Size), -1)
+		stats.BestEffortBits = stats.BestEffortBits.Add(req.Size)
+		stats.BestEffortRequests++
+		if req.Write {
+			s.core.CreditBestEffortWrite(req.Size)
+		}
+	}
+}
+
+// Run executes the simulation and returns the collected statistics.
+func (s *MultiSimulator) Run() (*MultiStats, error) {
+	end := s.cfg.Duration
+	var totalBuffer units.Size
+	for i, st := range s.cfg.Streams {
+		totalBuffer = totalBuffer.Add(st.Buffer)
+		if s.core.WakeLevel(i) >= st.Buffer {
+			return nil, fmt.Errorf(
+				"sim: stream %d (%s): buffer %v cannot cover a full %d-stream service round at peak demand (wake level %v)",
+				i, st.Name, st.Buffer, len(s.cfg.Streams), s.core.WakeLevel(i))
+		}
+	}
+	dev := s.core.DeviceStats()
+	lastCycleEnd := units.Duration(0)
+	lastMediaBits := units.Size(0)
+	for s.core.Now() < end {
+		// Standby until some stream's buffer falls to its wake level.
+		if s.core.DrainToWake(device.StateStandby, end) < 0 {
+			break
+		}
+
+		// One super-cycle: position to each stream region in policy order,
+		// refill that stream to full, then serve queued best-effort work and
+		// shut down.
+		for _, idx := range s.core.ServiceOrder(s.policy) {
+			s.core.Positioning(idx)
+			s.core.RefillStream(idx)
+			s.core.StreamStats(idx).RefillCycles++
+		}
+		s.serveBestEffort()
+		s.core.Shutdown()
+		dev.RefillCycles++
+
+		// DRAM energy for this cycle: retention for every buffer over the
+		// cycle plus one pass in and one pass out for the refilled data.
+		cycleTime := s.core.Now().Sub(lastCycleEnd)
+		refilled := dev.MediaBits.Sub(lastMediaBits)
+		dev.DRAMEnergy = dev.DRAMEnergy.
+			Add(s.cfg.DRAM.BackgroundPower(totalBuffer).Times(cycleTime)).
+			Add(s.cfg.DRAM.AccessEnergy(refilled.Scale(2)))
+		lastCycleEnd = s.core.Now()
+		lastMediaBits = dev.MediaBits
+	}
+	dev.SimulatedTime = s.core.Now()
+	// Best-effort data passes through the buffer once in and once out.
+	dev.DRAMEnergy = dev.DRAMEnergy.Add(s.cfg.DRAM.AccessEnergy(dev.BestEffortBits.Scale(2)))
+
+	out := &MultiStats{Device: *dev, Streams: make([]NamedStats, len(s.cfg.Streams))}
+	for i, st := range s.cfg.Streams {
+		stream := *s.core.StreamStats(i)
+		stream.SimulatedTime = s.core.Now()
+		out.Streams[i] = NamedStats{Name: st.Name, Stats: stream}
+	}
+	return out, nil
+}
+
+// RunMulti is a convenience wrapper: build a multi-stream simulator and run
+// it.
+func RunMulti(cfg MultiConfig) (*MultiStats, error) {
+	s, err := NewMulti(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run()
+}
+
+// RunMultiBatch runs every configuration as an independent shared-device
+// simulation on a bounded worker pool and returns the statistics in input
+// order, with the same worker and error semantics as RunBatch.
+func RunMultiBatch(ctx context.Context, workers int, cfgs []MultiConfig) ([]*MultiStats, error) {
+	if len(cfgs) == 0 {
+		return nil, nil
+	}
+	return parallel.Map(ctx, workers, len(cfgs), func(_ context.Context, i int) (*MultiStats, error) {
+		stats, err := RunMulti(cfgs[i])
+		if err != nil {
+			return nil, fmt.Errorf("sim: batch config %d: %w", i, err)
+		}
+		return stats, nil
+	})
+}

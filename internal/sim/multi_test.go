@@ -1,0 +1,282 @@
+package sim
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"memstream/internal/device"
+	"memstream/internal/engine"
+	"memstream/internal/units"
+	"memstream/internal/workload"
+)
+
+// twoStreamConfig is the canonical playback + recording mix through
+// rate-proportional one-second buffers.
+func twoStreamConfig() MultiConfig {
+	return MultiConfig{
+		Device: device.DefaultMEMS(),
+		DRAM:   device.DefaultDRAM(),
+		Streams: []MultiStream{
+			{Name: "playback", Spec: playbackSpec(1024 * units.Kbps), Buffer: (1024 * units.Kbps).Times(units.Second)},
+			{Name: "recording", Spec: recordingSpec(512 * units.Kbps), Buffer: (512 * units.Kbps).Times(units.Second)},
+		},
+		Duration: 2 * units.Minute,
+		Seed:     1,
+	}
+}
+
+func playbackSpec(rate units.BitRate) workload.StreamSpec {
+	s := workload.CBRSpec(rate)
+	s.WriteFraction = 0
+	return s
+}
+
+func recordingSpec(rate units.BitRate) workload.StreamSpec {
+	s := workload.CBRSpec(rate)
+	s.WriteFraction = 1
+	return s
+}
+
+func TestMultiConfigValidate(t *testing.T) {
+	good := twoStreamConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+
+	noStreams := good
+	noStreams.Streams = nil
+	if err := noStreams.Validate(); err == nil {
+		t.Error("empty stream set accepted")
+	}
+
+	badPolicy := good
+	badPolicy.Policy = engine.Policy("fifo")
+	if err := badPolicy.Validate(); err == nil || !strings.Contains(err.Error(), "scheduling policy") {
+		t.Errorf("unknown policy accepted: %v", err)
+	}
+
+	badBuffer := good
+	badBuffer.Streams = append([]MultiStream{}, good.Streams...)
+	badBuffer.Streams[1].Buffer = 0
+	if err := badBuffer.Validate(); err == nil || !strings.Contains(err.Error(), "recording") {
+		t.Errorf("zero buffer accepted or stream not named: %v", err)
+	}
+
+	tooFast := good
+	tooFast.Streams = []MultiStream{
+		{Name: "a", Spec: playbackSpec(60 * units.Mbps), Buffer: units.MiB},
+		{Name: "b", Spec: playbackSpec(60 * units.Mbps), Buffer: units.MiB},
+	}
+	if err := tooFast.Validate(); err == nil || !strings.Contains(err.Error(), "aggregate") {
+		t.Errorf("inadmissible aggregate rate accepted: %v", err)
+	}
+
+	noDuration := good
+	noDuration.Duration = 0
+	if err := noDuration.Validate(); err == nil {
+		t.Error("zero duration accepted")
+	}
+}
+
+func TestRunMultiBasic(t *testing.T) {
+	stats, err := RunMulti(twoStreamConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := stats.Device
+	if dev.SimulatedTime < 2*units.Minute {
+		t.Errorf("simulated %v, want at least 2 min", dev.SimulatedTime)
+	}
+	if dev.RefillCycles == 0 {
+		t.Fatal("no wake-ups")
+	}
+	if dev.Underruns != 0 {
+		t.Errorf("%d underruns with rate-proportional buffers", dev.Underruns)
+	}
+	if len(stats.Streams) != 2 {
+		t.Fatalf("%d stream records, want 2", len(stats.Streams))
+	}
+	// Per-stream streamed bits sum to the device total, and each stream
+	// streamed roughly rate * time.
+	var sum units.Size
+	for i, st := range stats.Streams {
+		sum = sum.Add(st.StreamedBits)
+		if st.RefillCycles == 0 {
+			t.Errorf("stream %d never refilled", i)
+		}
+	}
+	if math.Abs(sum.DivideBy(dev.StreamedBits)-1) > 1e-9 {
+		t.Errorf("per-stream streamed bits %v do not sum to the device total %v", sum, dev.StreamedBits)
+	}
+	want0 := (1024 * units.Kbps).Times(dev.SimulatedTime)
+	if got := stats.Streams[0].StreamedBits; math.Abs(got.DivideBy(want0)-1) > 0.01 {
+		t.Errorf("playback streamed %v, want about %v", got, want0)
+	}
+	// The recording stream alone wears the probes.
+	if stats.Streams[0].WrittenUserBits.Positive() {
+		t.Error("pure playback credited write wear")
+	}
+	if !stats.Streams[1].WrittenUserBits.Positive() {
+		t.Error("recording credited no write wear")
+	}
+	// Energy shares are positive and sum to one.
+	total := 0.0
+	for i := range stats.Streams {
+		share := stats.EnergyShare(i)
+		if share <= 0 || share >= 1 {
+			t.Errorf("energy share %d = %g", i, share)
+		}
+		total += share
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("energy shares sum to %g, want 1", total)
+	}
+	// The faster stream carries the larger share.
+	if stats.EnergyShare(0) <= stats.EnergyShare(1) {
+		t.Errorf("playback share %g should exceed recording share %g",
+			stats.EnergyShare(0), stats.EnergyShare(1))
+	}
+}
+
+func TestRunMultiDeterministic(t *testing.T) {
+	cfg := twoStreamConfig()
+	cfg.BestEffort = workload.NewBestEffortProcess(0.05, cfg.MediaRate(), cfg.Seed)
+	a, err := RunMulti(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunMulti(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("identical configurations produced different statistics")
+	}
+}
+
+func TestRunMultiPoliciesBothServeCleanly(t *testing.T) {
+	for _, policy := range []engine.Policy{engine.PolicyRoundRobin, engine.PolicyMostUrgent} {
+		cfg := twoStreamConfig()
+		cfg.Policy = policy
+		stats, err := RunMulti(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		if stats.Device.Underruns != 0 {
+			t.Errorf("%s: %d underruns", policy, stats.Device.Underruns)
+		}
+		if stats.Device.RefillCycles == 0 {
+			t.Errorf("%s: no wake-ups", policy)
+		}
+	}
+}
+
+func TestRunMultiMixedWorkloadKinds(t *testing.T) {
+	cfg := MultiConfig{
+		Device: device.DefaultMEMS(),
+		DRAM:   device.DefaultDRAM(),
+		Streams: []MultiStream{
+			{Name: "cbr", Spec: workload.CBRSpec(1024 * units.Kbps), Buffer: 256 * units.KB},
+			{Name: "vbr", Spec: workload.VBRSpec(512*units.Kbps, 7), Buffer: 256 * units.KB},
+			{Name: "video", Spec: workload.VideoSpec(768*units.Kbps, 7), Buffer: 512 * units.KB},
+		},
+		Duration: units.Minute,
+		Seed:     7,
+	}
+	stats, err := RunMulti(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, st := range stats.Streams {
+		if !st.StreamedBits.Positive() {
+			t.Errorf("stream %d (%s) streamed nothing", i, st.Name)
+		}
+	}
+	if stats.Device.Underruns != 0 {
+		t.Errorf("%d underruns with generous buffers", stats.Device.Underruns)
+	}
+}
+
+// TestRunMultiSingleStreamMatchesSingleSimulator: a one-stream shared device
+// is the single-stream architecture with a slightly more conservative wake
+// level, so its per-bit energy must land within a couple of percent of the
+// single-stream simulator at the same operating point.
+func TestRunMultiSingleStreamMatchesSingleSimulator(t *testing.T) {
+	rate := 1024 * units.Kbps
+	buffer := (1024 * units.Kbps).Times(units.Second)
+	spec := workload.CBRSpec(rate)
+
+	multi, err := RunMulti(MultiConfig{
+		Device:   device.DefaultMEMS(),
+		DRAM:     device.DefaultDRAM(),
+		Streams:  []MultiStream{{Name: "only", Spec: spec, Buffer: buffer}},
+		Duration: 10 * units.Minute,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := RunConfig(Config{
+		Device:   device.DefaultMEMS(),
+		DRAM:     device.DefaultDRAM(),
+		Buffer:   buffer,
+		Spec:     spec,
+		Duration: 10 * units.Minute,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	multiPerBit := multi.Device.PerBitEnergy().NanojoulesPerBit()
+	singlePerBit := single.PerBitEnergy().NanojoulesPerBit()
+	if rel := math.Abs(multiPerBit-singlePerBit) / singlePerBit; rel > 0.02 {
+		t.Errorf("per-bit energy: multi %.3f vs single %.3f nJ/b (rel %.3f)",
+			multiPerBit, singlePerBit, rel)
+	}
+	if multi.Device.Underruns != 0 {
+		t.Errorf("%d underruns", multi.Device.Underruns)
+	}
+}
+
+func TestRunMultiRejectsBufferBelowServiceRound(t *testing.T) {
+	cfg := twoStreamConfig()
+	cfg.Streams = append([]MultiStream{}, cfg.Streams...)
+	// A buffer that cannot even cover the service round's drain must be
+	// rejected with an error naming the stream.
+	cfg.Streams[1].Buffer = 64 * units.Bit
+	_, err := RunMulti(cfg)
+	if err == nil || !strings.Contains(err.Error(), "recording") {
+		t.Errorf("tiny buffer accepted or stream not named: %v", err)
+	}
+}
+
+func TestRunMultiBatchMatchesSequential(t *testing.T) {
+	cfgs := []MultiConfig{twoStreamConfig(), twoStreamConfig(), twoStreamConfig()}
+	cfgs[1].Seed = 2
+	cfgs[1].Policy = engine.PolicyMostUrgent
+	cfgs[2].Duration = units.Minute
+
+	parallelStats, err := RunMultiBatch(context.Background(), 0, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cfg := range cfgs {
+		seq, err := RunMulti(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(parallelStats[i], seq) {
+			t.Errorf("batch entry %d differs from the sequential run", i)
+		}
+	}
+
+	bad := twoStreamConfig()
+	bad.Duration = 0
+	if _, err := RunMultiBatch(context.Background(), 2, []MultiConfig{twoStreamConfig(), bad}); err == nil ||
+		!strings.Contains(err.Error(), "batch config 1") {
+		t.Errorf("failing batch entry not named: %v", err)
+	}
+}

@@ -1,0 +1,55 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseFrames drives the frame-trace text parser with arbitrary input:
+// nothing may panic, and any accepted trace must round-trip exactly through
+// FormatFrames — the dump/replay cycle memssim's -dump-trace relies on.
+func FuzzParseFrames(f *testing.F) {
+	f.Add("0 1500 I\n0.04 800 P\n0.08 600 B\n")
+	f.Add("# comment\n\n40ms 3.1KiB\n80ms 25000bit I\n")
+	f.Add("1.5 2KiB p\n2 4KiB b\n")
+	f.Add("0 0\n")
+	f.Add("0 1500\n0 1500\n")
+	f.Add("bogus line\n")
+	f.Add("0 1500 X\n")
+	f.Add("1e300y 1500\n2e300y 1500\n")
+	f.Add("0 1e309bit\n")
+	f.Add("-5 100\n-4 100\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		frames, err := ParseFrames(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := FormatFrames(&buf, frames); err != nil {
+			t.Fatalf("format accepted trace: %v", err)
+		}
+		again, err := ParseFrames(&buf)
+		if err != nil {
+			t.Fatalf("formatted trace rejected: %v\n%s", err, buf.String())
+		}
+		if len(again) != len(frames) {
+			t.Fatalf("round-trip changed the frame count: %d -> %d", len(frames), len(again))
+		}
+		for i := range frames {
+			if frames[i].Timestamp != again[i].Timestamp ||
+				frames[i].Size != again[i].Size ||
+				frames[i].Class != again[i].Class {
+				t.Errorf("frame %d changed in the round-trip: %+v -> %+v", i, frames[i], again[i])
+			}
+		}
+		// An accepted trace also builds a demand pattern with sane bounds.
+		p, err := NewTracePattern(frames)
+		if err != nil {
+			t.Fatalf("accepted trace rejected by NewTracePattern: %v", err)
+		}
+		if p.PeakRate() < p.AverageRate() {
+			t.Errorf("peak rate %v below average %v", p.PeakRate(), p.AverageRate())
+		}
+	})
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
 
@@ -117,7 +118,10 @@ func NormalizeFrames(frames []Frame) ([]Frame, error) {
 }
 
 // ValidateFrames checks a trace in normalized form: at least one frame, the
-// first at time zero, timestamps strictly increasing, every size positive.
+// first at time zero, timestamps strictly increasing, every size positive,
+// and every quantity finite (an infinite timestamp or size would otherwise
+// survive parsing — the duration grammar happily scales "1e300y" into
+// infinity — and then poison every rate derived from the trace).
 func ValidateFrames(frames []Frame) error {
 	if len(frames) == 0 {
 		return errors.New("workload: trace holds no frames")
@@ -126,8 +130,11 @@ func ValidateFrames(frames []Frame) error {
 		return fmt.Errorf("workload: trace must start at time zero (first frame at %v; NormalizeFrames shifts it)", frames[0].Timestamp)
 	}
 	for i, f := range frames {
-		if !f.Size.Positive() {
-			return fmt.Errorf("workload: trace frame %d has non-positive size %v", i, f.Size)
+		if !f.Size.Positive() || math.IsInf(f.Size.Bits(), 0) {
+			return fmt.Errorf("workload: trace frame %d has non-positive or non-finite size %v", i, f.Size)
+		}
+		if math.IsInf(f.Timestamp.Seconds(), 0) || math.IsNaN(f.Timestamp.Seconds()) {
+			return fmt.Errorf("workload: trace frame %d has a non-finite timestamp", i)
 		}
 		if i > 0 && f.Timestamp <= frames[i-1].Timestamp {
 			return fmt.Errorf("workload: trace timestamps must be strictly increasing (frame %d at %v after %v)",

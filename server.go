@@ -48,6 +48,13 @@ type (
 	SimulateTraceFrame = service.TraceFrameSpec
 	// SimulateResponse answers a SimulateRequest.
 	SimulateResponse = service.SimulateResponse
+	// MultiSimRequest asks for shared-device simulation runs of several
+	// concurrent streams under a scheduling policy.
+	MultiSimRequest = service.MultiSimRequest
+	// MultiSimStreamSpec describes one stream of a MultiSimRequest.
+	MultiSimStreamSpec = service.MultiSimStreamSpec
+	// MultiSimResponse answers a MultiSimRequest.
+	MultiSimResponse = service.MultiSimResponse
 	// BreakEvenRequest asks for the MEMS and disk break-even buffers.
 	BreakEvenRequest = service.BreakEvenRequest
 	// BreakEvenResponse answers a BreakEvenRequest.
