@@ -80,7 +80,7 @@ func buildGoal(e, c, l float64) memstream.Goal {
 	return memstream.Goal{
 		EnergySaving:        e / 100,
 		CapacityUtilisation: c / 100,
-		Lifetime:            memstream.Duration(l) * memstream.Year,
+		Lifetime:            memstream.Year.Scale(l),
 	}
 }
 

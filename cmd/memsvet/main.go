@@ -1,0 +1,31 @@
+// Command memsvet is the memstream static-analysis suite: a go vet tool that
+// mechanically enforces the conventions the tree otherwise only documents —
+// unit-safe arithmetic (unitsafety), reproducible simulation (determinism),
+// the public "memstream: " error prefix (errprefix) and end-to-end context
+// threading (ctxflow).
+//
+// Run it through the go command, which supplies type information per package:
+//
+//	go build -o /tmp/memsvet ./cmd/memsvet
+//	go vet -vettool=/tmp/memsvet ./...
+//
+// CI gates every change on a clean run; see the "Static analysis" section of
+// the package documentation for what each analyzer guards.
+package main
+
+import (
+	"memstream/internal/analysis/ctxflow"
+	"memstream/internal/analysis/determinism"
+	"memstream/internal/analysis/errprefix"
+	"memstream/internal/analysis/unitsafety"
+	"memstream/internal/xtools/go/analysis/unitchecker"
+)
+
+func main() {
+	unitchecker.Main(
+		unitsafety.Analyzer,
+		determinism.Analyzer,
+		errprefix.Analyzer,
+		ctxflow.Analyzer,
+	)
+}

@@ -229,4 +229,35 @@
 // The figure generators in this package regenerate every table and figure of
 // the paper's evaluation; cmd/memsfigures prints them, and the benchmarks in
 // bench_test.go time them.
+//
+// # Static analysis
+//
+// The conventions above are machine-enforced, not just documented. The
+// analyzer suite in internal/analysis runs as a go vet tool (cmd/memsvet)
+// over the whole tree, and CI fails on any diagnostic — there is no
+// suppression mechanism; a finding is fixed, not silenced:
+//
+//   - unitsafety: arithmetic must not cross internal/units type boundaries
+//     raw. Constructing a quantity from a computed float, converting one
+//     quantity type into another, multiplying two same-unit values, or
+//     applying a magic 1e3/1e6/1e9/1024-style factor to an accessor result
+//     are all flagged; the named constructors (units.Kbps.Scale,
+//     units.Second.Scale, ...) and accessors (Bytes, MBytes, Kilobits, ...)
+//     are the sanctioned crossings.
+//   - determinism: the simulation-critical packages (internal/engine,
+//     internal/sim, internal/parallel, internal/explore and the figure
+//     generators) may not read the wall clock, draw from the global
+//     math/rand source, or write results while ranging over a map — the
+//     same inputs must yield byte-identical outputs at any worker count.
+//   - errprefix: every error escaping an exported function of this package
+//     carries the "memstream: " prefix (the wrapErr helper applies it
+//     idempotently at the API boundary).
+//   - ctxflow: every ...Context variant threads its context, plain-named
+//     wrappers delegate to their variant, and internal/service never
+//     replaces a request context with context.Background.
+//
+// Run the suite locally with:
+//
+//	go build -o /tmp/memsvet ./cmd/memsvet
+//	go vet -vettool=/tmp/memsvet ./...
 package memstream

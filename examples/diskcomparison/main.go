@@ -62,7 +62,7 @@ func run(w io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(w, "  %10v  %12.2f MB  %12.2f MB  %9.2f\n",
-			rate, analytic.Bytes()/1e6, simulated.Bytes()/1e6, simulated.DivideBy(analytic))
+			rate, analytic.MBytes(), simulated.MBytes(), simulated.DivideBy(analytic))
 	}
 
 	fmt.Fprintln(w)
@@ -103,7 +103,7 @@ func run(w io.Writer) error {
 	cyclesPerYear := (1024 * memstream.Kbps).Times(streamedPerYear).DivideBy(diskBE)
 	diskYears := disk.LoadUnloadCycles / cyclesPerYear
 	fmt.Fprintf(w, "For the disk, the %.1f MB energy buffer implies only %.0f load/unload cycles per year,\n",
-		diskBE.Bytes()/1e6, cyclesPerYear)
+		diskBE.MBytes(), cyclesPerYear)
 	fmt.Fprintf(w, "so its 1e5 rating lasts about %.0f years — lifetime never enters the buffer question.\n", diskYears)
 	fmt.Fprintln(w)
 	fmt.Fprintln(w, "On MEMS storage the energy buffer is three orders of magnitude smaller, and exactly")

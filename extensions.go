@@ -37,13 +37,15 @@ type (
 // NewSharedSystem builds a shared-device system with the Table I workload
 // calendar and the default DRAM model.
 func NewSharedSystem(dev Device, streams []StreamSpec) (*SharedSystem, error) {
-	return multistream.NewSystem(dev, device.DefaultDRAM(), lifetime.DefaultWorkload(), streams)
+	s, err := multistream.NewSystem(dev, device.DefaultDRAM(), lifetime.DefaultWorkload(), streams)
+	return s, wrapErr(err)
 }
 
 // NewSharedSystemWithWorkload builds a shared-device system with an explicit
 // workload and DRAM model.
 func NewSharedSystemWithWorkload(dev Device, dram DRAM, wl Workload, streams []StreamSpec) (*SharedSystem, error) {
-	return multistream.NewSystem(dev, dram, wl, streams)
+	s, err := multistream.NewSystem(dev, dram, wl, streams)
+	return s, wrapErr(err)
 }
 
 // Multi-stream simulation: several concurrent streams scheduled on one
@@ -125,7 +127,8 @@ type (
 
 // NewDiskEnergyModel builds a disk streaming-energy model at the given rate.
 func NewDiskEnergyModel(d Disk, rate BitRate) (DiskEnergyModel, error) {
-	return energy.NewDiskModel(d, rate)
+	m, err := energy.NewDiskModel(d, rate)
+	return m, wrapErr(err)
 }
 
 // DefaultDiskSimConfig returns a ready-to-run simulation of the 1.8-inch
@@ -213,11 +216,16 @@ func TraceSpec(frames []Frame) SimStreamSpec { return workload.TraceSpec(frames)
 // ("<timestamp> <size> [class]"; timestamps accept the duration grammar,
 // sizes the size grammar, bare numbers are seconds and bytes). The trace is
 // normalized to start at time zero.
-func ParseFrameTrace(r io.Reader) ([]Frame, error) { return workload.ParseFrames(r) }
+func ParseFrameTrace(r io.Reader) ([]Frame, error) {
+	frames, err := workload.ParseFrames(r)
+	return frames, wrapErr(err)
+}
 
 // WriteFrameTrace writes frames in the ParseFrameTrace text format, so a
 // generated trace can be saved and replayed through a SpecTrace stream.
-func WriteFrameTrace(w io.Writer, frames []Frame) error { return workload.FormatFrames(w, frames) }
+func WriteFrameTrace(w io.Writer, frames []Frame) error {
+	return wrapErr(workload.FormatFrames(w, frames))
+}
 
 // Video frame classes.
 const (
@@ -238,7 +246,8 @@ func NewVideoStream(rate BitRate, seed uint64) VideoStream {
 // NewVideoRatePattern generates a frame trace covering the horizon and wraps
 // it as a rate source for the simulator.
 func NewVideoRatePattern(v VideoStream, horizon Duration) (*VideoRatePattern, error) {
-	return workload.NewVideoRatePattern(v, horizon)
+	p, err := workload.NewVideoRatePattern(v, horizon)
+	return p, wrapErr(err)
 }
 
 // DiskEnergyRow is one row of the extended MEMS-versus-disk energy comparison.
@@ -268,25 +277,25 @@ func DiskEnergyComparison(dev Device, d Disk, saving float64, rates []BitRate) (
 
 		model, err := New(dev, rate)
 		if err != nil {
-			return nil, err
+			return nil, wrapErr(err)
 		}
 		req, err := model.BufferForEnergySaving(saving)
 		if err != nil {
-			return nil, err
+			return nil, wrapErr(err)
 		}
 		if req.Feasible {
 			row.MEMSFeasible = true
 			row.MEMSBuffer = req.Buffer
 			pt, err := model.At(req.Buffer)
 			if err != nil {
-				return nil, err
+				return nil, wrapErr(err)
 			}
 			row.MEMSPerBit = pt.EnergyPerBit
 		}
 
 		diskModel, err := NewDiskEnergyModel(d, rate)
 		if err != nil {
-			return nil, err
+			return nil, wrapErr(err)
 		}
 		diskBuf, err := diskModel.BufferForSaving(saving)
 		switch {
@@ -295,7 +304,7 @@ func DiskEnergyComparison(dev Device, d Disk, saving float64, rates []BitRate) (
 			row.DiskBuffer = diskBuf
 			bd, err := diskModel.PerBit(diskBuf)
 			if err != nil {
-				return nil, err
+				return nil, wrapErr(err)
 			}
 			row.DiskPerBit = bd.Total()
 		default:

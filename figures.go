@@ -60,10 +60,10 @@ func RenderTableI(w io.Writer) error {
 	}
 	for _, r := range rows {
 		if err := tbl.AddRow(r.name, r.setting, r.unit); err != nil {
-			return err
+			return wrapErr(err)
 		}
 	}
-	return tbl.Render(w)
+	return wrapErr(tbl.Render(w))
 }
 
 // BreakEvenRow is one row of the Section III-A.1 comparison.
@@ -81,12 +81,20 @@ type BreakEvenRow struct {
 // BreakEvenTable computes the break-even buffer of the MEMS device and the
 // disk baseline over the given rates (Section III-A.1 of the paper: MEMS
 // needs 0.07-8.87 kB where the disk needs 0.08-9.29 MB). The per-rate
-// inversions fan out over one worker per CPU in input order.
+// inversions fan out over one worker per CPU in input order; use
+// BreakEvenTableContext to bound the pool or cancel the computation.
 func BreakEvenTable(dev Device, disk Disk, rates []BitRate) ([]BreakEvenRow, error) {
+	return BreakEvenTableContext(context.Background(), 0, dev, disk, rates)
+}
+
+// BreakEvenTableContext is BreakEvenTable with explicit cancellation and
+// worker bound (zero means one worker per CPU, one forces the sequential
+// path). The rows are identical at any worker count.
+func BreakEvenTableContext(ctx context.Context, workers int, dev Device, disk Disk, rates []BitRate) ([]BreakEvenRow, error) {
 	if len(rates) == 0 {
 		return nil, errors.New("memstream: no rates supplied")
 	}
-	return parallel.Map(context.Background(), 0, len(rates), func(_ context.Context, i int) (BreakEvenRow, error) {
+	rows, err := parallel.Map(ctx, workers, len(rates), func(_ context.Context, i int) (BreakEvenRow, error) {
 		rate := rates[i]
 		m, err := BreakEvenBuffer(dev, rate)
 		if err != nil {
@@ -98,6 +106,7 @@ func BreakEvenTable(dev Device, disk Disk, rates []BitRate) ([]BreakEvenRow, err
 		}
 		return BreakEvenRow{Rate: rate, MEMS: m, Disk: d, Ratio: d.DivideBy(m)}, nil
 	})
+	return rows, wrapErr(err)
 }
 
 // RenderBreakEvenTable writes the break-even comparison as a table.
@@ -108,13 +117,13 @@ func RenderBreakEvenTable(w io.Writer, rows []BreakEvenRow) error {
 		if err := tbl.AddRow(
 			fmt.Sprintf("%.0f", r.Rate.Kilobits()),
 			fmt.Sprintf("%.2f", r.MEMS.KiBytes()),
-			fmt.Sprintf("%.2f", r.Disk.Bytes()/1e6),
+			fmt.Sprintf("%.2f", r.Disk.MBytes()),
 			fmt.Sprintf("%.0f", r.Ratio),
 		); err != nil {
-			return err
+			return wrapErr(err)
 		}
 	}
-	return tbl.Render(w)
+	return wrapErr(tbl.Render(w))
 }
 
 // Figure2 holds the data behind Fig. 2a and 2b: the forward model curves
@@ -152,11 +161,11 @@ func GenerateFigure2Context(ctx context.Context, workers int, dev Device, rate B
 	}
 	model, err := core.New(dev, rate)
 	if err != nil {
-		return nil, err
+		return nil, wrapErr(err)
 	}
 	be, err := model.BreakEvenBuffer()
 	if err != nil {
-		return nil, err
+		return nil, wrapErr(err)
 	}
 	lo := be
 	if min := model.MinimumBuffer(); lo < min {
@@ -165,7 +174,7 @@ func GenerateFigure2Context(ctx context.Context, workers int, dev Device, rate B
 	hi := be.Scale(20)
 	curve, err := explore.SweepBufferContext(ctx, dev, rate, core.Options{}, lo, hi, points, workers)
 	if err != nil {
-		return nil, err
+		return nil, wrapErr(err)
 	}
 	fig := &Figure2{Rate: rate, BreakEven: be}
 	for _, pt := range curve.Points {
@@ -194,16 +203,16 @@ func (f *Figure2) Render(w io.Writer) error {
 		Title:  fmt.Sprintf("Figure 2a: per-bit energy and capacity vs buffer size (rs = %v)", f.Rate),
 		XLabel: "buffer [kB]", YLabel: "nJ/b | GB",
 	}, e, c); err != nil {
-		return err
+		return wrapErr(err)
 	}
 	if err := report.Plot(w, report.PlotConfig{
 		Title:  fmt.Sprintf("Figure 2b: springs and probes lifetime vs buffer size (rs = %v)", f.Rate),
 		XLabel: "buffer [kB]", YLabel: "years",
 	}, s, p); err != nil {
-		return err
+		return wrapErr(err)
 	}
 	fmt.Fprintln(w)
-	return report.SeriesCSV(w, "buffer [kB]", e, c, s, p)
+	return wrapErr(report.SeriesCSV(w, "buffer [kB]", e, c, s, p))
 }
 
 // Figure3 holds the data behind one panel of Fig. 3: buffer requirements
@@ -287,7 +296,7 @@ func (f *Figure3) Render(w io.Writer) error {
 		XScale: report.Log10, YScale: report.Log10,
 		XLabel: "streaming rate [kbps]", YLabel: "buffer [kB]",
 	}, required, energyOnly); err != nil {
-		return err
+		return wrapErr(err)
 	}
 	fmt.Fprint(w, "Dominance regimes: ")
 	for i, r := range f.Regimes {
@@ -303,7 +312,7 @@ func (f *Figure3) Render(w io.Writer) error {
 		fmt.Fprintln(w, "Goal feasible over the whole studied range")
 	}
 	fmt.Fprintln(w)
-	return report.SeriesCSV(w, "rate [kbps]", required, energyOnly)
+	return wrapErr(report.SeriesCSV(w, "rate [kbps]", required, energyOnly))
 }
 
 // PaperFigure3a generates the Fig. 3a panel: goal (80 %, 88 %, 7 years) on the
@@ -358,15 +367,23 @@ type AblationResult struct {
 // Ablations quantifies the design choices the paper calls out: the DRAM
 // energy contribution, the best-effort share, and the per-subsector
 // synchronisation bits. The ablated variants are evaluated concurrently,
-// each on a model owned by its worker, in a fixed result order.
+// each on a model owned by its worker, in a fixed result order; use
+// AblationsContext to bound the pool or cancel the evaluation.
 func Ablations(dev Device, rate BitRate, buffer Size) ([]AblationResult, error) {
+	return AblationsContext(context.Background(), 0, dev, rate, buffer)
+}
+
+// AblationsContext is Ablations with explicit cancellation and worker bound
+// (zero means one worker per CPU, one forces the sequential path). The
+// results are identical at any worker count.
+func AblationsContext(ctx context.Context, workers int, dev Device, rate BitRate, buffer Size) ([]AblationResult, error) {
 	full, err := core.New(dev, rate)
 	if err != nil {
-		return nil, err
+		return nil, wrapErr(err)
 	}
 	fullPt, err := full.At(buffer)
 	if err != nil {
-		return nil, err
+		return nil, wrapErr(err)
 	}
 
 	type ablation struct {
@@ -409,7 +426,7 @@ func Ablations(dev Device, rate BitRate, buffer Size) ([]AblationResult, error) 
 		},
 	}
 
-	return parallel.Map(context.Background(), 0, len(ablations), func(_ context.Context, i int) (AblationResult, error) {
+	results, err := parallel.Map(ctx, workers, len(ablations), func(_ context.Context, i int) (AblationResult, error) {
 		a := ablations[i]
 		m, err := a.build()
 		if err != nil {
@@ -425,6 +442,7 @@ func Ablations(dev Device, rate BitRate, buffer Size) ([]AblationResult, error) 
 			Unit: a.unit,
 		}, nil
 	})
+	return results, wrapErr(err)
 }
 
 // RenderAblations writes the ablation comparison as a table.
@@ -440,8 +458,8 @@ func RenderAblations(w io.Writer, results []AblationResult) error {
 			fmt.Sprintf("%.4g", r.Ablated),
 			r.Unit,
 		); err != nil {
-			return err
+			return wrapErr(err)
 		}
 	}
-	return tbl.Render(w)
+	return wrapErr(tbl.Render(w))
 }

@@ -1,0 +1,75 @@
+// Package analysisutil holds the scoping helpers shared by the memsvet
+// analyzers: which packages count as determinism-critical, which files are
+// exempt (tests, the vendored x/tools subset), and small type queries against
+// the memstream/internal/units quantity types.
+package analysisutil
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"memstream/internal/xtools/go/analysis"
+)
+
+// UnitsPath is the import path of the physical-quantity package whose type
+// boundaries the unitsafety analyzer guards.
+const UnitsPath = "memstream/internal/units"
+
+// VendoredPrefix is the import-path prefix of the vendored x/tools subset,
+// which is third-party code and exempt from every memstream convention.
+const VendoredPrefix = "memstream/internal/xtools"
+
+// Vendored reports whether the package under analysis is part of the
+// vendored x/tools subset.
+func Vendored(pass *analysis.Pass) bool {
+	p := pass.Pkg.Path()
+	return p == VendoredPrefix || strings.HasPrefix(p, VendoredPrefix+"/")
+}
+
+// TestFile reports whether pos lies in a _test.go file. The conventions the
+// analyzers enforce guard production arithmetic and error flow; tests build
+// raw quantities and sentinel errors freely.
+func TestFile(pass *analysis.Pass, pos token.Pos) bool {
+	f := pass.Fset.File(pos)
+	return f == nil || strings.HasSuffix(f.Name(), "_test.go")
+}
+
+// UnitType reports whether t (after unwrapping aliases) is one of the named
+// quantity types declared in memstream/internal/units, returning its name.
+func UnitType(t types.Type) (string, bool) {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != UnitsPath {
+		return "", false
+	}
+	switch obj.Name() {
+	case "Size", "BitRate", "Duration", "Power", "Energy", "EnergyPerBit":
+		return obj.Name(), true
+	}
+	return "", false
+}
+
+// IsPkgCall reports whether call is a direct call of the named function in
+// the named package (for example IsPkgCall(info, call, "time", "Now")).
+func IsPkgCall(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	obj := info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == pkgPath
+}
+
+// ConstantExpr reports whether e type-checked to a compile-time constant.
+func ConstantExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}

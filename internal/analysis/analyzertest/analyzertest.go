@@ -1,0 +1,249 @@
+// Package analyzertest is a self-contained analogue of
+// golang.org/x/tools/go/analysis/analysistest for the memsvet analyzers.
+//
+// The upstream harness depends on go/packages, which the vendored x/tools
+// subset (see internal/xtools) deliberately omits; this one loads GOPATH-style
+// fixture trees (testdata/src/<importpath>/*.go) with go/parser and go/types
+// directly, resolving fixture-local imports from the tree and standard-library
+// imports from GOROOT source. Expectations use the same convention as
+// analysistest: a "// want" comment on the offending line carrying one quoted
+// regular expression per expected diagnostic:
+//
+//	rate := units.BitRate(x * 1000) // want `constructing units\.BitRate`
+//
+// Fixture packages may use any import path — including paths like
+// "memstream/internal/engine" that the analyzers scope on — without
+// colliding with the real packages, because the loader never consults the
+// enclosing module.
+package analyzertest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"memstream/internal/xtools/go/analysis"
+)
+
+// Run loads each named fixture package from testdata/src/<path>, applies the
+// analyzer (and its requirements), and compares the diagnostics against the
+// fixtures' want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	l := newLoader(testdata)
+	for _, path := range paths {
+		pkg, err := l.load(path)
+		if err != nil {
+			t.Fatalf("loading fixture package %s: %v", path, err)
+		}
+		diags, err := run(l, a, pkg, map[*analysis.Analyzer]interface{}{})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, path, err)
+		}
+		check(t, l.fset, pkg, diags)
+	}
+}
+
+// loaded is one type-checked fixture (or fixture dependency) package.
+type loaded struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+type loader struct {
+	testdata string
+	fset     *token.FileSet
+	std      types.ImporterFrom
+	cache    map[string]*loaded
+}
+
+func newLoader(testdata string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		testdata: testdata,
+		fset:     fset,
+		std:      importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		cache:    map[string]*loaded{},
+	}
+}
+
+// Import resolves an import encountered while type-checking a fixture:
+// fixture-tree packages first, the standard library otherwise.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if dir := filepath.Join(l.testdata, "src", path); dirExists(dir) {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.pkg, nil
+	}
+	return l.std.ImportFrom(path, l.testdata, 0)
+}
+
+func (l *loader) load(path string) (*loaded, error) {
+	if p, ok := l.cache[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(l.testdata, "src", path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	p := &loaded{pkg: pkg, files: files, info: info}
+	l.cache[path] = p
+	return p, nil
+}
+
+func dirExists(dir string) bool {
+	st, err := os.Stat(dir)
+	return err == nil && st.IsDir()
+}
+
+// run executes a (and, recursively, its requirements) over pkg, returning
+// a's diagnostics.
+func run(l *loader, a *analysis.Analyzer, pkg *loaded, results map[*analysis.Analyzer]interface{}) ([]analysis.Diagnostic, error) {
+	resultOf := map[*analysis.Analyzer]interface{}{}
+	for _, req := range a.Requires {
+		if _, ok := results[req]; !ok {
+			if _, err := run(l, req, pkg, results); err != nil {
+				return nil, err
+			}
+		}
+		resultOf[req] = results[req]
+	}
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:          a,
+		Fset:              l.fset,
+		Files:             pkg.files,
+		Pkg:               pkg.pkg,
+		TypesInfo:         pkg.info,
+		TypesSizes:        types.SizesFor("gc", runtime.GOARCH),
+		ResultOf:          resultOf,
+		Report:            func(d analysis.Diagnostic) { diags = append(diags, d) },
+		ReadFile:          os.ReadFile,
+		ImportObjectFact:  func(types.Object, analysis.Fact) bool { return false },
+		ImportPackageFact: func(*types.Package, analysis.Fact) bool { return false },
+		ExportObjectFact:  func(types.Object, analysis.Fact) {},
+		ExportPackageFact: func(analysis.Fact) {},
+		AllObjectFacts:    func() []analysis.ObjectFact { return nil },
+		AllPackageFacts:   func() []analysis.PackageFact { return nil },
+	}
+	result, err := a.Run(pass)
+	if err != nil {
+		return nil, err
+	}
+	results[a] = result
+	return diags, nil
+}
+
+// expectation is one want entry: a diagnostic matching re is expected at
+// file:line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+}
+
+// wantRE matches one quoted or backquoted expectation inside a want comment.
+var wantRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// check compares diagnostics against the want comments of pkg's files.
+func check(t *testing.T, fset *token.FileSet, pkg *loaded, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				idx := strings.Index(text, "want ")
+				if idx < 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, q := range wantRE.FindAllString(text[idx+len("want "):], -1) {
+					pattern := q[1 : len(q)-1]
+					if q[0] == '"' {
+						u, err := strconv.Unquote(q)
+						if err != nil {
+							t.Errorf("%s: bad want pattern %s: %v", pos, q, err)
+							continue
+						}
+						pattern = u
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", pos, pattern, err)
+						continue
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: pattern})
+				}
+			}
+		}
+	}
+
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if w.re == nil || w.file != pos.Filename || w.line != pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.re = nil // consumed
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if w.re != nil {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}

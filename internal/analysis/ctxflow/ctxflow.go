@@ -1,0 +1,169 @@
+// Package ctxflow defines an analyzer that keeps cancellation plumbed end to
+// end: the module's convention (established in PR 1) is that every fan-out
+// API has a ...Context variant, the plain-named function is a thin wrapper
+// that passes context.Background to it, and the service layer threads the
+// HTTP request context into every computation.
+//
+// The analyzer reports:
+//
+//   - an exported ...Context function that never uses its context.Context
+//     parameter, or that calls context.Background/context.TODO itself: the
+//     variant exists to thread the caller's context, not to invent one;
+//
+//   - context.Background or context.TODO buried inside a function that is
+//     not the conventional wrapper (a function F delegating to FContext in
+//     the same package). Package main keeps its freedom: process entry
+//     points are where background contexts legitimately originate;
+//
+//   - any context.Background/context.TODO inside memstream/internal/service,
+//     where every computation must run under the request context so client
+//     disconnects and deadlines propagate.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"memstream/internal/analysis/analysisutil"
+	"memstream/internal/xtools/go/analysis"
+)
+
+// Analyzer is the ctxflow pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  "ensure ...Context variants thread their context and background contexts only appear in conventional wrappers",
+	Run:  run,
+}
+
+// servicePath is the request-serving package where background contexts are
+// never acceptable.
+const servicePath = "memstream/internal/service"
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if analysisutil.Vendored(pass) {
+		return nil, nil
+	}
+	isMain := pass.Pkg.Name() == "main"
+	for _, file := range pass.Files {
+		if analysisutil.TestFile(pass, file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if strings.HasSuffix(fn.Name.Name, "Context") && fn.Name.IsExported() {
+				checkContextVariant(pass, fn)
+			}
+			if !isMain {
+				checkBackgroundUse(pass, fn)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// checkContextVariant verifies that a ...Context function actually threads
+// the context it was given.
+func checkContextVariant(pass *analysis.Pass, fn *ast.FuncDecl) {
+	param := contextParam(pass, fn)
+	if param == nil {
+		return // no context parameter: the suffix is a coincidence
+	}
+	if param.Name() == "_" || !identUsed(pass, fn.Body, param) {
+		pass.Reportf(fn.Name.Pos(), "%s takes a context.Context but never uses it; thread it into the calls it makes", fn.Name.Name)
+	}
+}
+
+// contextParam returns the first parameter of type context.Context, if any.
+func contextParam(pass *analysis.Pass, fn *ast.FuncDecl) *types.Var {
+	obj := pass.TypesInfo.ObjectOf(fn.Name)
+	if obj == nil {
+		return nil
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		p := sig.Params().At(i)
+		if named, ok := types.Unalias(p.Type()).(*types.Named); ok {
+			o := named.Obj()
+			if o.Pkg() != nil && o.Pkg().Path() == "context" && o.Name() == "Context" {
+				return p
+			}
+		}
+	}
+	return nil
+}
+
+func identUsed(pass *analysis.Pass, body *ast.BlockStmt, v *types.Var) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == v {
+			used = true
+		}
+		return !used
+	})
+	return used
+}
+
+// checkBackgroundUse reports context.Background/TODO calls outside the
+// conventional wrapper position.
+func checkBackgroundUse(pass *analysis.Pass, fn *ast.FuncDecl) {
+	inService := pass.Pkg.Path() == servicePath
+	wrapper := delegatesToContextVariant(pass, fn)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := ""
+		switch {
+		case analysisutil.IsPkgCall(pass.TypesInfo, call, "context", "Background"):
+			name = "context.Background"
+		case analysisutil.IsPkgCall(pass.TypesInfo, call, "context", "TODO"):
+			name = "context.TODO"
+		default:
+			return true
+		}
+		switch {
+		case inService:
+			pass.Reportf(call.Pos(), "%s in internal/service drops the request context; thread the handler's context instead", name)
+		case strings.HasSuffix(fn.Name.Name, "Context"):
+			pass.Reportf(call.Pos(), "%s inside the ...Context variant %s discards the caller's context", name, fn.Name.Name)
+		case !wrapper:
+			pass.Reportf(call.Pos(), "%s buried in %s; accept a context (add a %sContext variant and delegate to it)", name, fn.Name.Name, fn.Name.Name)
+		}
+		return true
+	})
+}
+
+// delegatesToContextVariant reports whether fn calls its own same-package
+// Context twin (Explore calling ExploreContext), the one position where a
+// background context is the documented convention.
+func delegatesToContextVariant(pass *analysis.Pass, fn *ast.FuncDecl) bool {
+	want := fn.Name.Name + "Context"
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		var calleeName string
+		var obj types.Object
+		switch f := call.Fun.(type) {
+		case *ast.Ident:
+			calleeName, obj = f.Name, pass.TypesInfo.Uses[f]
+		case *ast.SelectorExpr:
+			calleeName, obj = f.Sel.Name, pass.TypesInfo.Uses[f.Sel]
+		}
+		if calleeName == want && obj != nil && obj.Pkg() == pass.Pkg {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

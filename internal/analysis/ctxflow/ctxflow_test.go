@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"memstream/internal/analysis/analyzertest"
+	"memstream/internal/analysis/ctxflow"
+)
+
+func TestCtxFlow(t *testing.T) {
+	analyzertest.Run(t, "testdata", ctxflow.Analyzer, "a", "memstream/internal/service")
+}

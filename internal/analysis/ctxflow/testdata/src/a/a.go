@@ -1,0 +1,33 @@
+// Package a exercises the ctxflow analyzer's wrapper convention: Context
+// variants must thread their context, and background contexts may only
+// originate in the plain-named wrapper that delegates to the variant.
+package a
+
+import "context"
+
+func compute(ctx context.Context, n int) int {
+	_ = ctx
+	return n
+}
+
+// SweepContext threads its context — the sanctioned shape.
+func SweepContext(ctx context.Context, n int) int {
+	return compute(ctx, n)
+}
+
+// Sweep is the conventional wrapper: background context, immediate
+// delegation to its own Context twin.
+func Sweep(n int) int {
+	return SweepContext(context.Background(), n)
+}
+
+// DeadContext takes a context it never threads anywhere.
+func DeadContext(ctx context.Context, n int) int { // want `DeadContext takes a context\.Context but never uses it`
+	return compute(context.Background(), n) // want `context\.Background inside the \.\.\.Context variant DeadContext`
+}
+
+// Buried hides a background context with no Context variant to delegate to —
+// the BreakEvenTable class.
+func Buried(n int) int {
+	return compute(context.Background(), n) // want `context\.Background buried in Buried`
+}

@@ -1,0 +1,25 @@
+// Package service is a fixture standing in for memstream/internal/service
+// (the analyzer scopes on the import path): nothing in the request-serving
+// layer may replace the request context with a background one.
+package service
+
+import "context"
+
+type request struct{ ctx context.Context }
+
+func (r request) Context() context.Context { return r.ctx }
+
+func dimension(ctx context.Context) error {
+	_ = ctx
+	return nil
+}
+
+// handle drops the request context — the violation class.
+func handle(r request) error {
+	return dimension(context.Background()) // want `context\.Background in internal/service drops the request context`
+}
+
+// handleGood threads the request context.
+func handleGood(r request) error {
+	return dimension(r.Context())
+}

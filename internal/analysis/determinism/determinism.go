@@ -1,0 +1,184 @@
+// Package determinism defines an analyzer that guards the byte-identical
+// reproducibility contract of the simulation core: internal/parallel promises
+// results identical to a sequential run, and the engine, sim and explore
+// packages (plus the figure generators) promise the same output for the same
+// seed on every run.
+//
+// In the determinism-critical packages the analyzer reports:
+//
+//   - calls to time.Now: wall-clock reads make output depend on when the run
+//     happened. Simulated time lives in units.Duration values; wall-clock
+//     time belongs to callers (CLIs, the service layer), not the engines.
+//
+//   - use of the global (unseeded) math/rand or math/rand/v2 generators
+//     (rand.Intn, rand.Float64, rand.Shuffle, ...): all randomness must flow
+//     from an explicit caller-provided seed. Constructing a seeded generator
+//     (rand.New, rand.NewSource, rand.NewPCG, rand.NewChaCha8) is allowed.
+//
+//   - range statements over maps whose body writes state that outlives the
+//     loop (appends, indexed/field assignment, channel sends, output calls):
+//     Go randomizes map iteration order, so such loops must iterate a sorted
+//     or fixed key order instead.
+package determinism
+
+import (
+	"go/ast"
+	"go/types"
+
+	"memstream/internal/analysis/analysisutil"
+	"memstream/internal/xtools/go/analysis"
+)
+
+// Analyzer is the determinism pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc:  "forbid wall-clock reads, unseeded randomness and order-dependent map iteration in determinism-critical packages",
+	Run:  run,
+}
+
+// criticalPackages are the packages whose output must be bit-identical run
+// to run (the engine and its callers up to the parallel fan-out).
+var criticalPackages = map[string]bool{
+	"memstream/internal/engine":   true,
+	"memstream/internal/sim":      true,
+	"memstream/internal/parallel": true,
+	"memstream/internal/explore":  true,
+}
+
+// criticalRootFiles are files of the root package under the same contract
+// (the figure generators promise identical figures at any worker count).
+var criticalRootFiles = map[string]bool{
+	"figures.go": true,
+}
+
+// seededConstructors are the math/rand functions that build an explicitly
+// seeded generator and are therefore allowed.
+var seededConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewPCG": true, "NewChaCha8": true, "NewZipf": true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	critical := criticalPackages[pass.Pkg.Path()]
+	root := pass.Pkg.Path() == "memstream"
+	if !critical && !root {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		if analysisutil.TestFile(pass, file.Pos()) {
+			continue
+		}
+		if root && !criticalRootFiles[baseName(pass, file)] {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.RangeStmt:
+				checkMapRange(pass, n)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func baseName(pass *analysis.Pass, file *ast.File) string {
+	f := pass.Fset.File(file.Pos())
+	if f == nil {
+		return ""
+	}
+	name := f.Name()
+	for i := len(name) - 1; i >= 0; i-- {
+		if name[i] == '/' || name[i] == '\\' {
+			return name[i+1:]
+		}
+	}
+	return name
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	if analysisutil.IsPkgCall(pass.TypesInfo, call, "time", "Now") {
+		pass.Reportf(call.Pos(), "time.Now in a determinism-critical package makes output depend on wall-clock time; thread simulated time or take it from the caller")
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return
+	}
+	if path := obj.Pkg().Path(); path == "math/rand" || path == "math/rand/v2" {
+		// Only package-level functions reach through the global generator;
+		// methods on a *rand.Rand built from a caller seed are fine.
+		if _, isFunc := obj.(*types.Func); isFunc && obj.Parent() == obj.Pkg().Scope() && !seededConstructors[obj.Name()] {
+			pass.Reportf(call.Pos(), "%s.%s uses the global random generator; all randomness here must flow from an explicit caller-provided seed", path, obj.Name())
+		}
+	}
+}
+
+// checkMapRange reports map iterations whose body writes state that outlives
+// the loop.
+func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt) {
+	t := pass.TypesInfo.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := types.Unalias(t.Underlying()).(*types.Map); !ok {
+		return
+	}
+	if !writesOutsideLoop(pass, rng) {
+		return
+	}
+	pass.Reportf(rng.For, "ranging over a map writes state in Go's randomized iteration order; iterate a sorted or fixed key order instead")
+}
+
+// writesOutsideLoop reports whether the loop body appends, assigns through an
+// index/field/pointer, sends on a channel, or calls an output function —
+// anything whose effect is visible after the loop and therefore ordered.
+func writesOutsideLoop(pass *analysis.Pass, rng *ast.RangeStmt) bool {
+	declaredInBody := func(id *ast.Ident) bool {
+		obj := pass.TypesInfo.ObjectOf(id)
+		return obj != nil && obj.Pos() >= rng.Body.Pos() && obj.Pos() <= rng.Body.End()
+	}
+	found := false
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			found = true
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "append" {
+				if _, isBuiltin := pass.TypesInfo.ObjectOf(id).(*types.Builtin); isBuiltin {
+					found = true
+				}
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if obj := pass.TypesInfo.Uses[sel.Sel]; obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+					found = true // Print/Fprint/Sprint family: ordered output
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				switch lhs := lhs.(type) {
+				case *ast.IndexExpr, *ast.SelectorExpr, *ast.StarExpr:
+					found = true
+				case *ast.Ident:
+					if lhs.Name != "_" && !declaredInBody(lhs) {
+						found = true
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if id, ok := n.X.(*ast.Ident); !ok || !declaredInBody(id) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

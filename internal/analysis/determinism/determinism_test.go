@@ -1,0 +1,12 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"memstream/internal/analysis/analyzertest"
+	"memstream/internal/analysis/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	analyzertest.Run(t, "testdata", determinism.Analyzer, "memstream/internal/engine")
+}

@@ -1,0 +1,47 @@
+// Package engine is a fixture standing in for memstream/internal/engine (the
+// analyzer scopes on the import path): each want line is a violation class
+// the determinism contract forbids in the simulation core.
+package engine
+
+import (
+	"math/rand"
+	"time"
+)
+
+// wallClock reproduces the forbidden wall-clock read.
+func wallClock() float64 {
+	start := time.Now() // want `time\.Now in a determinism-critical package`
+	return float64(start.Unix())
+}
+
+// globalRand reproduces use of the unseeded global generator.
+func globalRand() int {
+	return rand.Intn(10) // want `math/rand\.Intn uses the global random generator`
+}
+
+// seededRand shows the sanctioned form: an explicit caller-provided seed.
+func seededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// mapOrder reproduces the internal/explore class: map iteration writing
+// state the caller observes, in Go's randomized order.
+func mapOrder(counts map[string]int) []string {
+	var keys []string
+	for k := range counts { // want `ranging over a map writes state in Go's randomized iteration order`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// mapScratch only writes loop-local state, which no ordering can leak.
+func mapScratch(counts map[string]int) bool {
+	for _, n := range counts {
+		half := n / 2
+		if half > 10 {
+			return true
+		}
+	}
+	return false
+}

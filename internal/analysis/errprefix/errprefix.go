@@ -1,0 +1,224 @@
+// Package errprefix defines an analyzer that enforces the public error
+// convention of the root memstream package: every error escaping an exported
+// function or method carries the "memstream: " prefix, so callers of the
+// public API can always attribute a failure to this module. PRs 1-4 audited
+// the convention by hand; this pass makes the audit mechanical.
+//
+// At every return site of an exported root-package function whose last result
+// is an error, the returned error expression must be one of:
+//
+//   - nil;
+//   - fmt.Errorf or errors.New whose literal starts with "memstream: ";
+//   - a call to a function or method of the root package itself (which is in
+//     turn checked at its own return sites, so delegation — including the
+//     wrapErr helper — is trusted);
+//   - an identifier whose assignments in the function all come from the
+//     sources above.
+//
+// Returning an error obtained from an internal package (or any other module)
+// without wrapping is reported.
+package errprefix
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"memstream/internal/analysis/analysisutil"
+	"memstream/internal/xtools/go/analysis"
+)
+
+// Analyzer is the errprefix pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "errprefix",
+	Doc:  "require the memstream: prefix on every error returned by exported functions of the root package",
+	Run:  run,
+}
+
+// rootPackage is the package whose public API the convention covers.
+const rootPackage = "memstream"
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if pass.Pkg.Path() != rootPackage {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		if analysisutil.TestFile(pass, file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if !exportedAPI(fn) {
+				continue
+			}
+			if !lastResultIsError(pass, fn) {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil, nil
+}
+
+// exportedAPI reports whether fn is part of the public surface: an exported
+// top-level function, or an exported method on an exported receiver type.
+func exportedAPI(fn *ast.FuncDecl) bool {
+	if !fn.Name.IsExported() {
+		return false
+	}
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return true
+	}
+	t := fn.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		t = idx.X
+	}
+	id, ok := t.(*ast.Ident)
+	return ok && id.IsExported()
+}
+
+func lastResultIsError(pass *analysis.Pass, fn *ast.FuncDecl) bool {
+	sig, ok := pass.TypesInfo.ObjectOf(fn.Name).Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	return types.Identical(last, types.Universe.Lookup("error").Type())
+}
+
+// checkFunc inspects the return statements belonging to fn itself (not to
+// nested function literals, whose returns leave the closure instead).
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			checkReturn(pass, fn, n)
+		}
+		return true
+	}
+	ast.Inspect(fn.Body, walk)
+}
+
+func checkReturn(pass *analysis.Pass, fn *ast.FuncDecl, ret *ast.ReturnStmt) {
+	if len(ret.Results) == 0 {
+		return // naked return of named results: out of the convention's reach
+	}
+	errExpr := ret.Results[len(ret.Results)-1]
+	if len(ret.Results) == 1 {
+		if call, ok := errExpr.(*ast.CallExpr); ok {
+			// A single call expression may return the whole result tuple;
+			// classification of the call covers the error it produces.
+			if verdict := classifyCall(pass, call); verdict != "" {
+				pass.Reportf(ret.Pos(), "%s returns %s", fn.Name.Name, verdict)
+			}
+			return
+		}
+	}
+	checkErrExpr(pass, fn, errExpr)
+}
+
+func checkErrExpr(pass *analysis.Pass, fn *ast.FuncDecl, e ast.Expr) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if e.Name == "nil" {
+			return
+		}
+		checkIdentSources(pass, fn, e)
+	case *ast.CallExpr:
+		if verdict := classifyCall(pass, e); verdict != "" {
+			pass.Reportf(e.Pos(), "%s returns %s", fn.Name.Name, verdict)
+		}
+	}
+	// Other shapes (selectors, struct fields) are beyond static reach.
+}
+
+// checkIdentSources verifies every assignment to id within fn against the
+// allowed error sources.
+func checkIdentSources(pass *analysis.Pass, fn *ast.FuncDecl, id *ast.Ident) {
+	target := pass.TypesInfo.ObjectOf(id)
+	if target == nil {
+		return
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range assign.Lhs {
+			lid, ok := lhs.(*ast.Ident)
+			if !ok || pass.TypesInfo.ObjectOf(lid) != target {
+				continue
+			}
+			var rhs ast.Expr
+			if len(assign.Rhs) == len(assign.Lhs) {
+				rhs = assign.Rhs[i]
+			} else if len(assign.Rhs) == 1 {
+				rhs = assign.Rhs[0] // multi-value call: classify the call
+			}
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok {
+				continue // nil, zero values, plain identifiers
+			}
+			if verdict := classifyCall(pass, call); verdict != "" {
+				pass.Reportf(id.Pos(), "%s returns %q assigned from %s", fn.Name.Name, id.Name, verdict)
+			}
+		}
+		return true
+	})
+}
+
+// classifyCall returns an empty string when the call is an allowed error
+// source, or a description of the violation otherwise.
+func classifyCall(pass *analysis.Pass, call *ast.CallExpr) string {
+	// fmt.Errorf / errors.New with a prefixed literal.
+	if analysisutil.IsPkgCall(pass.TypesInfo, call, "fmt", "Errorf") ||
+		analysisutil.IsPkgCall(pass.TypesInfo, call, "errors", "New") {
+		if len(call.Args) > 0 {
+			if lit, ok := call.Args[0].(*ast.BasicLit); ok {
+				if s, err := strconv.Unquote(lit.Value); err == nil && strings.HasPrefix(s, "memstream: ") {
+					return ""
+				}
+			}
+		}
+		return "an error built without the \"memstream: \" prefix"
+	}
+	callee := calleeObject(pass, call)
+	if callee == nil {
+		return "" // conversions, builtins, indirect calls: out of reach
+	}
+	if callee.Pkg() == nil {
+		return "" // builtins such as append
+	}
+	if callee.Pkg() == pass.Pkg {
+		return "" // delegation within the root package is checked at its own returns
+	}
+	return "an error from " + callee.Pkg().Path() + " without the \"memstream: \" prefix"
+}
+
+func calleeObject(pass *analysis.Pass, call *ast.CallExpr) types.Object {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if obj := pass.TypesInfo.Uses[fun]; obj != nil {
+			if _, ok := obj.(*types.Func); ok {
+				return obj
+			}
+		}
+	case *ast.SelectorExpr:
+		if obj := pass.TypesInfo.Uses[fun.Sel]; obj != nil {
+			if _, ok := obj.(*types.Func); ok {
+				return obj
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package errprefix_test
+
+import (
+	"testing"
+
+	"memstream/internal/analysis/analyzertest"
+	"memstream/internal/analysis/errprefix"
+)
+
+func TestErrPrefix(t *testing.T) {
+	analyzertest.Run(t, "testdata", errprefix.Analyzer, "memstream")
+}

@@ -1,0 +1,68 @@
+// Package memstream is a fixture standing in for the real root package (the
+// errprefix analyzer scopes on the package path): every exported function
+// returning an error must hand callers a "memstream: "-prefixed error.
+package memstream
+
+import (
+	"errors"
+	"fmt"
+
+	"memstream/internal/explore"
+)
+
+// BadDelegate returns an internal error tuple unwrapped — the memstream.New
+// class of violation.
+func BadDelegate() error {
+	return explore.Run() // want `BadDelegate returns an error from memstream/internal/explore`
+}
+
+// BadIdent stores an internal error and later returns it raw — the
+// GenerateFigure2Context class.
+func BadIdent() (int, error) {
+	n, err := explore.Sweep()
+	if err != nil {
+		return 0, err // want `BadIdent returns "err" assigned from an error from memstream/internal/explore`
+	}
+	return n, nil
+}
+
+// BadLiteral builds a fresh error without the prefix.
+func BadLiteral() error {
+	return errors.New("no rates supplied") // want `BadLiteral returns an error built without the "memstream: " prefix`
+}
+
+// Good wraps at the boundary.
+func Good() error {
+	if err := explore.Run(); err != nil {
+		return fmt.Errorf("memstream: %w", err)
+	}
+	return nil
+}
+
+// GoodLiteral carries the prefix from birth.
+func GoodLiteral() error {
+	return errors.New("memstream: no rates supplied")
+}
+
+// GoodDelegate trusts a same-package function, which is checked at its own
+// return sites.
+func GoodDelegate() error {
+	return Good()
+}
+
+// GoodHelper routes through the same-package wrap helper.
+func GoodHelper() error {
+	return wrapErr(explore.Run())
+}
+
+// unexported functions are outside the public contract.
+func internalRaw() error {
+	return explore.Run()
+}
+
+func wrapErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("memstream: %w", err)
+}

@@ -1,0 +1,11 @@
+// Package explore is a fixture stub of an internal engine package whose
+// errors must not escape the public API unwrapped.
+package explore
+
+import "errors"
+
+// Run always fails with an internal-convention error.
+func Run() error { return errors.New("explore: boom") }
+
+// Sweep returns a value and an internal error.
+func Sweep() (int, error) { return 0, errors.New("explore: boom") }

@@ -1,0 +1,58 @@
+// Package a exercises the unitsafety analyzer: each "want" line reproduces a
+// violation class that existed in the memstream tree (raw config-scalar
+// conversions, computed-duration constructions, decimal magic factors) and
+// the unflagged lines show the named-method forms that replace them.
+package a
+
+import (
+	"math"
+
+	"memstream/internal/units"
+)
+
+func construction(kbpsScalar float64, transfer units.Duration, ratio float64) {
+	// The config-decoding class: a raw scalar converted straight into a
+	// quantity type (the old internal/config idiom).
+	_ = units.BitRate(kbpsScalar) * units.Kbps // want `constructing units\.BitRate from a computed expression`
+
+	// The computed-period class from internal/energy.
+	_ = units.Duration(transfer.Seconds() * ratio) // want `constructing units\.Duration from a computed expression`
+
+	// Fixed forms: the unit constant names the base unit at the call site.
+	_ = units.Kbps.Scale(kbpsScalar)
+	_ = transfer.Scale(ratio)
+
+	// Constants and the infinity sentinel stay legal.
+	_ = units.Duration(3)
+	_ = units.Duration(math.Inf(1))
+	_ = 5 * units.Minute
+}
+
+func crossUnit(rate units.BitRate, dur units.Duration) {
+	_ = units.Size(dur) // want `conversion from units\.Duration to units\.Size crosses a unit boundary`
+
+	// Raw float arithmetic across a unit boundary: both unwrappings flagged.
+	_ = float64(rate) * float64(dur) // want `conversion of units\.BitRate to float64` `conversion of units\.Duration to float64`
+
+	// The named cross-unit method is the sanctioned spelling.
+	_ = rate.Times(dur)
+}
+
+func sameType(capacity, block units.Size) {
+	_ = capacity * block // want `multiplying two units\.Size values`
+
+	// Scaling by a dimensionless factor is fine.
+	_ = capacity.Scale(2)
+	_ = capacity.DivideBy(block)
+}
+
+func magic(size units.Size, rate units.BitRate) {
+	// The figures.go class: Bytes()/1e6 where MBytes() exists.
+	_ = size.Bytes() / 1e6 // want `magic conversion factor 1e\+06`
+
+	_ = rate.Kilobits() * 1000 // want `magic conversion factor 1000`
+
+	// Named accessors replace the factors.
+	_ = size.MBytes()
+	_ = size.Bytes() / 2 // an honest halving is not a unit conversion
+}

@@ -1,0 +1,46 @@
+// Package units is a fixture stub of memstream/internal/units: just enough
+// of the quantity types for the unitsafety fixtures to type-check. The
+// analyzer matches on the import path, so the stub stands in for the real
+// package inside the testdata GOPATH.
+package units
+
+type Size float64
+
+const (
+	Bit  Size = 1
+	Byte Size = 8 * Bit
+	KiB  Size = 1024 * Byte
+	MB   Size = 8000 * 1000
+)
+
+func (s Size) Bytes() float64          { return float64(s) / 8 }
+func (s Size) MBytes() float64         { return float64(s / MB) }
+func (s Size) Scale(f float64) Size    { return Size(float64(s) * f) }
+func (s Size) DivideBy(o Size) float64 { return float64(s) / float64(o) }
+
+type BitRate float64
+
+const (
+	BitPerSecond BitRate = 1
+	Kbps         BitRate = 1000 * BitPerSecond
+)
+
+func (r BitRate) Kilobits() float64       { return float64(r / Kbps) }
+func (r BitRate) Times(d Duration) Size   { return Size(float64(r) * float64(d)) }
+func (r BitRate) Scale(f float64) BitRate { return BitRate(float64(r) * f) }
+
+type Duration float64
+
+const (
+	Second Duration = 1
+	Minute Duration = 60 * Second
+)
+
+func (d Duration) Seconds() float64         { return float64(d) }
+func (d Duration) Scale(f float64) Duration { return Duration(float64(d) * f) }
+
+type Power float64
+
+type Energy float64
+
+type EnergyPerBit float64

@@ -1,0 +1,184 @@
+// Package unitsafety defines an analyzer that enforces the unit-safety
+// convention of memstream/internal/units: arithmetic that crosses a physical
+// unit boundary must go through the named methods of the quantity types
+// (BitRate.Times, Size.DivideBy, Duration.Scale, ...) rather than raw
+// float64 arithmetic, raw conversions, or magic numeric factors.
+//
+// Outside internal/units itself (and outside _test.go files, which build raw
+// quantities freely), the analyzer reports:
+//
+//   - conversions of a computed expression into a quantity type, such as
+//     units.Duration(transfer.Seconds()*rm/rs). Constant conversions like
+//     units.Duration(5) and the infinity sentinel units.Duration(math.Inf(1))
+//     are allowed; everything else must use a named method (for example
+//     units.Second.Scale(x), rate.TimeFor(size)) so the call site names the
+//     base unit it is converting from.
+//
+//   - conversions of a quantity back to a plain number, such as
+//     float64(rate): the named accessors (Bits, Seconds, Watts, ...) exist
+//     precisely so the unit is visible where the number escapes.
+//
+//   - products of two values of the same quantity type, such as
+//     capacity*blockSize: a Size times a Size is not a Size, so one factor
+//     was almost certainly meant to be dimensionless (use Scale).
+//
+//   - magic decimal/binary factors (1000, 1024, 1e6, 1e9, ...) multiplied or
+//     divided into a named accessor's result, such as size.Bytes()/1e6 where
+//     the named accessor (MBytes) or constant (units.MB) exists.
+package unitsafety
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"memstream/internal/analysis/analysisutil"
+	"memstream/internal/xtools/go/analysis"
+)
+
+// Analyzer is the unitsafety pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "unitsafety",
+	Doc:  "flag raw arithmetic and conversions that cross memstream/internal/units type boundaries",
+	Run:  run,
+}
+
+// magicFactors are the conversion constants that always have a named unit
+// constant or accessor: decimal SI steps and binary byte multiples.
+var magicFactors = []float64{1e3, 1e6, 1e9, 1e-3, 1e-6, 1e-9, 1024, 1 << 20, 1 << 30}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if pass.Pkg.Path() == analysisutil.UnitsPath || analysisutil.Vendored(pass) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		if analysisutil.TestFile(pass, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkConversion(pass, n)
+			case *ast.BinaryExpr:
+				checkSameTypeProduct(pass, n)
+				checkMagicFactor(pass, n)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkConversion reports quantity conversions from computed expressions and
+// conversions of quantities back to plain numbers.
+func checkConversion(pass *analysis.Pass, call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return // a real call, not a conversion
+	}
+	arg := call.Args[0]
+	argType := pass.TypesInfo.TypeOf(arg)
+	if argType == nil {
+		return
+	}
+	if name, ok := analysisutil.UnitType(tv.Type); ok {
+		if analysisutil.ConstantExpr(pass.TypesInfo, arg) {
+			return // units.Duration(5): the constant is part of the declaration
+		}
+		if inner, ok := arg.(*ast.CallExpr); ok && analysisutil.IsPkgCall(pass.TypesInfo, inner, "math", "Inf") {
+			return // the infinity sentinel has no named constructor
+		}
+		if argName, ok := analysisutil.UnitType(argType); ok {
+			pass.Reportf(call.Pos(), "conversion from units.%s to units.%s crosses a unit boundary; use a named cross-unit method", argName, name)
+			return
+		}
+		pass.Reportf(call.Pos(), "constructing units.%s from a computed expression hides its base unit; use a named method such as a unit constant's Scale", name)
+		return
+	}
+	// Conversion of a quantity to a plain numeric type.
+	if basic, ok := types.Unalias(tv.Type).(*types.Basic); ok && basic.Info()&types.IsNumeric != 0 {
+		if name, ok := analysisutil.UnitType(argType); ok && !analysisutil.ConstantExpr(pass.TypesInfo, arg) {
+			pass.Reportf(call.Pos(), "conversion of units.%s to %s discards its unit; use the named accessor", name, basic.Name())
+		}
+	}
+}
+
+// checkSameTypeProduct reports x*y where both operands are the same quantity
+// type and neither is a constant: the product is not of that type.
+func checkSameTypeProduct(pass *analysis.Pass, bin *ast.BinaryExpr) {
+	if bin.Op != token.MUL {
+		return
+	}
+	xn, xok := analysisutil.UnitType(pass.TypesInfo.TypeOf(bin.X))
+	yn, yok := analysisutil.UnitType(pass.TypesInfo.TypeOf(bin.Y))
+	if !xok || !yok || xn != yn {
+		return
+	}
+	if analysisutil.ConstantExpr(pass.TypesInfo, bin.X) || analysisutil.ConstantExpr(pass.TypesInfo, bin.Y) {
+		return // scaling by a typed unit constant, e.g. 5 * units.Minute
+	}
+	pass.Reportf(bin.OpPos, "multiplying two units.%s values does not yield a units.%s; use Scale for dimensionless factors or a named cross-unit method", xn, xn)
+}
+
+// checkMagicFactor reports named-accessor results multiplied or divided by a
+// bare decimal/binary conversion factor.
+func checkMagicFactor(pass *analysis.Pass, bin *ast.BinaryExpr) {
+	if bin.Op != token.MUL && bin.Op != token.QUO {
+		return
+	}
+	var factor float64
+	var other ast.Expr
+	if f, ok := magicConstant(pass.TypesInfo, bin.Y); ok {
+		factor, other = f, bin.X
+	} else if f, ok := magicConstant(pass.TypesInfo, bin.X); ok && bin.Op == token.MUL {
+		factor, other = f, bin.Y
+	} else {
+		return
+	}
+	if !derivesFromAccessor(pass.TypesInfo, other) {
+		return
+	}
+	pass.Reportf(bin.OpPos, "magic conversion factor %g applied to a units accessor result; use the named unit constant or accessor instead", factor)
+}
+
+// magicConstant reports whether e is a constant equal to one of the
+// conversion factors that have named unit counterparts.
+func magicConstant(info *types.Info, e ast.Expr) (float64, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() == constant.Unknown {
+		return 0, false
+	}
+	f, _ := constant.Float64Val(constant.ToFloat(tv.Value))
+	for _, m := range magicFactors {
+		if f == m {
+			return f, true
+		}
+	}
+	return 0, false
+}
+
+// derivesFromAccessor reports whether e contains a method call on a quantity
+// type (an accessor such as size.Bytes() or rate.Kilobits()).
+func derivesFromAccessor(info *types.Info, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if recv := info.TypeOf(sel.X); recv != nil {
+				if _, ok := analysisutil.UnitType(recv); ok {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}

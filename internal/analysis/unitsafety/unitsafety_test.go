@@ -1,0 +1,12 @@
+package unitsafety_test
+
+import (
+	"testing"
+
+	"memstream/internal/analysis/analyzertest"
+	"memstream/internal/analysis/unitsafety"
+)
+
+func TestUnitSafety(t *testing.T) {
+	analyzertest.Run(t, "testdata", unitsafety.Analyzer, "a")
+}

@@ -120,16 +120,16 @@ func (s Study) MEMS() device.MEMS {
 		ActiveProbes:         d.ActiveProbes,
 		ProbeFieldWidth:      d.ProbeFieldMicrons * 1e-6,
 		ProbeFieldHeight:     d.ProbeFieldMicrons * 1e-6,
-		Capacity:             units.Size(d.CapacityGB) * units.GB,
-		PerProbeRate:         units.BitRate(d.PerProbeRateKbps) * units.Kbps,
-		SeekTime:             units.Duration(d.SeekTimeMs) * units.Millisecond,
-		ShutdownTime:         units.Duration(d.ShutdownTimeMs) * units.Millisecond,
-		IOOverheadTime:       units.Duration(d.IOOverheadMs) * units.Millisecond,
-		ReadWritePower:       units.Power(d.ReadWritePowerMW) * units.Milliwatt,
-		SeekPower:            units.Power(d.SeekPowerMW) * units.Milliwatt,
-		StandbyPower:         units.Power(d.StandbyPowerMW) * units.Milliwatt,
-		IdlePower:            units.Power(d.IdlePowerMW) * units.Milliwatt,
-		ShutdownPower:        units.Power(d.ShutdownPowerMW) * units.Milliwatt,
+		Capacity:             units.GB.Scale(d.CapacityGB),
+		PerProbeRate:         units.Kbps.Scale(d.PerProbeRateKbps),
+		SeekTime:             units.Millisecond.Scale(d.SeekTimeMs),
+		ShutdownTime:         units.Millisecond.Scale(d.ShutdownTimeMs),
+		IOOverheadTime:       units.Millisecond.Scale(d.IOOverheadMs),
+		ReadWritePower:       units.Milliwatt.Scale(d.ReadWritePowerMW),
+		SeekPower:            units.Milliwatt.Scale(d.SeekPowerMW),
+		StandbyPower:         units.Milliwatt.Scale(d.StandbyPowerMW),
+		IdlePower:            units.Milliwatt.Scale(d.IdlePowerMW),
+		ShutdownPower:        units.Milliwatt.Scale(d.ShutdownPowerMW),
 		ProbeWriteCycles:     d.ProbeWriteCycles,
 		SpringDutyCycles:     d.SpringDutyCycles,
 		SyncBitsPerSubsector: d.SyncBitsPerSubsector,
@@ -149,13 +149,13 @@ func (s Study) Lifetime() lifetime.Workload {
 
 // StreamRate returns the workload's nominal streaming rate.
 func (s Study) StreamRate() units.BitRate {
-	return units.BitRate(s.Workload.StreamRateKbps) * units.Kbps
+	return units.Kbps.Scale(s.Workload.StreamRateKbps)
 }
 
 // Rates returns the studied rate range as (min, max, points).
 func (s Study) Rates() (units.BitRate, units.BitRate, int) {
-	return units.BitRate(s.RateRange.MinKbps) * units.Kbps,
-		units.BitRate(s.RateRange.MaxKbps) * units.Kbps,
+	return units.Kbps.Scale(s.RateRange.MinKbps),
+		units.Kbps.Scale(s.RateRange.MaxKbps),
 		s.RateRange.Points
 }
 

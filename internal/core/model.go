@@ -339,16 +339,16 @@ func (m *Model) BufferForEnergySaving(target float64) (Requirement, error) {
 		hi = m.energySearchCeiling().Bits()
 	}
 	pred := func(bBits float64) bool {
-		s, serr := m.energyModel.Saving(units.Size(bBits))
+		s, serr := m.energyModel.Saving(units.Bit.Scale(bBits))
 		return serr == nil && s >= target
 	}
 	bBits, err := solve.MinimumWhere(pred, lo, hi, 1e-9)
 	if err != nil {
 		req.Feasible = false
-		req.Reason = fmt.Sprintf("no buffer up to %v reaches a %.1f%% saving", units.Size(hi), 100*target)
+		req.Reason = fmt.Sprintf("no buffer up to %v reaches a %.1f%% saving", units.Bit.Scale(hi), 100*target)
 		return req, nil
 	}
-	req.Buffer = units.Size(bBits)
+	req.Buffer = units.Bit.Scale(bBits)
 	req.Feasible = true
 	return req, nil
 }

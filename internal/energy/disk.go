@@ -63,7 +63,7 @@ func (m DiskModel) MinimumBuffer() units.Size {
 	if numerator <= 0 {
 		return units.Size(math.Inf(1))
 	}
-	return units.Size(toh * (rm - rs) * rs / numerator)
+	return units.Bit.Scale(toh * (rm - rs) * rs / numerator)
 }
 
 // PerBit returns the per-bit energy of the shutdown (spin-down) architecture
@@ -79,7 +79,7 @@ func (m DiskModel) PerBit(b units.Size) (Breakdown, error) {
 	rm := m.Disk.MediaRate
 	rs := m.StreamRate
 	transfer := rm.Sub(rs).TimeFor(b)
-	period := units.Duration(transfer.Seconds() * rm.BitsPerSecond() / rs.BitsPerSecond())
+	period := transfer.Scale(rm.BitsPerSecond() / rs.BitsPerSecond())
 	overhead := m.Disk.OverheadTime().Add(m.Disk.SeekTime)
 	bestEffort := period.Scale(m.BestEffortFraction)
 
@@ -109,7 +109,7 @@ func (m DiskModel) AlwaysOnPerBit(b units.Size) (units.EnergyPerBit, error) {
 	rm := m.Disk.MediaRate
 	rs := m.StreamRate
 	transfer := rm.Sub(rs).TimeFor(b)
-	period := units.Duration(transfer.Seconds() * rm.BitsPerSecond() / rs.BitsPerSecond())
+	period := transfer.Scale(rm.BitsPerSecond() / rs.BitsPerSecond())
 	idle := m.Disk.IdlePower
 	total := m.Disk.ReadWritePower.Sub(idle).Times(transfer).Add(idle.Times(period))
 	return total.PerBit(b), nil

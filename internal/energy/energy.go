@@ -118,7 +118,7 @@ func (m Model) Cycle(b units.Size) (Cycle, error) {
 	net := rm.Sub(rs)
 
 	transfer := net.TimeFor(b)
-	period := units.Duration(transfer.Seconds() * rm.BitsPerSecond() / rs.BitsPerSecond())
+	period := transfer.Scale(rm.BitsPerSecond() / rs.BitsPerSecond())
 	overhead := m.Device.OverheadTime()
 	bestEffort := period.Scale(m.BestEffortFraction)
 	standby := period.Sub(transfer).Sub(overhead).Sub(bestEffort)
@@ -153,7 +153,7 @@ func (m Model) MinimumBuffer() units.Size {
 		return units.Size(math.Inf(1))
 	}
 	b := toh * (rm - rs) * rs / numerator
-	return units.Size(b)
+	return units.Bit.Scale(b)
 }
 
 // Breakdown is the per-bit energy of one refill cycle split by cause.
@@ -225,7 +225,7 @@ func (m Model) AlwaysOnPerBit(b units.Size) (units.EnergyPerBit, error) {
 	rm := m.Device.MediaRate()
 	rs := m.StreamRate
 	transfer := rm.Sub(rs).TimeFor(b)
-	period := units.Duration(transfer.Seconds() * rm.BitsPerSecond() / rs.BitsPerSecond())
+	period := transfer.Scale(rm.BitsPerSecond() / rs.BitsPerSecond())
 
 	dev := m.Device
 	idle := dev.IdlePower
@@ -276,14 +276,14 @@ func (m Model) MaxSaving() (saving float64, buffer units.Size, err error) {
 		return 0, 0, fmt.Errorf("%w: no admissible buffer size", ErrBufferTooSmall)
 	}
 	f := func(bBits float64) float64 {
-		s, serr := m.Saving(units.Size(bBits))
+		s, serr := m.Saving(units.Bit.Scale(bBits))
 		if serr != nil {
 			return math.Inf(-1)
 		}
 		return s
 	}
 	x, fx := solve.MaximizeUnimodal(f, lo, hi, 1e-7)
-	return fx, units.Size(x), nil
+	return fx, units.Bit.Scale(x), nil
 }
 
 // BreakEvenBuffer returns the buffer size at which shutting down over the
@@ -370,6 +370,6 @@ func BreakEvenBuffer(dev MechanicalDevice, rate units.BitRate) (units.Size, erro
 	if surplus < 0 {
 		surplus = 0
 	}
-	breakEvenTime := units.Duration(surplus.Joules() / gap.Watts())
+	breakEvenTime := surplus.TimeAt(gap)
 	return rate.Times(breakEvenTime), nil
 }

@@ -202,7 +202,7 @@ func (s *Stats) ProjectedSpringsLifetime(dev device.MEMS, cal workload.PlaybackC
 	if perYear <= 0 {
 		return units.Duration(math.Inf(1))
 	}
-	return units.Duration(dev.SpringDutyCycles / perYear * units.Year.Seconds())
+	return units.Year.Scale(dev.SpringDutyCycles / perYear)
 }
 
 // ProjectedProbesLifetime extrapolates the observed physical write volume to
@@ -217,7 +217,7 @@ func (s *Stats) ProjectedProbesLifetime(dev device.MEMS, cal workload.PlaybackCa
 		return units.Duration(math.Inf(1))
 	}
 	endurance := dev.Capacity.Scale(dev.ProbeWriteCycles)
-	return units.Duration(endurance.Bits() / writtenPerYear * units.Year.Seconds())
+	return units.Year.Scale(endurance.Bits() / writtenPerYear)
 }
 
 // Core is the accounting heart of one simulated device: it tracks simulated

@@ -65,7 +65,7 @@ func LogSpace(min, max units.BitRate, n int) ([]units.BitRate, error) {
 	logMax := math.Log(max.BitsPerSecond())
 	for i := 0; i < n; i++ {
 		f := float64(i) / float64(n-1)
-		out[i] = units.BitRate(math.Exp(logMin + f*(logMax-logMin)))
+		out[i] = units.BitPerSecond.Scale(math.Exp(logMin + f*(logMax-logMin)))
 	}
 	return out, nil
 }
@@ -194,7 +194,7 @@ func (s *Sweep) FeasibilityLimit() (units.BitRate, bool) {
 // rates it dominates. It quantifies the paper's core claim that capacity and
 // lifetime — not energy — dictate the buffer most of the time.
 func (s *Sweep) DominanceShare() map[core.Constraint]float64 {
-	counts := make(map[core.Constraint]int)
+	var counts [core.NumConstraints]int
 	feasible := 0
 	for _, p := range s.Points {
 		if !p.Dimensioning.Feasible {
@@ -203,12 +203,14 @@ func (s *Sweep) DominanceShare() map[core.Constraint]float64 {
 		feasible++
 		counts[p.Dimensioning.Dominant]++
 	}
-	out := make(map[core.Constraint]float64, len(counts))
+	out := make(map[core.Constraint]float64)
 	if feasible == 0 {
 		return out
 	}
 	for c, n := range counts {
-		out[c] = float64(n) / float64(feasible)
+		if n > 0 {
+			out[core.Constraint(c)] = float64(n) / float64(feasible)
+		}
 	}
 	return out
 }

@@ -102,11 +102,11 @@ func (l Layout) FormatSector(userBits units.Size) Sector {
 	sub := perProbe + float64(l.SyncBitsPerSubsector)
 	effective := float64(l.Probes) * sub
 	return Sector{
-		UserBits:      units.Size(su),
-		ECCBits:       units.Size(ecc),
-		SubsectorBits: units.Size(sub),
-		EffectiveBits: units.Size(effective),
-		SyncBits:      units.Size(float64(l.Probes * l.SyncBitsPerSubsector)),
+		UserBits:      units.Bit.Scale(su),
+		ECCBits:       units.Bit.Scale(ecc),
+		SubsectorBits: units.Bit.Scale(sub),
+		EffectiveBits: units.Bit.Scale(effective),
+		SyncBits:      units.Bit.Scale(float64(l.Probes * l.SyncBitsPerSubsector)),
 	}
 }
 
@@ -180,7 +180,7 @@ func (l Layout) MinUserBitsForUtilisation(target float64) (units.Size, error) {
 			lo = mid + 1
 		}
 	}
-	return units.Size(neededFor(hi)), nil
+	return units.Bit.Scale(neededFor(hi)), nil
 }
 
 // SyncBitsDuration returns the time window the synchronisation bits give the
@@ -190,5 +190,5 @@ func SyncBitsDuration(syncBits int, perProbeRate units.BitRate) units.Duration {
 	if !perProbeRate.Positive() {
 		return 0
 	}
-	return perProbeRate.TimeFor(units.Size(syncBits))
+	return perProbeRate.TimeFor(units.Bit.Scale(float64(syncBits)))
 }

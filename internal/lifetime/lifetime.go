@@ -53,7 +53,7 @@ func (w Workload) Validate() error {
 
 // StreamedSecondsPerYear returns T, the total seconds of streaming per year.
 func (w Workload) StreamedSecondsPerYear() units.Duration {
-	return units.Duration(w.HoursPerDay * 3600 * 365)
+	return units.Hour.Scale(w.HoursPerDay * 365)
 }
 
 // Model evaluates device lifetime for one device, formatting layout, workload
@@ -114,7 +114,7 @@ func (m Model) Springs(b units.Size) units.Duration {
 	if math.IsInf(refills, 1) || refills <= 0 {
 		return 0
 	}
-	return units.Duration(m.Device.SpringDutyCycles / refills * units.Year.Seconds())
+	return units.Year.Scale(m.Device.SpringDutyCycles / refills)
 }
 
 // Probes returns the probes lifetime in years for buffer size B (Eq. 6):
@@ -143,7 +143,7 @@ func (m Model) Probes(b units.Size) units.Duration {
 	// Total physical bits the tips can write before wearing out.
 	endurance := m.Device.Capacity.Scale(m.Device.ProbeWriteCycles)
 	years := endurance.DivideBy(physicalWrittenPerYear)
-	return units.Duration(years * units.Year.Seconds())
+	return units.Year.Scale(years)
 }
 
 // Combined returns the device lifetime min(Lsp, Lpb) for buffer size B.
@@ -215,7 +215,7 @@ func (m Model) MaxProbesLifetime() units.Duration {
 	inflation := 1 / m.Layout.MaxUtilisation()
 	physicalWrittenPerYear := writtenUserBits.Scale(inflation)
 	endurance := m.Device.Capacity.Scale(m.Device.ProbeWriteCycles)
-	return units.Duration(endurance.DivideBy(physicalWrittenPerYear) * units.Year.Seconds())
+	return units.Year.Scale(endurance.DivideBy(physicalWrittenPerYear))
 }
 
 // BufferForProbes returns the smallest buffer size whose probes lifetime

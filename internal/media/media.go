@@ -88,7 +88,7 @@ func (g Geometry) BitsPerField() int { return g.TracksPerField() * g.BitsPerTrac
 
 // Capacity returns the total number of bit positions across all probe fields.
 func (g Geometry) Capacity() units.Size {
-	return units.Size(float64(g.BitsPerField()) * float64(g.Fields))
+	return units.Bit.Scale(float64(g.BitsPerField()) * float64(g.Fields))
 }
 
 // PositionOfBit returns the sled position of the k-th bit within a probe
@@ -191,7 +191,7 @@ func NewAddressMap(g Geometry, subsectorBits int64) (*AddressMap, error) {
 func (a *AddressMap) Stripes() int64 { return a.totalStripes }
 
 // StripeCapacity returns the user-addressable bits per stripe across all probes.
-func (a *AddressMap) StripeCapacity() units.Size { return units.Size(a.bitsPerStripe) }
+func (a *AddressMap) StripeCapacity() units.Size { return units.Bit.Scale(float64(a.bitsPerStripe)) }
 
 // PositionOfStripe returns the sled position at which the given stripe starts.
 func (a *AddressMap) PositionOfStripe(stripe int64) (Position, error) {

@@ -195,7 +195,7 @@ func (s *System) minimumPeriod() units.Duration {
 	if free <= 0 || agg >= rm {
 		return units.Duration(math.Inf(1))
 	}
-	return units.Duration(overhead / free)
+	return units.Second.Scale(overhead / free)
 }
 
 // overheadPerCycle returns the positioning plus shutdown time of one wake-up.
@@ -278,7 +278,7 @@ func (s *System) At(t units.Duration) (Plan, error) {
 	secondsPerYear := s.Workload.StreamedSecondsPerYear().Seconds()
 	cyclesPerYear := secondsPerYear / t.Seconds() * s.seeksPerCycle()
 	if cyclesPerYear > 0 {
-		plan.SpringsLifetime = units.Duration(dev.SpringDutyCycles / cyclesPerYear * units.Year.Seconds())
+		plan.SpringsLifetime = units.Year.Scale(dev.SpringDutyCycles / cyclesPerYear)
 	} else {
 		plan.SpringsLifetime = units.Duration(math.Inf(1))
 	}
@@ -299,7 +299,7 @@ func (s *System) At(t units.Duration) (Plan, error) {
 	}
 	if writtenPerYear > 0 {
 		endurance := dev.Capacity.Scale(dev.ProbeWriteCycles)
-		plan.ProbesLifetime = units.Duration(endurance.Bits() / writtenPerYear * units.Year.Seconds())
+		plan.ProbesLifetime = units.Year.Scale(endurance.Bits() / writtenPerYear)
 	} else {
 		plan.ProbesLifetime = units.Duration(math.Inf(1))
 	}
@@ -410,22 +410,22 @@ func (s *System) Dimension(goal core.Goal) (Dimensioning, error) {
 					capPeriod = p
 				}
 			}
-			d.PeriodFor[core.ConstraintCapacity] = units.Duration(capPeriod)
+			d.PeriodFor[core.ConstraintCapacity] = units.Second.Scale(capPeriod)
 		}
 	}
 
 	// Springs: linear in the period.
 	springsPeriod := goal.Lifetime.Years() * secondsPerYear * s.seeksPerCycle() / s.Device.SpringDutyCycles
-	d.PeriodFor[core.ConstraintSprings] = units.Duration(springsPeriod)
+	d.PeriodFor[core.ConstraintSprings] = units.Second.Scale(springsPeriod)
 
 	// Probes: monotone and saturating in the period.
 	probesPred := func(p float64) bool {
-		plan, err := s.At(units.Duration(p))
+		plan, err := s.At(units.Second.Scale(p))
 		return err == nil && plan.ProbesLifetime.Years() >= goal.Lifetime.Years()
 	}
 	if goal.Lifetime > 0 {
 		if p, err := solve.MinimumWhere(probesPred, minPeriod, maxSearchPeriodSeconds, 1e-6); err == nil {
-			d.PeriodFor[core.ConstraintProbes] = units.Duration(p)
+			d.PeriodFor[core.ConstraintProbes] = units.Second.Scale(p)
 		} else {
 			d.PeriodFor[core.ConstraintProbes] = units.Duration(math.Inf(1))
 			d.Reasons[core.ConstraintProbes] = fmt.Sprintf(
@@ -436,12 +436,12 @@ func (s *System) Dimension(goal core.Goal) (Dimensioning, error) {
 
 	// Energy: monotone in the period (larger cycles amortise the overhead).
 	energyPred := func(p float64) bool {
-		plan, err := s.At(units.Duration(p))
+		plan, err := s.At(units.Second.Scale(p))
 		return err == nil && plan.EnergySaving >= goal.EnergySaving
 	}
 	if goal.EnergySaving > 0 {
 		if p, err := solve.MinimumWhere(energyPred, minPeriod, maxSearchPeriodSeconds, 1e-6); err == nil {
-			d.PeriodFor[core.ConstraintEnergy] = units.Duration(p)
+			d.PeriodFor[core.ConstraintEnergy] = units.Second.Scale(p)
 		} else {
 			d.PeriodFor[core.ConstraintEnergy] = units.Duration(math.Inf(1))
 			d.Reasons[core.ConstraintEnergy] = fmt.Sprintf(
@@ -468,7 +468,7 @@ func (s *System) Dimension(goal core.Goal) (Dimensioning, error) {
 	if maxFinite > required {
 		required = maxFinite
 	}
-	d.Period = units.Duration(required)
+	d.Period = units.Second.Scale(required)
 	d.Dominant = dominant
 	if !d.Feasible {
 		return d, nil

@@ -491,7 +491,7 @@ func resolveFrames(specs []TraceFrameSpec) ([]workload.Frame, []traceFrameKey, e
 		// sub-nanosecond floating-point noise; quantize the canonical form
 		// to nanoseconds so shifted-but-equal traces share a fingerprint.
 		keys[i] = traceFrameKey{
-			T: math.Round(f.Timestamp.Seconds()*1e9) / 1e9,
+			T: math.Round(f.Timestamp.Seconds()/units.Nanosecond.Seconds()) * units.Nanosecond.Seconds(),
 			S: f.Size.Bits(),
 			C: f.Class.String(),
 		}

@@ -52,6 +52,9 @@ func (s Size) KiBytes() float64 { return float64(s / KiB) }
 // MiBytes returns the size in binary megabytes.
 func (s Size) MiBytes() float64 { return float64(s / MiB) }
 
+// MBytes returns the size in decimal megabytes.
+func (s Size) MBytes() float64 { return float64(s / MB) }
+
 // GBytes returns the size in decimal gigabytes.
 func (s Size) GBytes() float64 { return float64(s / GB) }
 
@@ -165,6 +168,7 @@ const (
 	Second      Duration = 1
 	Millisecond Duration = 1e-3 * Second
 	Microsecond Duration = 1e-6 * Second
+	Nanosecond  Duration = 1e-9 * Second
 	Minute      Duration = 60 * Second
 	Hour        Duration = 60 * Minute
 	Day         Duration = 24 * Hour
@@ -296,6 +300,15 @@ func (e Energy) DividedBy(d Duration) Power {
 		return Power(math.Inf(1))
 	}
 	return Power(float64(e) / float64(d))
+}
+
+// TimeAt returns how long p must be sustained to spend e — the inverse of
+// Power.Times.
+func (e Energy) TimeAt(p Power) Duration {
+	if p <= 0 {
+		return Duration(math.Inf(1))
+	}
+	return Duration(float64(e) / float64(p))
 }
 
 // String formats the energy with an automatically chosen unit.

@@ -97,6 +97,28 @@ func TestEnergyDividedBy(t *testing.T) {
 	}
 }
 
+func TestEnergyTimeAt(t *testing.T) {
+	d := Energy(2.016e-3).TimeAt(672 * Milliwatt)
+	if got := d.Milliseconds(); !almostEqual(got, 3, 1e-9) {
+		t.Errorf("time at 672 mW = %g ms, want 3", got)
+	}
+	if got := Joule.TimeAt(0); !math.IsInf(float64(got), 1) {
+		t.Errorf("time at zero power = %v, want +Inf", got)
+	}
+}
+
+func TestSizeMBytes(t *testing.T) {
+	if got := MB.Scale(2.5).MBytes(); !almostEqual(got, 2.5, 1e-12) {
+		t.Errorf("2.5 MB = %g MB, want 2.5", got)
+	}
+}
+
+func TestDurationNanosecond(t *testing.T) {
+	if got := Nanosecond.Seconds(); !almostEqual(got, 1e-9, 1e-24) {
+		t.Errorf("Nanosecond = %g s, want 1e-9", got)
+	}
+}
+
 func TestDurationYears(t *testing.T) {
 	if got := Year.Seconds(); !almostEqual(got, 31536000, 1e-12) {
 		t.Errorf("Year = %g s, want 31536000", got)

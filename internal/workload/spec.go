@@ -301,7 +301,7 @@ func (s StreamSpec) Pattern(duration units.Duration) (Pattern, error) {
 		if horizon > MaxTraceHorizon {
 			horizon = MaxTraceHorizon
 		}
-		if interval := units.Duration(1 / v.FrameRate); horizon < interval {
+		if interval := units.Second.Scale(1 / v.FrameRate); horizon < interval {
 			horizon = interval
 		}
 		return NewVideoRatePattern(v, horizon)

@@ -183,18 +183,18 @@ func NewTracePattern(frames []Frame) (*TracePattern, error) {
 		if i+1 < n {
 			end = frames[i+1].Timestamp.Seconds()
 		}
-		p.rates[i] = units.BitRate(f.Size.Bits() / (end - p.starts[i]))
+		p.rates[i] = units.BitPerSecond.Scale(f.Size.Bits() / (end - p.starts[i]))
 		if p.rates[i] > p.peak {
 			p.peak = p.rates[i]
 		}
 		total = total.Add(f.Size)
 	}
-	p.average = units.BitRate(total.Bits() / p.horizon)
+	p.average = units.BitPerSecond.Scale(total.Bits() / p.horizon)
 	return p, nil
 }
 
 // Horizon returns the trace length; the pattern repeats beyond it.
-func (p *TracePattern) Horizon() units.Duration { return units.Duration(p.horizon) }
+func (p *TracePattern) Horizon() units.Duration { return units.Second.Scale(p.horizon) }
 
 // Frames exposes the trace (for reports and round-trips).
 func (p *TracePattern) Frames() []Frame { return p.frames }
@@ -242,9 +242,9 @@ func (p *TracePattern) NextRateChange(t units.Duration) units.Duration {
 		i++
 	}
 	for ; i < len(p.starts); i++ {
-		if next := t.Add(units.Duration(p.starts[i] - w)); next > t {
+		if next := t.Add(units.Second.Scale(p.starts[i] - w)); next > t {
 			return next
 		}
 	}
-	return t.Add(units.Duration(p.horizon - w))
+	return t.Add(units.Second.Scale(p.horizon - w))
 }

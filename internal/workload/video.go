@@ -142,7 +142,7 @@ func (v VideoStream) PeakRate() units.BitRate {
 			largest = mean
 		}
 	}
-	return units.BitRate(largest.Scale(1+v.Jitter).Bits() * v.FrameRate)
+	return units.BitPerSecond.Scale(largest.Scale(1+v.Jitter).Bits() * v.FrameRate)
 }
 
 // classOf returns the coding class of the frame at the given position within
@@ -175,7 +175,7 @@ func (v VideoStream) meanFrameSizes() (i, p, b units.Size) {
 	gopDuration := float64(v.GOPLength) / v.FrameRate
 	gopBits := v.NominalRate.BitsPerSecond() * gopDuration
 	unit := gopBits / (nI*v.WeightI + nP*v.WeightP + nB*v.WeightB)
-	return units.Size(unit * v.WeightI), units.Size(unit * v.WeightP), units.Size(unit * v.WeightB)
+	return units.Bit.Scale(unit * v.WeightI), units.Bit.Scale(unit * v.WeightP), units.Bit.Scale(unit * v.WeightB)
 }
 
 // GenerateTrace produces the frame sequence covering [0, horizon).
@@ -188,7 +188,7 @@ func (v VideoStream) GenerateTrace(horizon units.Duration) ([]Frame, error) {
 	}
 	meanI, meanP, meanB := v.meanFrameSizes()
 	rng := NewRng(v.Seed ^ 0x9e3779b97f4a7c15)
-	frameInterval := units.Duration(1 / v.FrameRate)
+	frameInterval := units.Second.Scale(1 / v.FrameRate)
 	// Defence against absurd horizon × frame-rate products: beyond this the
 	// float-to-int conversion would overflow (or the allocation would take
 	// the process down), so fail loudly instead.
@@ -249,12 +249,12 @@ func NewVideoRatePattern(v VideoStream, horizon units.Duration) (*VideoRatePatte
 	p := &VideoRatePattern{
 		stream:        v,
 		frames:        frames,
-		frameInterval: units.Duration(1 / v.FrameRate),
-		horizon:       units.Duration(float64(len(frames)) / v.FrameRate),
+		frameInterval: units.Second.Scale(1 / v.FrameRate),
+		horizon:       units.Second.Scale(float64(len(frames)) / v.FrameRate),
 	}
 	for _, f := range frames {
 		if rate := p.frameInterval; rate.Positive() {
-			r := units.BitRate(f.Size.Bits() / p.frameInterval.Seconds())
+			r := units.BitPerSecond.Scale(f.Size.Bits() / p.frameInterval.Seconds())
 			if r > p.peak {
 				p.peak = r
 			}
@@ -268,12 +268,12 @@ func (p *VideoRatePattern) RateAt(t units.Duration) units.BitRate {
 	if t < 0 {
 		t = 0
 	}
-	wrapped := units.Duration(mod(t.Seconds(), p.horizon.Seconds()))
+	wrapped := units.Second.Scale(mod(t.Seconds(), p.horizon.Seconds()))
 	idx := int(wrapped.Seconds() / p.frameInterval.Seconds())
 	if idx >= len(p.frames) {
 		idx = len(p.frames) - 1
 	}
-	return units.BitRate(p.frames[idx].Size.Bits() / p.frameInterval.Seconds())
+	return units.BitPerSecond.Scale(p.frames[idx].Size.Bits() / p.frameInterval.Seconds())
 }
 
 // PeakRate returns the largest instantaneous demand of the trace.
@@ -296,7 +296,7 @@ func (p *VideoRatePattern) AverageRate() units.BitRate {
 	for _, f := range p.frames {
 		total = total.Add(f.Size)
 	}
-	return units.BitRate(total.Bits() / p.horizon.Seconds())
+	return units.BitPerSecond.Scale(total.Bits() / p.horizon.Seconds())
 }
 
 // Frames exposes the generated trace (for analyses and reports).

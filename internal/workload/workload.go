@@ -196,9 +196,9 @@ func (p *RatePattern) NextRateChange(t units.Duration) units.Duration {
 // integrators skip the boundary entirely.
 func NextBoundary(t units.Duration, interval float64) units.Duration {
 	k := math.Floor(t.Seconds()/interval) + 1
-	next := units.Duration(k * interval)
+	next := units.Second.Scale(k * interval)
 	if next <= t {
-		next = units.Duration((k + 1) * interval)
+		next = units.Second.Scale((k + 1) * interval)
 	}
 	return next
 }
@@ -307,9 +307,9 @@ func (p BestEffortProcess) Generate(horizon units.Duration) ([]BestEffortRequest
 	}
 	rng := NewRng(p.Seed ^ 0x5bd1e9955bd1e995)
 	var out []BestEffortRequest
-	t := units.Duration(rng.Exp(mean.Seconds()))
+	t := units.Second.Scale(rng.Exp(mean.Seconds()))
 	for t < horizon {
-		size := units.Size(rng.Exp(p.MeanSize.Bits()))
+		size := units.Bit.Scale(rng.Exp(p.MeanSize.Bits()))
 		if size < units.Size(512) {
 			size = units.Size(512)
 		}
@@ -318,7 +318,7 @@ func (p BestEffortProcess) Generate(horizon units.Duration) ([]BestEffortRequest
 			Size:    size,
 			Write:   rng.Float64() < p.WriteFraction,
 		})
-		t = t.Add(units.Duration(rng.Exp(mean.Seconds())))
+		t = t.Add(units.Second.Scale(rng.Exp(mean.Seconds())))
 	}
 	return out, nil
 }
@@ -350,7 +350,7 @@ func (c PlaybackCalendar) Validate() error {
 
 // SecondsPerYear returns the total streamed seconds per year.
 func (c PlaybackCalendar) SecondsPerYear() units.Duration {
-	return units.Duration(c.HoursPerDay * 3600 * c.DaysPerYear)
+	return units.Hour.Scale(c.HoursPerDay * c.DaysPerYear)
 }
 
 // String summarises the calendar.

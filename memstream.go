@@ -3,6 +3,7 @@ package memstream
 import (
 	"context"
 	"fmt"
+	"strings"
 
 	"memstream/internal/core"
 	"memstream/internal/device"
@@ -148,13 +149,28 @@ const (
 	ConstraintProbes = core.ConstraintProbes
 )
 
+// wrapErr stamps the package's public "memstream: " error prefix onto errors
+// crossing the API boundary. It is idempotent so that call chains through
+// other exported memstream functions do not stack prefixes, and nil-safe so
+// that success paths can wrap unconditionally.
+func wrapErr(err error) error {
+	if err == nil || strings.HasPrefix(err.Error(), "memstream: ") {
+		return err
+	}
+	return fmt.Errorf("memstream: %w", err)
+}
+
 // New builds a model for the given device and streaming rate with the
 // Table I workload and default DRAM.
-func New(dev Device, rate BitRate) (*Model, error) { return core.New(dev, rate) }
+func New(dev Device, rate BitRate) (*Model, error) {
+	m, err := core.New(dev, rate)
+	return m, wrapErr(err)
+}
 
 // NewWithOptions builds a model with explicit overrides.
 func NewWithOptions(dev Device, rate BitRate, opts Options) (*Model, error) {
-	return core.NewWithOptions(dev, rate, opts)
+	m, err := core.NewWithOptions(dev, rate, opts)
+	return m, wrapErr(err)
 }
 
 // PaperGoalA returns the Fig. 3a goal (E=80 %, C=88 %, L=7 years).
