@@ -7,7 +7,7 @@
 // Usage:
 //
 //	memsd [-addr :8377] [-cache-entries 4096] [-cache-shards 16]
-//	      [-workers 0] [-timeout 30s]
+//	      [-workers 0] [-timeout 30s] [-debug-addr addr]
 //
 // Endpoints:
 //
@@ -16,17 +16,25 @@
 //	POST /v1/simulate    {"rate":"1024 kbps","buffer":"64 KiB","duration":"30 s","replicas":4}
 //	POST /v1/breakeven   {"rate":"1024 kbps"}
 //	POST /v1/multistream {"goal":{...},"streams":[{"name":"rec","rate":"768 kbps","write_fraction":1}]}
-//	GET  /healthz        liveness probe
+//	GET  /healthz        liveness probe (status, uptime, build version)
 //	GET  /statsz         cache hit/miss/eviction and in-flight counters
+//	GET  /metricsz       Prometheus text exposition (counters, gauges, latency histograms)
+//
+// Every request is logged to stderr as a structured record (request ID,
+// endpoint, status, latency, cache outcome, worker bound); clients may pin
+// the ID with an X-Request-ID header. With -debug-addr the daemon opens a
+// second, private listener serving net/http/pprof under /debug/pprof/ and
+// the same /metricsz; keep it off public interfaces.
 //
 // Example:
 //
-//	memsd -addr 127.0.0.1:8377 &
+//	memsd -addr 127.0.0.1:8377 -debug-addr 127.0.0.1:8378 &
 //	curl -s http://127.0.0.1:8377/v1/dimension -d '{"rate":"1024 kbps",
 //	  "goal":{"energy_saving":0.7,"capacity_utilisation":0.88,"lifetime":"7 years"}}'
+//	curl -s http://127.0.0.1:8377/metricsz
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
-// requests for up to ten seconds.
+// requests on both listeners for up to ten seconds.
 package main
 
 import (
@@ -35,10 +43,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -47,6 +58,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8377", "listen address (host:port; port 0 picks a free port)")
+	debugAddr := flag.String("debug-addr", "", "private debug listen address serving /debug/pprof/ and /metricsz (empty disables)")
 	cacheEntries := flag.Int("cache-entries", 0, "result-cache entry bound (0 = service default, 4096)")
 	cacheShards := flag.Int("cache-shards", 0, "result-cache shard count (0 = service default, 16)")
 	workers := flag.Int("workers", 0, "per-request worker cap (0 = one per CPU)")
@@ -55,13 +67,17 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	cfg := memstream.ServiceConfig{
-		CacheEntries: *cacheEntries,
-		CacheShards:  *cacheShards,
-		MaxWorkers:   *workers,
-		Timeout:      *timeout,
+	dc := daemonConfig{
+		addr:      *addr,
+		debugAddr: *debugAddr,
+		service: memstream.ServiceConfig{
+			CacheEntries: *cacheEntries,
+			CacheShards:  *cacheShards,
+			MaxWorkers:   *workers,
+			Timeout:      *timeout,
+		},
 	}
-	if err := run(ctx, os.Stderr, *addr, cfg, nil); err != nil {
+	if err := run(ctx, os.Stderr, dc); err != nil {
 		fmt.Fprintln(os.Stderr, "memsd:", err)
 		os.Exit(1)
 	}
@@ -71,20 +87,46 @@ func main() {
 // requests after the stop signal.
 const shutdownGrace = 10 * time.Second
 
-// run binds addr, reports the bound address through ready (when non-nil) and
-// the log writer, and serves until ctx is cancelled, then drains gracefully.
-func run(ctx context.Context, logw io.Writer, addr string, cfg memstream.ServiceConfig, ready func(addr string)) error {
-	ln, err := net.Listen("tcp", addr)
+// daemonConfig collects everything run needs beyond a context and a log
+// writer. The ready callbacks (test hooks) report the bound addresses.
+type daemonConfig struct {
+	addr       string
+	debugAddr  string
+	service    memstream.ServiceConfig
+	ready      func(addr string)
+	readyDebug func(addr string)
+}
+
+// syncWriter serializes writes from the access logger and the daemon's own
+// log lines onto one writer.
+type syncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}
+
+// run binds the configured addresses, reports them through the ready hooks
+// and the log writer, and serves until ctx is cancelled, then drains both
+// listeners gracefully.
+func run(ctx context.Context, logw io.Writer, dc daemonConfig) error {
+	logw = &syncWriter{w: logw}
+	ln, err := net.Listen("tcp", dc.addr)
 	if err != nil {
 		return err
 	}
 	bound := ln.Addr().String()
 	fmt.Fprintf(logw, "memsd: listening on %s\n", bound)
-	if ready != nil {
-		ready(bound)
+	if dc.ready != nil {
+		dc.ready(bound)
 	}
 
-	svc := memstream.NewService(cfg)
+	svc := memstream.NewService(dc.service)
+	logger := slog.New(slog.NewTextHandler(logw, nil))
 	// Request contexts derive from baseCtx so the shutdown path can cancel
 	// in-flight computations: every engine aborts promptly on cancellation,
 	// which lets Shutdown complete within the grace window even when a
@@ -92,9 +134,41 @@ func run(ctx context.Context, logw io.Writer, addr string, cfg memstream.Service
 	baseCtx, cancelRequests := context.WithCancel(context.Background())
 	defer cancelRequests()
 	srv := &http.Server{
-		Handler:           svc.Handler(),
+		Handler:           memstream.AccessLog(logger, svc.Handler()),
 		ReadHeaderTimeout: 5 * time.Second,
 		BaseContext:       func(net.Listener) context.Context { return baseCtx },
+	}
+
+	// The private debug listener shares the service (and so the metrics
+	// registry) but not the public surface: only pprof and the exposition.
+	var dsrv *http.Server
+	if dc.debugAddr != "" {
+		dln, derr := net.Listen("tcp", dc.debugAddr)
+		if derr != nil {
+			ln.Close()
+			return derr
+		}
+		dbound := dln.Addr().String()
+		fmt.Fprintf(logw, "memsd: debug listening on %s\n", dbound)
+		if dc.readyDebug != nil {
+			dc.readyDebug(dbound)
+		}
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dmux.Handle("GET /metricsz", svc.MetricsHandler())
+		dsrv = &http.Server{
+			Handler:           dmux,
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			if serr := dsrv.Serve(dln); !errors.Is(serr, http.ErrServerClosed) {
+				fmt.Fprintf(logw, "memsd: debug server: %v\n", serr)
+			}
+		}()
 	}
 
 	done := make(chan error, 1)
@@ -107,7 +181,13 @@ func run(ctx context.Context, logw io.Writer, addr string, cfg memstream.Service
 		// requests so the second half is enough for them to unwind.
 		timer := time.AfterFunc(shutdownGrace/2, cancelRequests)
 		defer timer.Stop()
-		done <- srv.Shutdown(shutdownCtx)
+		err := srv.Shutdown(shutdownCtx)
+		if dsrv != nil {
+			if derr := dsrv.Shutdown(shutdownCtx); err == nil {
+				err = derr
+			}
+		}
+		done <- err
 	}()
 
 	if err := srv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {

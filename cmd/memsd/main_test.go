@@ -13,20 +13,39 @@ import (
 	"memstream"
 )
 
-// startDaemon runs the daemon on a free port and returns its base URL and a
+// startDaemon runs the daemon on a free port and returns its base URL, the
+// debug listener's base URL (empty unless debugAddr asks for one) and a
 // stop function that shuts it down and reports run's error.
-func startDaemon(t *testing.T, cfg memstream.ServiceConfig) (string, func() error) {
+func startDaemon(t *testing.T, cfg memstream.ServiceConfig, debugAddr string) (string, string, func() error) {
 	t.Helper()
 	ctx, cancel := context.WithCancel(context.Background())
 	addrCh := make(chan string, 1)
+	debugCh := make(chan string, 1)
 	errCh := make(chan error, 1)
 	var logbuf bytes.Buffer
+	dc := daemonConfig{
+		addr:       "127.0.0.1:0",
+		debugAddr:  debugAddr,
+		service:    cfg,
+		ready:      func(addr string) { addrCh <- addr },
+		readyDebug: func(addr string) { debugCh <- addr },
+	}
 	go func() {
-		errCh <- run(ctx, &logbuf, "127.0.0.1:0", cfg, func(addr string) { addrCh <- addr })
+		errCh <- run(ctx, &logbuf, dc)
 	}()
 	select {
 	case addr := <-addrCh:
-		return "http://" + addr, func() error {
+		debugBase := ""
+		if debugAddr != "" {
+			select {
+			case daddr := <-debugCh:
+				debugBase = "http://" + daddr
+			case <-time.After(5 * time.Second):
+				cancel()
+				t.Fatal("debug listener never came up")
+			}
+		}
+		return "http://" + addr, debugBase, func() error {
 			cancel()
 			select {
 			case err := <-errCh:
@@ -38,12 +57,12 @@ func startDaemon(t *testing.T, cfg memstream.ServiceConfig) (string, func() erro
 	case err := <-errCh:
 		cancel()
 		t.Fatalf("daemon failed to start: %v", err)
-		return "", nil
+		return "", "", nil
 	}
 }
 
 func TestDaemonServesAndShutsDownGracefully(t *testing.T) {
-	base, stop := startDaemon(t, memstream.ServiceConfig{Timeout: 30 * time.Second})
+	base, _, stop := startDaemon(t, memstream.ServiceConfig{Timeout: 30 * time.Second}, "")
 
 	resp, err := http.Get(base + "/healthz")
 	if err != nil {
@@ -95,10 +114,80 @@ func TestDaemonServesAndShutsDownGracefully(t *testing.T) {
 }
 
 func TestDaemonRefusesBusyPort(t *testing.T) {
-	base, stop := startDaemon(t, memstream.ServiceConfig{})
+	base, _, stop := startDaemon(t, memstream.ServiceConfig{}, "")
 	defer stop()
 	addr := strings.TrimPrefix(base, "http://")
-	if err := run(context.Background(), io.Discard, addr, memstream.ServiceConfig{}, nil); err == nil {
+	if err := run(context.Background(), io.Discard, daemonConfig{addr: addr}); err == nil {
 		t.Fatal("second daemon on the same port must fail")
+	}
+}
+
+// TestDaemonMetricsAndDebugListener is the end-to-end observability check:
+// a known request sequence against the daemon must surface as exact
+// counter and histogram values at /metricsz, on both the public and the
+// private debug listener, and the debug listener must additionally serve
+// pprof without leaking it onto the public surface.
+func TestDaemonMetricsAndDebugListener(t *testing.T) {
+	base, debug, stop := startDaemon(t, memstream.ServiceConfig{Timeout: 30 * time.Second}, "127.0.0.1:0")
+
+	body := `{"rate":"1024 kbps","goal":{"energy_saving":0.7,"capacity_utilisation":0.88,"lifetime":"7 years"}}`
+	for i := 0; i < 3; i++ {
+		resp, err := http.Post(base+"/v1/dimension", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("dimension: %v", err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("dimension status = %d", resp.StatusCode)
+		}
+	}
+
+	scrape := func(url string) string {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s status = %d, body %s", url, resp.StatusCode, b)
+		}
+		return string(b)
+	}
+	for _, url := range []string{base + "/metricsz", debug + "/metricsz"} {
+		got := scrape(url)
+		for _, line := range []string{
+			`memsd_http_requests_total{endpoint="/v1/dimension",code="2xx"} 3`,
+			`memsd_http_request_duration_seconds_count{endpoint="/v1/dimension"} 3`,
+			`memsd_http_request_duration_seconds_bucket{endpoint="/v1/dimension",le="+Inf"} 3`,
+			`memsd_cache_hits_total 2`,
+			`memsd_cache_misses_total 1`,
+			`memsd_requests_served_total 3`,
+		} {
+			if !strings.Contains(got, line+"\n") {
+				t.Errorf("%s missing %q", url, line)
+			}
+		}
+	}
+
+	if got := scrape(debug + "/debug/pprof/cmdline"); got == "" {
+		t.Error("debug pprof cmdline returned an empty profile")
+	}
+	resp, err := http.Get(base + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatalf("public pprof probe: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof on the public listener = %d; want 404", resp.StatusCode)
+	}
+
+	if err := stop(); err != nil {
+		t.Fatalf("graceful shutdown with debug listener: %v", err)
+	}
+	if _, err := http.Get(debug + "/metricsz"); err == nil {
+		t.Error("debug listener still serving after shutdown")
 	}
 }

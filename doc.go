@@ -187,13 +187,15 @@
 // Service.Handler exposes the same layer over HTTP; cmd/memsd is the
 // ready-made daemon around it:
 //
-//	memsd [-addr :8377] [-cache-entries 4096] [-cache-shards 16] [-workers 0] [-timeout 30s]
+//	memsd [-addr :8377] [-cache-entries 4096] [-cache-shards 16] [-workers 0]
+//	      [-timeout 30s] [-debug-addr addr]
 //
 // serving POST /v1/dimension, /v1/sweep, /v1/simulate, /v1/multisim,
 // /v1/breakeven and /v1/multistream (JSON bodies; unit strings, or bare numbers
-// read as bit/s, bytes or seconds), GET /healthz for liveness and GET
-// /statsz for cache hit/miss/eviction and in-flight counters, with graceful
-// shutdown on SIGINT/SIGTERM:
+// read as bit/s, bytes or seconds), GET /healthz for liveness (status, uptime
+// and build version), GET /statsz for cache hit/miss/eviction, per-shard
+// occupancy, uptime and in-flight counters, and GET /metricsz for the
+// Prometheus exposition, with graceful shutdown on SIGINT/SIGTERM:
 //
 //	curl -s localhost:8377/v1/dimension -d '{"rate":"1024 kbps",
 //	  "goal":{"energy_saving":0.7,"capacity_utilisation":0.88,"lifetime":"7 years"}}'
@@ -205,6 +207,53 @@
 // Handlers apply a per-request compute deadline and clamp per-request worker
 // bounds; worker bounds never change an answer (only its latency), so they
 // are excluded from the cache key.
+//
+// # Observability
+//
+// GET /metricsz serves the service's counters, gauges and latency histograms
+// in the Prometheus text exposition format (version 0.0.4), implemented by a
+// dependency-free registry in internal/metrics. Metric names follow the
+// Prometheus conventions — a memsd_ namespace prefix, _total on counters,
+// base units (seconds) with the unit in the name — and label values are the
+// only per-series variance:
+//
+//   - memsd_http_requests_total{endpoint,code}: requests by endpoint and
+//     status class ("2xx", "4xx", "5xx").
+//   - memsd_http_request_duration_seconds{endpoint}: per-endpoint latency
+//     histograms; p50/p99 come from the cumulative le buckets, and
+//     Service.LatencyQuantile derives them in-process.
+//   - memsd_http_in_flight_requests, memsd_compute_in_flight: gauges of
+//     requests inside the handler and inside the compute section.
+//   - memsd_http_deadline_aborts_total, memsd_http_requests_shed_total:
+//     requests lost to the compute deadline and to oversized bodies.
+//   - memsd_cache_hits_total, memsd_cache_misses_total,
+//     memsd_cache_evictions_total, memsd_cache_entries, memsd_cache_capacity,
+//     memsd_cache_shard_entries{shard}: the result cache, per shard.
+//   - memsd_pool_tasks_executed_total, memsd_pool_workers_started_total,
+//     memsd_pool_workers_busy: the worker pool, folded in at worker exit so
+//     the hot loop stays uninstrumented.
+//   - memsd_sim_replicas_total, memsd_engine_runs_total,
+//     memsd_engine_steps_total, memsd_engine_simulated_hours: simulation
+//     volume, recorded once per completed run.
+//
+// The exposition is deterministic: families and series are emitted in sorted
+// order, scraping does not itself count as traffic, and two scrapes of an
+// idle service are byte-identical. Engine, pool and simulator totals are
+// process-wide and mirrored into the registry at scrape time; everything
+// else is per-Service.
+//
+// AccessLog wraps any handler with one structured log/slog record per
+// request — request ID (X-Request-ID honored, generated otherwise, echoed on
+// the response), method, endpoint, status, bytes, duration, cache hit/miss
+// and the worker bound used. cmd/memsd wires it to stderr, and its
+// -debug-addr flag opens a private listener serving net/http/pprof under
+// /debug/pprof/ plus the same /metricsz, drained by the same graceful
+// shutdown. A scrape config needs nothing special:
+//
+//	scrape_configs:
+//	  - job_name: memsd
+//	    metrics_path: /metricsz
+//	    static_configs: [{targets: ["localhost:8377"]}]
 //
 // # Structure
 //

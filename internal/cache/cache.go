@@ -39,6 +39,23 @@ type Stats struct {
 	Capacity int `json:"capacity"`
 	// Shards is the number of independently locked shards.
 	Shards int `json:"shards"`
+	// PerShard is the per-shard breakdown, indexed by shard number. It is
+	// appended after the aggregate fields so existing /statsz consumers see
+	// an unchanged prefix.
+	PerShard []ShardStats `json:"per_shard"`
+}
+
+// ShardStats is the counter snapshot of one shard: its occupancy against
+// its own bound, plus its share of the aggregate hit/miss/eviction counts.
+type ShardStats struct {
+	// Entries is the number of values currently stored in this shard.
+	Entries int `json:"entries"`
+	// Capacity is this shard's entry bound.
+	Capacity int `json:"capacity"`
+	// Hits, Misses and Evictions are this shard's share of the totals.
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
 }
 
 // HitRate returns the fraction of lookups served from the cache.
@@ -259,17 +276,26 @@ func (c *Cache) Len() int {
 	return n
 }
 
-// Stats aggregates the per-shard counters.
+// Stats aggregates the per-shard counters and carries the per-shard
+// breakdown alongside, indexed by shard number.
 func (c *Cache) Stats() Stats {
-	st := Stats{Shards: len(c.shards)}
-	for _, s := range c.shards {
+	st := Stats{Shards: len(c.shards), PerShard: make([]ShardStats, len(c.shards))}
+	for i, s := range c.shards {
 		s.mu.Lock()
-		st.Hits += s.hits
-		st.Misses += s.misses
-		st.Evictions += s.evictions
-		st.Entries += len(s.entries)
-		st.Capacity += s.capacity
+		ss := ShardStats{
+			Entries:   len(s.entries),
+			Capacity:  s.capacity,
+			Hits:      s.hits,
+			Misses:    s.misses,
+			Evictions: s.evictions,
+		}
 		s.mu.Unlock()
+		st.PerShard[i] = ss
+		st.Hits += ss.Hits
+		st.Misses += ss.Misses
+		st.Evictions += ss.Evictions
+		st.Entries += ss.Entries
+		st.Capacity += ss.Capacity
 	}
 	return st
 }

@@ -281,6 +281,34 @@ func TestDefaults(t *testing.T) {
 	}
 }
 
+func TestStatsPerShard(t *testing.T) {
+	c := New(64, 4)
+	for i := 0; i < 32; i++ {
+		c.Put(string(rune('a'+i)), []byte{byte(i)})
+	}
+	c.Get(string(rune('a'))) // hit
+	c.Get("missing")         // miss
+	st := c.Stats()
+	if len(st.PerShard) != st.Shards {
+		t.Fatalf("per-shard entries = %d; want %d", len(st.PerShard), st.Shards)
+	}
+	var agg ShardStats
+	for _, ss := range st.PerShard {
+		agg.Entries += ss.Entries
+		agg.Hits += ss.Hits
+		agg.Misses += ss.Misses
+		agg.Evictions += ss.Evictions
+		agg.Capacity += ss.Capacity
+	}
+	if agg.Entries != st.Entries || agg.Hits != st.Hits || agg.Misses != st.Misses ||
+		agg.Evictions != st.Evictions || agg.Capacity != st.Capacity {
+		t.Errorf("per-shard breakdown %+v does not sum to the aggregate %+v", agg, st)
+	}
+	if st.Entries != 32 || st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("aggregate = %+v; want 32 entries, 1 hit, 1 miss", st)
+	}
+}
+
 func TestHitRate(t *testing.T) {
 	if r := (Stats{}).HitRate(); r != 0 {
 		t.Errorf("empty hit rate = %v; want 0", r)

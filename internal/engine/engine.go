@@ -151,6 +151,10 @@ type Stats struct {
 	ECCCorrected int
 	// ECCUncorrectable counts codewords the codec had to give up on.
 	ECCUncorrectable int
+	// Steps counts accounting steps (Account calls that advanced time): the
+	// event count of the run. It is deterministic for a given configuration
+	// and feeds the engine totals mirrored at /metricsz via RecordRun.
+	Steps int
 }
 
 // DeviceEnergy returns the total energy drawn by the storage device.
@@ -324,6 +328,7 @@ func (c *Core) Account(state device.PowerState, dt units.Duration) {
 		c.stats.MinBufferLevel = c.level
 	}
 	c.now = c.now.Add(dt)
+	c.stats.Steps++
 	c.stats.StateTime[state] = c.stats.StateTime[state].Add(dt)
 	c.stats.StateEnergy[state] = c.stats.StateEnergy[state].Add(c.statePower[state].Times(dt))
 }

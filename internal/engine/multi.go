@@ -223,6 +223,7 @@ func (m *MultiCore) Account(state device.PowerState, dt units.Duration, focus in
 		st.drain(st.source.RateAt(m.now), dt, &m.device)
 	}
 	m.now = m.now.Add(dt)
+	m.device.Steps++
 	energy := m.statePower[state].Times(dt)
 	m.device.StateTime[state] = m.device.StateTime[state].Add(dt)
 	m.device.StateEnergy[state] = m.device.StateEnergy[state].Add(energy)

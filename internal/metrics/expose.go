@@ -1,0 +1,141 @@
+package metrics
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// TextContentType is the Content-Type of the Prometheus text exposition
+// format served by Handler.
+const TextContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteText writes the registry in the Prometheus text exposition format:
+// families in name order, series in label-value order, histograms with
+// cumulative buckets. The output for an unchanged registry is byte-stable
+// across calls.
+func (r *Registry) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	r.mu.Lock()
+	families := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+	for _, f := range families {
+		f.writeText(bw)
+	}
+	return bw.Flush()
+}
+
+// Handler serves the registry over HTTP. When sync is non-nil it runs
+// before every scrape, giving the owner a hook to mirror externally
+// maintained counters (cache totals, pool totals) into the registry.
+func Handler(r *Registry, sync func()) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if sync != nil {
+			sync()
+		}
+		w.Header().Set("Content-Type", TextContentType)
+		r.WriteText(w)
+	})
+}
+
+// writeText writes one family: HELP, TYPE, then every series in key order.
+func (f *family) writeText(w *bufio.Writer) {
+	f.mu.Lock()
+	sorted := append([]*series(nil), f.sorted...)
+	f.mu.Unlock()
+	if len(sorted) == 0 {
+		return
+	}
+	w.WriteString("# HELP ")
+	w.WriteString(f.name)
+	w.WriteByte(' ')
+	w.WriteString(escapeHelp(f.help))
+	w.WriteByte('\n')
+	w.WriteString("# TYPE ")
+	w.WriteString(f.name)
+	w.WriteByte(' ')
+	w.WriteString(string(f.kind))
+	w.WriteByte('\n')
+	for _, s := range sorted {
+		switch f.kind {
+		case kindCounter:
+			writeSample(w, f.name, "", f.labels, s.values, "", "", formatUint(s.c.Value()))
+		case kindGauge:
+			writeSample(w, f.name, "", f.labels, s.values, "", "", formatFloat(s.g.Value()))
+		case kindHistogram:
+			var cum uint64
+			for i := range s.h.counts {
+				cum += s.h.counts[i].Load()
+				le := "+Inf"
+				if i < len(f.bounds) {
+					le = formatFloat(f.bounds[i])
+				}
+				writeSample(w, f.name, "_bucket", f.labels, s.values, "le", le, formatUint(cum))
+			}
+			writeSample(w, f.name, "_sum", f.labels, s.values, "", "", formatFloat(s.h.Sum()))
+			writeSample(w, f.name, "_count", f.labels, s.values, "", "", formatUint(cum))
+		}
+	}
+}
+
+// writeSample writes one exposition line. extraName/extraValue append a
+// trailing label (the histogram le), following the Prometheus convention of
+// le last.
+func writeSample(w *bufio.Writer, name, suffix string, labels, values []string, extraName, extraValue, rendered string) {
+	w.WriteString(name)
+	w.WriteString(suffix)
+	if len(labels) > 0 || extraName != "" {
+		w.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				w.WriteByte(',')
+			}
+			w.WriteString(l)
+			w.WriteString(`="`)
+			w.WriteString(escapeLabel(values[i]))
+			w.WriteByte('"')
+		}
+		if extraName != "" {
+			if len(labels) > 0 {
+				w.WriteByte(',')
+			}
+			w.WriteString(extraName)
+			w.WriteString(`="`)
+			w.WriteString(extraValue)
+			w.WriteByte('"')
+		}
+		w.WriteByte('}')
+	}
+	w.WriteByte(' ')
+	w.WriteString(rendered)
+	w.WriteByte('\n')
+}
+
+// formatFloat renders a float the way Prometheus clients do: shortest
+// round-trip representation, with infinities spelled +Inf/-Inf.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// formatUint renders a counter value.
+func formatUint(v uint64) string { return strconv.FormatUint(v, 10) }
+
+// helpEscaper escapes backslashes and newlines in HELP text.
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+// labelEscaper escapes backslashes, quotes and newlines in label values.
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeHelp(s string) string  { return helpEscaper.Replace(s) }
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }

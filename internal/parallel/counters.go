@@ -1,0 +1,47 @@
+package parallel
+
+import "sync/atomic"
+
+// Package-level pool counters, mirrored into memsd's /metricsz by the
+// service layer. They are maintained outside the per-task hot loop: each
+// worker (and the inline single-worker path) counts its tasks locally and
+// folds them into the totals exactly once, when it finishes, so the
+// per-index claim loop stays a bare atomic increment plus fn call.
+var (
+	tasksExecuted  atomic.Uint64
+	workersStarted atomic.Uint64
+	workersBusy    atomic.Int64
+)
+
+// Totals is a snapshot of the pool counters since process start.
+type Totals struct {
+	// TasksExecuted counts completed fn invocations across every Map call.
+	TasksExecuted uint64
+	// WorkersStarted counts worker loops started (the inline workers == 1
+	// path counts as one worker).
+	WorkersStarted uint64
+	// WorkersBusy is the number of worker loops currently running — the
+	// pool occupancy at the instant of the snapshot.
+	WorkersBusy int64
+}
+
+// PoolTotals returns the pool counters since process start.
+func PoolTotals() Totals {
+	return Totals{
+		TasksExecuted:  tasksExecuted.Load(),
+		WorkersStarted: workersStarted.Load(),
+		WorkersBusy:    workersBusy.Load(),
+	}
+}
+
+// workerEnter marks one worker loop running and returns the function that
+// folds its locally counted tasks into the totals; call it once when the
+// worker exits.
+func workerEnter() func(tasks int) {
+	workersStarted.Add(1)
+	workersBusy.Add(1)
+	return func(tasks int) {
+		tasksExecuted.Add(uint64(tasks))
+		workersBusy.Add(-1)
+	}
+}

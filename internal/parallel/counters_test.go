@@ -1,0 +1,40 @@
+package parallel
+
+import (
+	"context"
+	"testing"
+)
+
+// TestPoolTotals checks the package counters advance by exactly the work a
+// Map call performed, on both the inline and the fan-out paths. The
+// counters are process-global, so the assertions are on deltas.
+func TestPoolTotals(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		workers int
+		n       int
+	}{
+		{"inline", 1, 7},
+		{"fanout", 4, 16},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			before := PoolTotals()
+			_, err := Map(context.Background(), tc.workers, tc.n, func(_ context.Context, i int) (int, error) {
+				return i, nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			after := PoolTotals()
+			if got := after.TasksExecuted - before.TasksExecuted; got != uint64(tc.n) {
+				t.Errorf("tasks executed delta = %d; want %d", got, tc.n)
+			}
+			if got := after.WorkersStarted - before.WorkersStarted; got != uint64(tc.workers) {
+				t.Errorf("workers started delta = %d; want %d", got, tc.workers)
+			}
+			if after.WorkersBusy != before.WorkersBusy {
+				t.Errorf("workers busy = %d after an idle pool; want %d", after.WorkersBusy, before.WorkersBusy)
+			}
+		})
+	}
+}

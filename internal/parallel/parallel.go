@@ -45,11 +45,15 @@ func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context
 	}
 	out := make([]T, n)
 	if workers == 1 {
+		done := workerEnter()
+		ran := 0
+		defer func() { done(ran) }()
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
 			v, err := fn(ctx, i)
+			ran++
 			if err != nil {
 				return nil, err
 			}
@@ -68,6 +72,9 @@ func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			done := workerEnter()
+			ran := 0
+			defer func() { done(ran) }()
 			for {
 				if ctx.Err() != nil {
 					return
@@ -77,6 +84,7 @@ func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context
 					return
 				}
 				v, err := fn(ctx, i)
+				ran++
 				if err != nil {
 					errs[i] = err
 					cancel()

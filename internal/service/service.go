@@ -25,9 +25,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"math"
 	"net/http"
+	"runtime/debug"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -60,10 +61,12 @@ type Config struct {
 
 // Service answers dimensioning questions through a shared result cache. It
 // is safe for concurrent use; the HTTP handlers and the exported typed
-// methods share the same cache and counters.
+// methods share the same cache, counters and metric registry.
 type Service struct {
 	cfg      Config
 	cache    *cache.Cache
+	met      *serviceMetrics
+	start    time.Time
 	inflight atomic.Int64
 	served   atomic.Uint64
 	failed   atomic.Uint64
@@ -71,7 +74,12 @@ type Service struct {
 
 // New builds a Service.
 func New(cfg Config) *Service {
-	return &Service{cfg: cfg, cache: cache.New(cfg.CacheEntries, cfg.CacheShards)}
+	return &Service{
+		cfg:   cfg,
+		cache: cache.New(cfg.CacheEntries, cfg.CacheShards),
+		met:   newServiceMetrics(),
+		start: time.Now(),
+	}
 }
 
 // CacheStats returns a snapshot of the result-cache counters.
@@ -89,19 +97,40 @@ type Stats struct {
 	Served uint64 `json:"served"`
 	// Failed counts requests that ended in an error since start.
 	Failed uint64 `json:"failed"`
+	// UptimeSeconds is the time since the Service was built.
+	UptimeSeconds float64 `json:"uptime_seconds"`
 }
 
 // Stats returns a snapshot of the service counters.
 func (s *Service) Stats() Stats {
 	cs := s.cache.Stats()
 	return Stats{
-		Cache:        cs,
-		CacheHitRate: cs.HitRate(),
-		InFlight:     s.inflight.Load(),
-		Served:       s.served.Load(),
-		Failed:       s.failed.Load(),
+		Cache:         cs,
+		CacheHitRate:  cs.HitRate(),
+		InFlight:      s.inflight.Load(),
+		Served:        s.served.Load(),
+		Failed:        s.failed.Load(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
 	}
 }
+
+// buildVersion returns the module version recorded in the binary's build
+// info ("(devel)" for plain go build/test, the module version for installed
+// builds), computed once.
+func buildVersion() string {
+	versionOnce.Do(func() {
+		version = "unknown"
+		if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+			version = bi.Main.Version
+		}
+	})
+	return version
+}
+
+var (
+	versionOnce sync.Once
+	version     string
+)
 
 // workerBound clamps a request's worker ask against the service cap, or
 // rejects a negative ask — siblings like points and replicas are validated
@@ -114,6 +143,16 @@ func (s *Service) workerBound(requested int) (int, error) {
 		return s.cfg.MaxWorkers, nil
 	}
 	return requested, nil
+}
+
+// effectiveWorkers resolves a zero worker bound to the engine default (one
+// per CPU) for observability: the access log reports the bound the
+// computation actually ran under.
+func effectiveWorkers(workers int) int {
+	if workers <= 0 {
+		return parallel.DefaultWorkers()
+	}
+	return workers
 }
 
 // begin applies the per-request deadline and bumps the in-flight gauge; the
@@ -129,6 +168,9 @@ func (s *Service) begin(ctx context.Context) (context.Context, func(err error)) 
 		cancel()
 		if err != nil {
 			s.failed.Add(1)
+			if errors.Is(err, context.DeadlineExceeded) {
+				s.met.deadlineAborts.Inc()
+			}
 		} else {
 			s.served.Add(1)
 		}
@@ -150,13 +192,16 @@ func fingerprint(endpoint string, normalized any) (string, error) {
 // marshaling its result once; hits and single-flight waiters reuse the
 // stored bytes, so identical requests get byte-identical bodies.
 func (s *Service) memoize(ctx context.Context, key string, compute func(ctx context.Context) (any, error)) ([]byte, error) {
-	body, _, err := s.cache.Do(ctx, key, func() ([]byte, error) {
+	body, cached, err := s.cache.Do(ctx, key, func() ([]byte, error) {
 		result, err := compute(ctx)
 		if err != nil {
 			return nil, err
 		}
 		return json.Marshal(result)
 	})
+	if err == nil {
+		noteCache(ctx, cached)
+	}
 	return body, err
 }
 
@@ -217,6 +262,8 @@ func (s *Service) DimensionBytes(ctx context.Context, req DimensionRequest) ([]b
 	if err != nil {
 		return nil, err
 	}
+	// A single-rate dimensioning always runs on one worker.
+	noteWorkers(ctx, 1)
 	var body []byte
 	body, err = s.memoize(ctx, key, func(ctx context.Context) (any, error) {
 		// A single-rate sweep routes the dimensioning through the same
@@ -295,6 +342,7 @@ func (s *Service) SweepBytes(ctx context.Context, req SweepRequest) ([]byte, err
 	if err != nil {
 		return nil, err
 	}
+	noteWorkers(ctx, effectiveWorkers(workers))
 	key, err := fingerprint("sweep", sweepKey{
 		Device:     dev,
 		Goal:       goal,
@@ -481,6 +529,7 @@ func (s *Service) SimulateBytes(ctx context.Context, req SimulateRequest) ([]byt
 	if err != nil {
 		return nil, err
 	}
+	noteWorkers(ctx, effectiveWorkers(workers))
 	// The trace's rate is derived from its frames (with subtractive
 	// floating-point noise from the offset normalization); the quantized
 	// frames already determine the run, so the key carries no rate for it.
@@ -665,6 +714,7 @@ func (s *Service) MultiSimBytes(ctx context.Context, req MultiSimRequest) ([]byt
 	if err != nil {
 		return nil, err
 	}
+	noteWorkers(ctx, effectiveWorkers(workers))
 	key, err := fingerprint("multisim", multiSimKey{
 		Backend:    sd.Kind,
 		Device:     sd.MEMS,
@@ -795,6 +845,8 @@ func (s *Service) BreakEvenBytes(ctx context.Context, req BreakEvenRequest) ([]b
 	if err != nil {
 		return nil, err
 	}
+	// The MEMS and disk inversions fan out on exactly two workers.
+	noteWorkers(ctx, 2)
 	var body []byte
 	body, err = s.memoize(ctx, key, func(ctx context.Context) (any, error) {
 		// The MEMS and disk inversions are independent; fan them out on the
@@ -864,6 +916,8 @@ func (s *Service) MultiStreamBytes(ctx context.Context, req MultiStreamRequest) 
 	if err != nil {
 		return nil, err
 	}
+	// Shared-device dimensioning is a single sequential computation.
+	noteWorkers(ctx, 1)
 	var body []byte
 	body, err = s.memoize(ctx, key, func(ctx context.Context) (any, error) {
 		system, err := multistream.NewSystem(dev, device.DefaultDRAM(), workloadForStreams(), streams)
@@ -930,22 +984,47 @@ func typed[T any](body []byte, err error) (*T, error) {
 // maxBodyBytes bounds request bodies read by the HTTP layer.
 const maxBodyBytes = 1 << 20
 
-// Handler returns the HTTP handler serving every endpoint.
+// Health is the /healthz payload.
+type Health struct {
+	// Status is "ok" while the service is serving.
+	Status string `json:"status"`
+	// UptimeSeconds is the time since the Service was built.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Version is the module build version from debug.ReadBuildInfo.
+	Version string `json:"version"`
+}
+
+// Health returns the liveness payload.
+func (s *Service) Health() Health {
+	return Health{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Version:       buildVersion(),
+	}
+}
+
+// Handler returns the HTTP handler serving every endpoint. Every route
+// except GET /metricsz is instrumented with the request counter and latency
+// histogram families (scrapes must not observe themselves, so that two
+// scrapes of an idle service stay byte-identical).
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		io.WriteString(w, "ok\n")
-	})
-	mux.HandleFunc("GET /statsz", func(w http.ResponseWriter, r *http.Request) {
+	handle := func(pattern, endpointLabel string, h http.Handler) {
+		mux.Handle(pattern, s.instrument(endpointLabel, h))
+	}
+	handle("GET /healthz", "/healthz", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Health())
+	}))
+	handle("GET /statsz", "/statsz", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
-	})
-	mux.Handle("POST /v1/dimension", endpoint(s, s.DimensionBytes))
-	mux.Handle("POST /v1/sweep", endpoint(s, s.SweepBytes))
-	mux.Handle("POST /v1/simulate", endpoint(s, s.SimulateBytes))
-	mux.Handle("POST /v1/multisim", endpoint(s, s.MultiSimBytes))
-	mux.Handle("POST /v1/breakeven", endpoint(s, s.BreakEvenBytes))
-	mux.Handle("POST /v1/multistream", endpoint(s, s.MultiStreamBytes))
+	}))
+	mux.Handle("GET /metricsz", s.MetricsHandler())
+	handle("POST /v1/dimension", "/v1/dimension", endpoint(s, s.DimensionBytes))
+	handle("POST /v1/sweep", "/v1/sweep", endpoint(s, s.SweepBytes))
+	handle("POST /v1/simulate", "/v1/simulate", endpoint(s, s.SimulateBytes))
+	handle("POST /v1/multisim", "/v1/multisim", endpoint(s, s.MultiSimBytes))
+	handle("POST /v1/breakeven", "/v1/breakeven", endpoint(s, s.BreakEvenBytes))
+	handle("POST /v1/multistream", "/v1/multistream", endpoint(s, s.MultiStreamBytes))
 	return mux
 }
 
@@ -958,6 +1037,7 @@ func endpoint[Req any](s *Service, serve func(context.Context, Req) ([]byte, err
 		if err := dec.Decode(&req); err != nil {
 			var tooLarge *http.MaxBytesError
 			if errors.As(err, &tooLarge) {
+				s.met.shed.Inc()
 				writeJSON(w, http.StatusRequestEntityTooLarge,
 					errorBody{Error: fmt.Sprintf("service: request body exceeds %d bytes", tooLarge.Limit)})
 				return

@@ -56,9 +56,21 @@ func TestHealthz(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status = %d; want 200", resp.StatusCode)
 	}
-	body, _ := io.ReadAll(resp.Body)
-	if string(body) != "ok\n" {
-		t.Errorf("body = %q; want ok", body)
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q; want application/json", ct)
+	}
+	var h Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatalf("decode healthz body: %v", err)
+	}
+	if h.Status != "ok" {
+		t.Errorf("status = %q; want ok", h.Status)
+	}
+	if h.UptimeSeconds < 0 {
+		t.Errorf("uptime = %v; want >= 0", h.UptimeSeconds)
+	}
+	if h.Version == "" {
+		t.Error("version missing (debug.ReadBuildInfo should always yield one)")
 	}
 }
 

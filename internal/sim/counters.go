@@ -1,0 +1,13 @@
+package sim
+
+import "sync/atomic"
+
+// replicasRun counts completed simulation replicas (each Simulator.Run or
+// MultiSimulator.Run that returned statistics), incremented once at run
+// completion so the cycle loop carries no instrumentation. The service
+// layer mirrors it into /metricsz.
+var replicasRun atomic.Uint64
+
+// ReplicasRun returns the number of simulation replicas completed since
+// process start.
+func ReplicasRun() uint64 { return replicasRun.Load() }

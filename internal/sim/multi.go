@@ -296,6 +296,10 @@ func (s *MultiSimulator) Run() (*MultiStats, error) {
 		stream.SimulatedTime = s.core.Now()
 		out.Streams[i] = NamedStats{Name: st.Name, Stats: stream}
 	}
+	// Fold the device-level run into the process-wide observability totals,
+	// once, now that the statistics are final.
+	out.Device.RecordRun()
+	replicasRun.Add(1)
 	return out, nil
 }
 

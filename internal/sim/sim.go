@@ -322,6 +322,10 @@ func (s *Simulator) Run() (*Stats, error) {
 	stats.SimulatedTime = s.core.Now()
 	// Best-effort data passes through the buffer once in and once out.
 	stats.DRAMEnergy = stats.DRAMEnergy.Add(s.cfg.DRAM.AccessEnergy(stats.BestEffortBits.Scale(2)))
+	// Fold this run into the process-wide observability totals, once, now
+	// that the statistics are final.
+	stats.RecordRun()
+	replicasRun.Add(1)
 	return stats, nil
 }
 

@@ -6,6 +6,9 @@ package memstream
 // (Service.Handler, served by cmd/memsd).
 
 import (
+	"log/slog"
+	"net/http"
+
 	"memstream/internal/cache"
 	"memstream/internal/service"
 )
@@ -20,8 +23,13 @@ type (
 	ServiceConfig = service.Config
 	// ServiceStats is the /statsz payload: cache plus request counters.
 	ServiceStats = service.Stats
+	// ServiceHealth is the /healthz payload: status, uptime and build
+	// version.
+	ServiceHealth = service.Health
 	// CacheStats is the sharded result-cache counter snapshot.
 	CacheStats = cache.Stats
+	// CacheShardStats is one shard's slice of a CacheStats snapshot.
+	CacheShardStats = cache.ShardStats
 	// Quantity is a request quantity: a JSON string in unit grammar
 	// ("1024 kbps", "64 KiB", "7 years") or a bare number (bit/s for
 	// rates, bytes for sizes, seconds for durations).
@@ -73,4 +81,17 @@ type (
 // NewService builds the cache-backed dimensioning service. The zero
 // ServiceConfig is usable: default cache bounds, one worker per CPU and no
 // per-request deadline.
+//
+// Service.Handler serves the full HTTP surface including the Prometheus
+// text exposition at GET /metricsz; see the package documentation's
+// Observability section for the metric families.
 func NewService(cfg ServiceConfig) *Service { return service.New(cfg) }
+
+// AccessLog wraps h with structured per-request logging on log: one
+// "request" record per request carrying the request ID (honored from
+// X-Request-ID or generated, and echoed on the response), method, endpoint,
+// status, response bytes, latency, cache outcome and worker bound. A nil
+// logger returns h unchanged.
+func AccessLog(log *slog.Logger, h http.Handler) http.Handler {
+	return service.AccessLog(log, h)
+}
