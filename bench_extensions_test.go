@@ -109,6 +109,7 @@ func BenchmarkMultiSim(b *testing.B) {
 	}
 	var stats *SimMultiStats
 	var err error
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		stats, err = SimulateMulti(cfg)

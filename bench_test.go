@@ -341,6 +341,7 @@ func benchmarkSimBatch8(b *testing.B, workers int) {
 		cfg.Seed = uint64(i + 1)
 		cfgs = append(cfgs, cfg)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := SimulateBatchContext(context.Background(), workers, cfgs); err != nil {

@@ -102,7 +102,9 @@ func SimulateMulti(cfg SimMultiConfig) (*SimMultiStats, error) {
 
 // SimulateMultiBatch runs many independent shared-device simulations
 // concurrently on one worker per CPU and returns the statistics in input
-// order, with the same determinism guarantee as SimulateBatch.
+// order, with the same determinism guarantee as SimulateBatch — including
+// its seed-varied fast path, which reuses one simulator per worker when
+// every plan in the batch differs only by seeds.
 func SimulateMultiBatch(cfgs ...SimMultiConfig) ([]*SimMultiStats, error) {
 	return SimulateMultiBatchContext(context.Background(), 0, cfgs)
 }

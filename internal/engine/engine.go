@@ -277,6 +277,20 @@ func NewCore(b Backend, src RateSource, buffer units.Size) *Core {
 	return c
 }
 
+// Reset rewinds the core to the state NewCore would build for the same
+// backend, source and buffer — time zero, a full buffer, zeroed statistics —
+// without allocating. The rate source is not touched: a driver re-seeding a
+// stochastic source resets it separately before the next run.
+func (c *Core) Reset() {
+	c.now = 0
+	c.level = c.buffer
+	c.inRebuffer = false
+	c.stats = Stats{MinBufferLevel: c.buffer}
+	if c.mediaRate.Positive() {
+		c.stats.StartupDelay = c.positioning.Add(c.mediaRate.TimeFor(c.buffer))
+	}
+}
+
 // Now returns the current simulated time.
 func (c *Core) Now() units.Duration { return c.now }
 

@@ -14,7 +14,6 @@ package engine
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"memstream/internal/device"
 	"memstream/internal/units"
@@ -129,6 +128,12 @@ type MultiCore struct {
 
 	now    units.Duration
 	device Stats
+	// totalBuffer is the summed buffer capacity, the device-level occupancy
+	// ceiling MinBufferLevel starts from.
+	totalBuffer units.Size
+	// order is the ServiceOrder scratch, allocated once per core so the
+	// per-round scheduling decision stays off the steady-state heap.
+	order []int
 }
 
 // NewMultiCore builds a shared-device core: every buffer starts full. Wake
@@ -146,44 +151,67 @@ func NewMultiCore(b Backend, streams []StreamConfig) *MultiCore {
 		m.statePower[s] = b.StatePower(device.PowerState(s))
 	}
 
-	// The longest a full service round can take: one positioning per stream
-	// plus each refill at the slowest net rate (media minus peak demand).
-	serviceBound := m.positioning.Scale(float64(len(streams)))
-	for _, sc := range streams {
-		if peak := sc.Source.PeakRate(); peak < m.mediaRate {
-			serviceBound = serviceBound.Add(m.mediaRate.Sub(peak).TimeFor(sc.Buffer))
-		}
-	}
-
-	var total units.Size
-	startup := units.Duration(0)
 	for _, sc := range streams {
 		st := &streamState{
 			source:        sc.Source,
 			buffer:        sc.Buffer,
-			level:         sc.Buffer,
-			wakeLevel:     sc.Source.PeakRate().Times(serviceBound).Scale(1.05),
 			inflation:     b.WriteInflation(sc.Buffer),
 			writeFraction: sc.WriteFraction,
 		}
 		if stepper, ok := sc.Source.(RateStepper); ok {
 			st.stepper = stepper
 		}
-		st.stats.MinBufferLevel = sc.Buffer
+		m.totalBuffer = m.totalBuffer.Add(sc.Buffer)
+		m.streams = append(m.streams, st)
+	}
+	m.order = make([]int, len(m.streams))
+	m.provision()
+	return m
+}
+
+// provision derives every run-initial quantity that depends on the sources'
+// peak demands — wake levels, startup delays, full buffers, fresh statistics
+// — shared by NewMultiCore and Reset. It allocates nothing, so re-seeded
+// sources (whose realized peaks change with the seed) can be re-provisioned
+// per run on the reset path.
+func (m *MultiCore) provision() {
+	// The longest a full service round can take: one positioning per stream
+	// plus each refill at the slowest net rate (media minus peak demand).
+	serviceBound := m.positioning.Scale(float64(len(m.streams)))
+	for _, st := range m.streams {
+		if peak := st.source.PeakRate(); peak < m.mediaRate {
+			serviceBound = serviceBound.Add(m.mediaRate.Sub(peak).TimeFor(st.buffer))
+		}
+	}
+
+	m.now = 0
+	startup := units.Duration(0)
+	for _, st := range m.streams {
+		st.level = st.buffer
+		st.wakeLevel = st.source.PeakRate().Times(serviceBound).Scale(1.05)
+		st.inRebuffer = false
+		st.stats = Stats{MinBufferLevel: st.buffer}
 		// Startup: the device positions to and fills each region in turn at
 		// the media rate before any stream may start draining; stream i can
 		// start once its own fill completes.
 		if m.mediaRate.Positive() {
-			startup = startup.Add(m.positioning).Add(m.mediaRate.TimeFor(sc.Buffer))
+			startup = startup.Add(m.positioning).Add(m.mediaRate.TimeFor(st.buffer))
 			st.stats.StartupDelay = startup
 		}
-		total = total.Add(sc.Buffer)
-		m.streams = append(m.streams, st)
 	}
-	m.device.MinBufferLevel = total
+	m.device = Stats{MinBufferLevel: m.totalBuffer}
 	// The device-level startup delay is the time until every stream plays.
 	m.device.StartupDelay = startup
-	return m
+}
+
+// Reset rewinds the core to the state NewMultiCore would build for the same
+// backend and streams — time zero, full buffers, zeroed statistics, wake
+// levels re-provisioned against the sources' current peak demands — without
+// allocating. The sources themselves are not touched: a driver re-seeding
+// stochastic sources resets them before calling Reset, so the re-provisioned
+// wake levels see the new traces.
+func (m *MultiCore) Reset() {
+	m.provision()
 }
 
 // Now returns the current simulated time.
@@ -295,16 +323,27 @@ func (m *MultiCore) DrainToWake(state device.PowerState, deadline units.Duration
 
 // ServiceOrder returns the order in which the given policy services the
 // streams at the current moment: declaration order for round-robin, ascending
-// time-to-empty for most-urgent (ties keep declaration order).
+// time-to-empty for most-urgent (ties keep declaration order). The returned
+// slice is scratch owned by the core — valid until the next ServiceOrder
+// call — so the per-round scheduling decision allocates nothing.
 func (m *MultiCore) ServiceOrder(p Policy) []int {
-	order := make([]int, len(m.streams))
+	order := m.order
 	for i := range order {
 		order[i] = i
 	}
 	if p == PolicyMostUrgent {
-		sort.SliceStable(order, func(a, b int) bool {
-			return m.urgency(order[a]) < m.urgency(order[b])
-		})
+		// Stable insertion sort: stream counts are small (a handful of
+		// buffers per device), and unlike sort.SliceStable it keeps the
+		// steady-state scheduling loop allocation-free.
+		for i := 1; i < len(order); i++ {
+			v := order[i]
+			u := m.urgency(v)
+			j := i
+			for ; j > 0 && m.urgency(order[j-1]) > u; j-- {
+				order[j] = order[j-1]
+			}
+			order[j] = v
+		}
 	}
 	return order
 }

@@ -1,0 +1,86 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestEffectiveWorkers(t *testing.T) {
+	cases := []struct {
+		workers, n, want int
+	}{
+		{0, 8, DefaultWorkers()},
+		{-3, 8, DefaultWorkers()},
+		{4, 8, 4},
+		{16, 8, 8},
+		{1, 8, 1},
+		{3, 0, 1},
+	}
+	for _, c := range cases {
+		if c.n > 0 && c.want > c.n {
+			c.want = c.n
+		}
+		if got := EffectiveWorkers(c.workers, c.n); got != c.want {
+			t.Errorf("EffectiveWorkers(%d, %d) = %d, want %d", c.workers, c.n, got, c.want)
+		}
+	}
+}
+
+func TestMapWorkersIndexInRange(t *testing.T) {
+	for _, workers := range []int{1, 2, 5, 64} {
+		bound := EffectiveWorkers(workers, 40)
+		out, err := MapWorkers(context.Background(), workers, 40, func(_ context.Context, worker, i int) (int, error) {
+			if worker < 0 || worker >= bound {
+				t.Errorf("workers=%d: worker index %d outside [0, %d)", workers, worker, bound)
+			}
+			return i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range out {
+			if v != i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+// TestMapWorkersScratchIsExclusive hammers per-worker scratch state the way
+// the batch simulators use it: each worker owns one counter cell, and two
+// invocations racing on a cell would trip the race detector and corrupt the
+// total.
+func TestMapWorkersScratchIsExclusive(t *testing.T) {
+	const workers, n = 4, 200
+	scratch := make([]int, EffectiveWorkers(workers, n))
+	_, err := MapWorkers(context.Background(), workers, n, func(_ context.Context, worker, i int) (int, error) {
+		scratch[worker]++
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range scratch {
+		total += c
+	}
+	if total != n {
+		t.Errorf("per-worker counters sum to %d, want %d", total, n)
+	}
+}
+
+func TestMapWorkersErrorNamesLowestIndex(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 3} {
+		_, err := MapWorkers(context.Background(), workers, 30, func(_ context.Context, _, i int) (int, error) {
+			if i >= 7 {
+				return 0, boom
+			}
+			return i, nil
+		})
+		if !errors.Is(err, boom) {
+			t.Errorf("workers=%d: err = %v, want boom", workers, err)
+		}
+	}
+}

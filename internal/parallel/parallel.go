@@ -20,6 +20,24 @@ import (
 // one worker per available CPU.
 func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 
+// EffectiveWorkers resolves the worker count Map and MapWorkers actually run
+// with for an n-index job: workers <= 0 becomes DefaultWorkers, and the pool
+// never exceeds the index count. Callers sizing per-worker scratch (one
+// reusable simulator per worker, for example) allocate exactly this many
+// slots.
+func EffectiveWorkers(workers, n int) int {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
 // Map runs fn(ctx, i) for every i in [0, n) on at most workers goroutines
 // and returns the results in index order, exactly as a sequential loop would
 // produce them.
@@ -34,15 +52,24 @@ func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 // sequential loop would stop at. Remaining unclaimed indices are skipped via
 // the derived context once any invocation fails.
 func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	return MapWorkers(ctx, workers, n, func(ctx context.Context, _, i int) (T, error) {
+		return fn(ctx, i)
+	})
+}
+
+// MapWorkers is Map with the identity of the claiming worker passed to fn as
+// its second argument: a stable index in [0, EffectiveWorkers(workers, n))
+// naming the goroutine that runs the invocation. Because one worker runs one
+// invocation at a time, fn may keep mutable scratch state per worker index —
+// a reusable simulator, a preallocated buffer — without synchronisation. The
+// index-to-worker assignment is a scheduling race and must not influence
+// results; everything fn returns has to be fully determined by i alone, as
+// Map's determinism contract already requires.
+func MapWorkers[T any](ctx context.Context, workers, n int, fn func(ctx context.Context, worker, i int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, ctx.Err()
 	}
-	if workers <= 0 {
-		workers = DefaultWorkers()
-	}
-	if workers > n {
-		workers = n
-	}
+	workers = EffectiveWorkers(workers, n)
 	out := make([]T, n)
 	if workers == 1 {
 		done := workerEnter()
@@ -52,7 +79,7 @@ func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			v, err := fn(ctx, i)
+			v, err := fn(ctx, 0, i)
 			ran++
 			if err != nil {
 				return nil, err
@@ -83,7 +110,7 @@ func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context
 				if i >= n {
 					return
 				}
-				v, err := fn(ctx, i)
+				v, err := fn(ctx, w, i)
 				ran++
 				if err != nil {
 					errs[i] = err

@@ -23,6 +23,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"reflect"
 
 	"memstream/internal/device"
 	"memstream/internal/ecc"
@@ -35,6 +36,12 @@ import (
 // RatePattern (CBR/VBR) and VideoRatePattern (MPEG-like frame traces) both
 // implement it.
 type RateSource = engine.RateSource
+
+// halfFrameSlice is the sampling resolution for custom rate sources that
+// cannot announce their own rate changes: half a frame interval at the 25 fps
+// video default, the legacy fixed-slice resolution the event-driven engine
+// degrades to on such sources.
+var halfFrameSlice = units.Second.Scale(0.02)
 
 // Stats accumulates everything observed during a run. It is the engine's
 // statistics record; the public facade re-exports it as memstream.SimStats.
@@ -168,6 +175,7 @@ type Simulator struct {
 	cfg     Config
 	backend engine.Backend
 	core    *engine.Core
+	source  RateSource
 	rng     *workload.Rng
 	// writeFraction is the resolved stream write share (from Spec when set,
 	// from the legacy Stream otherwise).
@@ -182,6 +190,13 @@ func New(cfg Config) (*Simulator, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	return newValidated(cfg)
+}
+
+// newValidated builds a simulator assuming cfg already passed Validate, so
+// batch runners validating a whole batch once do not pay per-replica
+// re-validation.
+func newValidated(cfg Config) (*Simulator, error) {
 	var source RateSource
 	writeFraction := cfg.Stream.WriteFraction
 	switch {
@@ -197,7 +212,7 @@ func New(cfg Config) (*Simulator, error) {
 	case cfg.RateSource != nil:
 		// A custom source that cannot announce its own rate changes falls
 		// back to the legacy half-frame sampling resolution.
-		source = engine.Sliced(cfg.RateSource, units.Duration(0.02))
+		source = engine.Sliced(cfg.RateSource, halfFrameSlice)
 	default:
 		pattern, err := workload.NewRatePattern(cfg.Stream)
 		if err != nil {
@@ -221,10 +236,118 @@ func New(cfg Config) (*Simulator, error) {
 		cfg:           cfg,
 		backend:       backend,
 		core:          engine.NewCore(backend, source, cfg.Buffer),
+		source:        source,
 		rng:           workload.NewRng(cfg.Seed ^ 0xdeadbeefcafef00d),
 		writeFraction: writeFraction,
 		requests:      requests,
 	}, nil
+}
+
+// patternSeed returns the seed the demand pattern derives its randomness
+// from: the spec's for the typed path, the legacy stream's otherwise.
+func (c Config) patternSeed() uint64 {
+	if c.Spec.Kind != "" {
+		return c.Spec.Seed
+	}
+	return c.Stream.Seed
+}
+
+// ResetFor rewinds the simulator so its next Run replays cfg from scratch,
+// reusing the engine core, the demand pattern's storage and the best-effort
+// request trace instead of rebuilding them: after a ResetFor, Run produces
+// bit-identical statistics to a fresh New(cfg) run. cfg must be reset-
+// compatible with the configuration the simulator was built from — identical
+// except for the seeds (Seed, Spec.Seed/Stream.Seed, BestEffort.Seed) — and
+// the simulator must not drive a custom RateSource, whose internal state the
+// engine cannot rewind; ResetFor reports an error otherwise. RunBatch uses
+// it to run seed-varied replicas with an allocation-free steady state.
+func (s *Simulator) ResetFor(cfg Config) error {
+	if cfg.BitErrorRate > 0 && cfg.ECCSampleWords <= 0 {
+		// The same defaulting New applies, so the stored (normalized)
+		// configuration compares equal to a caller's un-normalized one.
+		cfg.ECCSampleWords = 8
+	}
+	if !resetCompatible(s.cfg, cfg) {
+		return errors.New("sim: ResetFor needs a reset-compatible configuration (identical up to seeds, no custom rate source)")
+	}
+	return s.rewind(cfg)
+}
+
+// rewind is ResetFor without the compatibility check, for callers that know
+// cfg is reset-compatible by construction (Reset derives it from the stored
+// configuration; the batch runners verify the whole batch once up front). It
+// allocates nothing in steady state: the pattern regenerates into its own
+// storage and the request trace reuses its capacity.
+func (s *Simulator) rewind(cfg Config) error {
+	if cfg.RateSource != nil {
+		// The caller owns the source's internal state, which the engine
+		// cannot rewind — even when the source is one of the resettable
+		// pattern types below, reseeding it here would desync it from the
+		// caller's view of it.
+		return errors.New("sim: a custom rate source cannot be reset")
+	}
+	if cfg.BitErrorRate > 0 && cfg.ECCSampleWords <= 0 {
+		cfg.ECCSampleWords = 8
+	}
+	switch p := s.source.(type) {
+	case *workload.RatePattern:
+		p.Reset(cfg.patternSeed())
+	case *workload.VideoRatePattern:
+		if err := p.Reset(cfg.patternSeed()); err != nil {
+			return err
+		}
+	case *workload.TracePattern:
+		// Read-only after construction; the replayed frames carry no seed.
+	default:
+		return errors.New("sim: a custom rate source cannot be reset")
+	}
+	if cfg.BestEffort.TargetFraction > 0 {
+		requests, err := cfg.BestEffort.AppendRequests(s.requests[:0], cfg.Duration)
+		if err != nil {
+			return err
+		}
+		s.requests = requests
+	} else {
+		s.requests = s.requests[:0]
+	}
+	s.cfg = cfg
+	s.nextReq = 0
+	s.rng.Seed(cfg.Seed ^ 0xdeadbeefcafef00d)
+	s.core.Reset()
+	return nil
+}
+
+// Reset is the common-case ResetFor: it re-seeds every stochastic input —
+// the run's own RNG, the demand pattern and the best-effort process — with
+// the same replica seed, exactly as the service layer derives its replicas,
+// and rewinds the simulator for the next Run. The derived configuration is
+// reset-compatible by construction, so Reset skips the compatibility check
+// and runs allocation-free.
+func (s *Simulator) Reset(seed uint64) error {
+	cfg := s.cfg
+	cfg.Seed = seed
+	if cfg.Spec.Kind != "" {
+		cfg.Spec.Seed = seed
+	} else {
+		cfg.Stream.Seed = seed
+	}
+	cfg.BestEffort.Seed = seed
+	return s.rewind(cfg)
+}
+
+// resetCompatible reports whether two configurations are identical up to
+// their seed fields, so a simulator built for a can be rewound into b by
+// ResetFor. Custom rate sources are never reset-compatible: the engine
+// cannot rewind state it does not own.
+func resetCompatible(a, b Config) bool {
+	if a.RateSource != nil || b.RateSource != nil {
+		return false
+	}
+	a.Seed, b.Seed = 0, 0
+	a.Spec.Seed, b.Spec.Seed = 0, 0
+	a.Stream.Seed, b.Stream.Seed = 0, 0
+	a.BestEffort.Seed, b.BestEffort.Seed = 0, 0
+	return reflect.DeepEqual(a, b)
 }
 
 // serveBestEffort serves every queued request that has arrived by now.

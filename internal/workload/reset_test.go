@@ -1,0 +1,128 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"memstream/internal/units"
+)
+
+// sampleRates walks the pattern through the first minute at a quarter-second
+// step, driving the lazy segment draws exactly as an integrator would.
+func sampleRates(p *RatePattern) []units.BitRate {
+	out := make([]units.BitRate, 0, 240)
+	for i := 0; i < 240; i++ {
+		out = append(out, p.RateAt(units.Second.Scale(float64(i)*0.25)))
+	}
+	return out
+}
+
+func TestRatePatternResetMatchesFresh(t *testing.T) {
+	stream := NewVBRStream(1024*units.Kbps, 1)
+	p, err := NewRatePattern(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Advance the pattern well into its sequence before resetting, so stale
+	// segment state would be caught.
+	_ = sampleRates(p)
+
+	p.Reset(42)
+	got := sampleRates(p)
+
+	stream.Seed = 42
+	fresh, err := NewRatePattern(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleRates(fresh)
+	if !reflect.DeepEqual(got, want) {
+		t.Error("reset VBR pattern diverges from a freshly built one")
+	}
+}
+
+func TestVideoRatePatternResetMatchesFresh(t *testing.T) {
+	stream := NewVideoStream(1024*units.Kbps, 1)
+	horizon := 30 * units.Second
+	p, err := NewVideoRatePattern(stream, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Reset(42); err != nil {
+		t.Fatal(err)
+	}
+
+	stream.Seed = 42
+	fresh, err := NewVideoRatePattern(stream, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p.Frames(), fresh.Frames()) {
+		t.Error("reset video trace diverges from a freshly generated one")
+	}
+	if p.PeakRate() != fresh.PeakRate() {
+		t.Errorf("reset peak %v, fresh peak %v", p.PeakRate(), fresh.PeakRate())
+	}
+	if p.AverageRate() != fresh.AverageRate() {
+		t.Errorf("reset average %v, fresh average %v", p.AverageRate(), fresh.AverageRate())
+	}
+}
+
+func TestVideoRatePatternResetDoesNotAllocate(t *testing.T) {
+	p, err := NewVideoRatePattern(NewVideoStream(1024*units.Kbps, 1), 30*units.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := uint64(0)
+	allocs := testing.AllocsPerRun(20, func() {
+		seed++
+		if err := p.Reset(seed); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Reset allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+func TestAppendRequestsMatchesGenerate(t *testing.T) {
+	proc := NewBestEffortProcess(0.05, 50*units.Mbps, 7)
+	horizon := 2 * units.Minute
+	want, err := proc.Generate(horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("no requests generated; the reuse path is untested")
+	}
+
+	// Appending into a recycled slice must reproduce the fresh trace exactly.
+	buf := make([]BestEffortRequest, 3, len(want)+4)
+	got, err := proc.AppendRequests(buf[:0], horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("AppendRequests into a recycled slice diverges from Generate")
+	}
+	if &got[0] != &buf[:1][0] {
+		t.Error("AppendRequests did not reuse the recycled slice's storage")
+	}
+
+	// A zero-fraction process appends nothing.
+	idle := BestEffortProcess{}
+	if out, err := idle.AppendRequests(got[:0], horizon); err != nil || len(out) != 0 {
+		t.Errorf("zero-fraction process: got (%d requests, %v)", len(out), err)
+	}
+}
+
+func TestRngSeedRestartsSequence(t *testing.T) {
+	r := NewRng(9)
+	first := []uint64{r.Uint64(), r.Uint64(), r.Uint64()}
+	r.Seed(9)
+	for i, want := range first {
+		if got := r.Uint64(); got != want {
+			t.Fatalf("draw %d after reseed = %d, want %d", i, got, want)
+		}
+	}
+}

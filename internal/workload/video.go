@@ -180,6 +180,15 @@ func (v VideoStream) meanFrameSizes() (i, p, b units.Size) {
 
 // GenerateTrace produces the frame sequence covering [0, horizon).
 func (v VideoStream) GenerateTrace(horizon units.Duration) ([]Frame, error) {
+	return v.AppendTrace(nil, horizon)
+}
+
+// AppendTrace appends the frame sequence covering [0, horizon) to dst and
+// returns the extended slice, exactly as GenerateTrace would produce it.
+// Passing a previous trace's slice truncated to zero length reuses its
+// capacity, so seed-varied replicas regenerate their traces without
+// steady-state allocations.
+func (v VideoStream) AppendTrace(dst []Frame, horizon units.Duration) ([]Frame, error) {
 	if err := v.Validate(); err != nil {
 		return nil, err
 	}
@@ -197,7 +206,10 @@ func (v VideoStream) GenerateTrace(horizon units.Duration) ([]Frame, error) {
 		return nil, fmt.Errorf("workload: trace of %.3g frames exceeds the %d-frame generation bound", n, maxFrames)
 	}
 	total := int(horizon.Seconds() * v.FrameRate)
-	frames := make([]Frame, 0, total)
+	frames := dst
+	if frames == nil {
+		frames = make([]Frame, 0, total)
+	}
 	for idx := 0; idx < total; idx++ {
 		class := v.classOf(idx % v.GOPLength)
 		var mean units.Size
@@ -232,7 +244,10 @@ type VideoRatePattern struct {
 	frames        []Frame
 	frameInterval units.Duration
 	horizon       units.Duration
-	peak          units.BitRate
+	// genHorizon is the horizon the trace was requested for (the realized
+	// horizon above is quantized to whole frames); Reset regenerates over it.
+	genHorizon units.Duration
+	peak       units.BitRate
 }
 
 // NewVideoRatePattern builds a demand sampler covering the given horizon. The
@@ -251,16 +266,40 @@ func NewVideoRatePattern(v VideoStream, horizon units.Duration) (*VideoRatePatte
 		frames:        frames,
 		frameInterval: units.Second.Scale(1 / v.FrameRate),
 		horizon:       units.Second.Scale(float64(len(frames)) / v.FrameRate),
+		genHorizon:    horizon,
 	}
-	for _, f := range frames {
-		if rate := p.frameInterval; rate.Positive() {
-			r := units.BitPerSecond.Scale(f.Size.Bits() / p.frameInterval.Seconds())
-			if r > p.peak {
-				p.peak = r
-			}
+	p.rescanPeak()
+	return p, nil
+}
+
+// rescanPeak recomputes the realized peak demand over the current trace.
+func (p *VideoRatePattern) rescanPeak() {
+	p.peak = 0
+	for _, f := range p.frames {
+		if !p.frameInterval.Positive() {
+			continue
+		}
+		r := units.BitPerSecond.Scale(f.Size.Bits() / p.frameInterval.Seconds())
+		if r > p.peak {
+			p.peak = r
 		}
 	}
-	return p, nil
+}
+
+// Reset regenerates the trace in place for the stream re-seeded with seed,
+// reusing the existing frame storage, so the pattern ends up exactly as
+// NewVideoRatePattern would build it for that seed — without allocating. It
+// exists so batch replicas can reuse one pattern across seed-varied runs.
+func (p *VideoRatePattern) Reset(seed uint64) error {
+	p.stream.Seed = seed
+	frames, err := p.stream.AppendTrace(p.frames[:0], p.genHorizon)
+	if err != nil {
+		return err
+	}
+	p.frames = frames
+	p.horizon = units.Second.Scale(float64(len(frames)) / p.stream.FrameRate)
+	p.rescanPeak()
+	return nil
 }
 
 // RateAt returns the demand in effect at time t.

@@ -27,6 +27,12 @@ func NewRng(seed uint64) *Rng {
 	return &Rng{state: seed}
 }
 
+// Seed rewinds the generator to the state NewRng(seed) would start from, so
+// a reused generator replays exactly the sequence a fresh one would produce.
+func (r *Rng) Seed(seed uint64) {
+	r.state = seed
+}
+
 // Uint64 returns the next 64-bit value.
 func (r *Rng) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15
@@ -157,6 +163,17 @@ func NewRatePattern(s Stream) (*RatePattern, error) {
 		p.segmentEnd = 0 // force a draw on first use
 	}
 	return p, nil
+}
+
+// Reset rewinds the pattern to the state NewRatePattern would build for the
+// same stream re-seeded with seed, without allocating: a reused pattern
+// replays exactly the segment sequence a fresh one would produce. It exists
+// so batch replicas can reuse one sampler across seed-varied runs.
+func (p *RatePattern) Reset(seed uint64) {
+	p.stream.Seed = seed
+	p.rng.Seed(seed ^ 0xa5a5a5a5a5a5a5a5)
+	p.segmentEnd = 0 // force a draw on first use, as NewRatePattern does
+	p.current = p.stream.NominalRate
 }
 
 // PeakRate returns the highest rate the pattern can produce.
@@ -295,18 +312,27 @@ func (p BestEffortProcess) MeanInterarrival() (units.Duration, error) {
 
 // Generate produces all requests arriving in [0, horizon).
 func (p BestEffortProcess) Generate(horizon units.Duration) ([]BestEffortRequest, error) {
+	return p.AppendRequests(nil, horizon)
+}
+
+// AppendRequests appends all requests arriving in [0, horizon) to dst and
+// returns the extended slice, exactly as Generate would produce them. Passing
+// a previous trace's slice truncated to zero length reuses its capacity, so
+// reset-and-rerun replicas regenerate their background traffic without
+// steady-state allocations.
+func (p BestEffortProcess) AppendRequests(dst []BestEffortRequest, horizon units.Duration) ([]BestEffortRequest, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	if p.TargetFraction == 0 || !horizon.Positive() {
-		return nil, nil
+		return dst, nil
 	}
 	mean, err := p.MeanInterarrival()
 	if err != nil {
 		return nil, err
 	}
 	rng := NewRng(p.Seed ^ 0x5bd1e9955bd1e995)
-	var out []BestEffortRequest
+	out := dst
 	t := units.Second.Scale(rng.Exp(mean.Seconds()))
 	for t < horizon {
 		size := units.Bit.Scale(rng.Exp(p.MeanSize.Bits()))

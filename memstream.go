@@ -321,9 +321,12 @@ func Simulate(cfg SimConfig) (*SimStats, error) {
 }
 
 // SimulateBatch runs many independent simulations concurrently on one worker
-// per CPU and returns the statistics in input order. Every configuration
-// owns its simulator and RNG state, so the results are bit-identical to
-// calling Simulate on each configuration in sequence.
+// per CPU and returns the statistics in input order. When the batch is a set
+// of seed-varied replicas of one configuration — identical except for seeds —
+// it is validated once and each worker reuses a single simulator across the
+// replicas it claims instead of rebuilding state per replica; mixed batches
+// fall back to one simulator per configuration. Both paths are bit-identical
+// to calling Simulate on each configuration in sequence.
 func SimulateBatch(cfgs ...SimConfig) ([]*SimStats, error) {
 	return SimulateBatchContext(context.Background(), 0, cfgs)
 }
