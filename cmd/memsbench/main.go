@@ -7,8 +7,9 @@
 // Usage:
 //
 //	memsbench [-scenario all|name,name,...] [-warmup N] [-reps N]
-//	          [-format table|json|csv] [-out BENCH_8.json]
-//	memsbench -check BENCH_8.json [-warmup N] [-reps N]
+//	          [-format table|json|csv] [-out BENCH_9.json]
+//	memsbench -check BENCH_9.json [-warmup N] [-reps N]
+//	memsbench -compare BENCH_8.json BENCH_9.json
 //
 // The scenarios:
 //
@@ -33,6 +34,12 @@
 // allocs/op exceeds the committed value — allocation regressions are exact,
 // no tolerance — or its timing drifts beyond a generous factor meant only to
 // catch order-of-magnitude regressions on wildly different hardware.
+//
+// -compare runs nothing: it reads two committed reports and prints the
+// per-scenario trajectory — ns/op and allocs/op, old against new, with the
+// relative timing change — so the sequence of BENCH_<pr>.json files at the
+// repository root can be diffed pairwise. Scenarios present in only one of
+// the two reports are listed as added or removed.
 package main
 
 import (
@@ -61,6 +68,9 @@ type options struct {
 	format   string
 	out      string
 	check    string
+	// compare holds the two committed report paths of a -compare run
+	// (empty otherwise).
+	compare []string
 }
 
 // Result is one scenario's measurement. Field order is the committed JSON
@@ -333,16 +343,9 @@ const timingTolerance = 25
 // counts must not exceed the committed values at all, timing only within
 // timingTolerance.
 func check(w io.Writer, o options) error {
-	data, err := os.ReadFile(o.check)
+	committed, err := readReport(o.check)
 	if err != nil {
 		return err
-	}
-	var committed Report
-	if err := json.Unmarshal(data, &committed); err != nil {
-		return fmt.Errorf("%s: %w", o.check, err)
-	}
-	if len(committed.Scenarios) == 0 {
-		return fmt.Errorf("%s: no scenarios in committed report", o.check)
 	}
 	scs, err := selectScenarios(strings.Join(baselineNames(committed), ","))
 	if err != nil {
@@ -381,6 +384,66 @@ func check(w io.Writer, o options) error {
 	return nil
 }
 
+// readReport loads one committed JSON report.
+func readReport(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return Report{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Scenarios) == 0 {
+		return Report{}, fmt.Errorf("%s: no scenarios in committed report", path)
+	}
+	return r, nil
+}
+
+// compare prints the per-scenario trajectory between two committed reports:
+// allocs/op and ns/op old against new, with the relative timing change. It
+// is a reading aid, not a gate — -check is the gate — so mismatched
+// scenario sets are reported, not failed.
+func compare(w io.Writer, oldPath, newPath string) error {
+	oldR, err := readReport(oldPath)
+	if err != nil {
+		return err
+	}
+	newR, err := readReport(newPath)
+	if err != nil {
+		return err
+	}
+	oldBy := make(map[string]Result, len(oldR.Scenarios))
+	for _, s := range oldR.Scenarios {
+		oldBy[s.Name] = s
+	}
+	fmt.Fprintf(w, "%-14s %12s %12s %9s %12s %12s %8s\n",
+		"scenario", "old allocs", "new allocs", "Δallocs", "old ns/op", "new ns/op", "ns/op")
+	for _, n := range newR.Scenarios {
+		o, ok := oldBy[n.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-14s %12s %12d %9s %12s %12d %8s\n",
+				n.Name, "-", n.AllocsPerOp, "added", "-", n.NsPerOp, "-")
+			continue
+		}
+		delete(oldBy, n.Name)
+		timing := "-"
+		if o.NsPerOp > 0 {
+			timing = fmt.Sprintf("%+.1f%%", 100*(float64(n.NsPerOp)/float64(o.NsPerOp)-1))
+		}
+		fmt.Fprintf(w, "%-14s %12d %12d %+9d %12d %12d %8s\n",
+			n.Name, o.AllocsPerOp, n.AllocsPerOp, n.AllocsPerOp-o.AllocsPerOp, o.NsPerOp, n.NsPerOp, timing)
+	}
+	// Keep the removed scenarios in the old report's order, not map order.
+	for _, o := range oldR.Scenarios {
+		if _, removed := oldBy[o.Name]; removed {
+			fmt.Fprintf(w, "%-14s %12d %12s %9s %12d %12s %8s\n",
+				o.Name, o.AllocsPerOp, "-", "removed", o.NsPerOp, "-", "-")
+		}
+	}
+	return nil
+}
+
 // baselineNames lists the committed report's scenario names in order.
 func baselineNames(r Report) []string {
 	names := make([]string, len(r.Scenarios))
@@ -397,6 +460,15 @@ func run(w io.Writer, o options) error {
 	}
 	if o.warmup < 0 {
 		return fmt.Errorf("-warmup must not be negative, got %d", o.warmup)
+	}
+	if len(o.compare) > 0 {
+		if len(o.compare) != 2 {
+			return fmt.Errorf("-compare needs exactly two committed reports, got %d", len(o.compare))
+		}
+		if o.check != "" {
+			return fmt.Errorf("-compare and -check are mutually exclusive")
+		}
+		return compare(w, o.compare[0], o.compare[1])
 	}
 	if o.check != "" {
 		return check(w, o)
@@ -451,7 +523,18 @@ func main() {
 	flag.StringVar(&o.format, "format", "table", "output format: table, json or csv")
 	flag.StringVar(&o.out, "out", "", "also write the JSON report to this file")
 	flag.StringVar(&o.check, "check", "", "compare against a committed JSON report instead of printing one")
+	doCompare := flag.Bool("compare", false, "print the trajectory between two committed JSON reports (old new) without running anything")
 	flag.Parse()
+	if *doCompare {
+		if flag.NArg() != 2 {
+			fmt.Fprintf(os.Stderr, "memsbench: -compare needs exactly two committed reports, got %d\n", flag.NArg())
+			os.Exit(1)
+		}
+		o.compare = flag.Args()
+	} else if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "memsbench: unexpected arguments: %s\n", strings.Join(flag.Args(), " "))
+		os.Exit(1)
+	}
 	if err := run(os.Stdout, o); err != nil {
 		fmt.Fprintln(os.Stderr, "memsbench:", err)
 		os.Exit(1)

@@ -174,6 +174,58 @@ func TestCheckFlagsAllocationRegression(t *testing.T) {
 	}
 }
 
+// writeReport marshals a report to a temp file for the compare tests.
+func writeReport(t *testing.T, r Report) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "bench.json")
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareReportsTrajectory(t *testing.T) {
+	oldPath := writeReport(t, Report{Tool: "memsbench", Scenarios: []Result{
+		{Name: "cbr-steady", AllocsPerOp: 2, NsPerOp: 1000},
+		{Name: "retired", AllocsPerOp: 7, NsPerOp: 500},
+	}})
+	newPath := writeReport(t, Report{Tool: "memsbench", Scenarios: []Result{
+		{Name: "cbr-steady", AllocsPerOp: 0, NsPerOp: 1500},
+		{Name: "fresh", AllocsPerOp: 3, NsPerOp: 200},
+	}})
+	var buf bytes.Buffer
+	if err := run(&buf, opts(func(o *options) { o.compare = []string{oldPath, newPath} })); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"cbr-steady", "-2", "+50.0%", "added", "removed", "retired", "fresh"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("compare output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCompareRejectsBadInputs(t *testing.T) {
+	good := writeReport(t, Report{Tool: "memsbench", Scenarios: []Result{{Name: "cbr-steady"}}})
+	if err := run(&bytes.Buffer{}, opts(func(o *options) { o.compare = []string{good} })); err == nil ||
+		!strings.Contains(err.Error(), "exactly two") {
+		t.Errorf("single-file compare accepted: %v", err)
+	}
+	if err := run(&bytes.Buffer{}, opts(func(o *options) { o.compare = []string{good, good}; o.check = good })); err == nil ||
+		!strings.Contains(err.Error(), "mutually exclusive") {
+		t.Errorf("compare+check accepted: %v", err)
+	}
+	empty := writeReport(t, Report{Tool: "memsbench"})
+	if err := run(&bytes.Buffer{}, opts(func(o *options) { o.compare = []string{good, empty} })); err == nil ||
+		!strings.Contains(err.Error(), "no scenarios") {
+		t.Errorf("empty report accepted: %v", err)
+	}
+}
+
 func TestCheckRejectsUnknownCommittedScenario(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "bench.json")
 	baseline := Report{Tool: "memsbench", Scenarios: []Result{{Name: "warp-drive"}}}

@@ -14,15 +14,17 @@
 //	        [-besteffort 0.05] [-ber 1e-4] [-validate] [-replicas 8]
 //	memssim -streams name=playback,rate=1024kbps,buffer=128KiB,write=0 \
 //	        -streams name=camera,kind=vbr,rate=512kbps,buffer=64KiB,write=1 \
-//	        [-policy rr|edf] [-duration 5min] [-besteffort 0.05]
+//	        [-policy rr|edf|prio] [-duration 5min] [-besteffort 0.05]
 //
 // With one or more repeatable -streams flags memssim simulates all the named
 // streams concurrently on one shared device: the device wakes when any
 // buffer falls to its wake level, repositions to each stream region in turn
 // (under -policy round-robin/"rr", the default, in declaration order; under
-// most-urgent/"edf", emptiest-first), refills it at the media rate and shuts
-// down again. Each -streams value is a comma-separated k=v list with the keys
-// name, kind (cbr|vbr|video|trace), rate, buffer, write (written share) and
+// most-urgent/"edf", emptiest-first; under priority/"prio", highest prio=
+// first, emptiest-first within a class), refills it at the media rate and
+// shuts down again. Each -streams value is a comma-separated k=v list with
+// the keys name, kind (cbr|vbr|video|trace), rate, buffer, write (written
+// share), prio (service class) and
 // trace (frame file, kind trace only). The single-stream flags -stream,
 // -trace, -dump-trace, -validate, -ber and -replicas do not combine with it.
 //
@@ -99,8 +101,8 @@ func main() {
 	flag.Uint64Var(&o.seed, "seed", 1, "random seed")
 	flag.BoolVar(&o.validate, "validate", false, "compare the simulation against the analytical model")
 	flag.IntVar(&o.replicas, "replicas", 1, "run this many seed-varied replicas concurrently and report the spread")
-	flag.Var(&o.streams, "streams", "add one stream of a shared-device simulation (repeatable): name=...,kind=cbr|vbr|video|trace,rate=...,buffer=...,write=...,trace=file")
-	flag.StringVar(&o.policy, "policy", "", "shared-device scheduling policy: round-robin/rr (default) or most-urgent/edf (needs -streams)")
+	flag.Var(&o.streams, "streams", "add one stream of a shared-device simulation (repeatable): name=...,kind=cbr|vbr|video|trace,rate=...,buffer=...,write=...,prio=...,trace=file")
+	flag.StringVar(&o.policy, "policy", "", "shared-device scheduling policy: round-robin/rr (default), most-urgent/edf or priority/prio (needs -streams)")
 	flag.Parse()
 
 	if err := run(os.Stdout, o); err != nil {
@@ -190,13 +192,13 @@ func loadTrace(path string) ([]memstream.Frame, error) {
 func resolvePolicy(s string) (memstream.SchedulingPolicy, error) {
 	p, err := memstream.ParseSchedulingPolicy(s)
 	if err != nil {
-		return "", fmt.Errorf("unknown -policy %q (want round-robin/rr or most-urgent/edf)", s)
+		return "", fmt.Errorf("unknown -policy %q (want round-robin/rr, most-urgent/edf or priority/prio)", s)
 	}
 	return p, nil
 }
 
 // parseStreamSpec parses one -streams value: a comma-separated k=v list with
-// the keys name, kind, rate, buffer, write and trace.
+// the keys name, kind, rate, buffer, write, prio and trace.
 func parseStreamSpec(value string, index int, defaultSeed uint64) (memstream.SimMultiStream, error) {
 	var (
 		name      = fmt.Sprintf("stream%d", index)
@@ -204,6 +206,7 @@ func parseStreamSpec(value string, index int, defaultSeed uint64) (memstream.Sim
 		rateStr   string
 		bufferStr string
 		writeStr  string
+		prioStr   string
 		traceFile string
 		errf      = func(format string, args ...any) (memstream.SimMultiStream, error) {
 			return memstream.SimMultiStream{}, fmt.Errorf("-streams %q: "+format, append([]any{value}, args...)...)
@@ -229,10 +232,12 @@ func parseStreamSpec(value string, index int, defaultSeed uint64) (memstream.Sim
 			bufferStr = v
 		case "write":
 			writeStr = v
+		case "prio":
+			prioStr = v
 		case "trace":
 			traceFile = v
 		default:
-			return errf("unknown key %q (want name, kind, rate, buffer, write or trace)", k)
+			return errf("unknown key %q (want name, kind, rate, buffer, write, prio or trace)", k)
 		}
 	}
 	if bufferStr == "" {
@@ -283,7 +288,14 @@ func parseStreamSpec(value string, index int, defaultSeed uint64) (memstream.Sim
 		}
 		spec.WriteFraction = write
 	}
-	return memstream.SimMultiStream{Name: name, Spec: spec, Buffer: buffer}, nil
+	prio := 0
+	if prioStr != "" {
+		prio, err = strconv.Atoi(prioStr)
+		if err != nil {
+			return errf("prio must be an integer, got %q", prioStr)
+		}
+	}
+	return memstream.SimMultiStream{Name: name, Spec: spec, Buffer: buffer, Priority: prio}, nil
 }
 
 // runMulti simulates the -streams set sharing one device and reports the

@@ -59,15 +59,20 @@
 //
 // # Simulation engine
 //
-// The discrete-event simulator is built on an event-driven core
-// (internal/engine) shared by the single-stream simulator, the shared-device
-// study and the service layer. It advances time by next-event stepping — a
-// drain or refill integration step ends at the earliest of the target
-// buffer level, the run deadline, and the next demand change announced by
-// the rate source — so piecewise-constant demand (CBR, VBR segments,
-// per-frame video traces) is integrated exactly, and VBR/video runs take
-// steps proportional to the number of rate changes instead of fixed
-// 20-millisecond slices.
+// The discrete-event simulator is built on one event-driven scheduling core
+// (internal/engine): K stream buffers drain concurrently while the shared
+// device wakes, services them under a scheduling policy and shuts down
+// again. A single-stream run is literally the K=1 case of that core — the
+// single- and multi-stream simulators drive the same wake/refill/shutdown
+// machinery through one cycle loop and differ only in a handful of declared
+// behavioural knobs (the single-stream top-off refill, its ECC error model,
+// its full-buffer DRAM charge), so the two paths cannot drift apart. Time
+// advances by next-event stepping — a drain or refill integration step ends
+// at the earliest of the target buffer level, the run deadline, and the next
+// demand change announced by the rate source — so piecewise-constant demand
+// (CBR, VBR segments, per-frame video traces) is integrated exactly, and
+// VBR/video runs take steps proportional to the number of rate changes
+// instead of fixed 20-millisecond slices.
 //
 // The engine accounts per-state time and energy against a pluggable device
 // backend (power per cycle state, positioning and shutdown transitions,
@@ -140,17 +145,19 @@
 //
 // The multi-stream analysis (SharedSystem, the generalised Fig. 1 cycle in
 // internal/multistream) has a simulated counterpart: SimulateMulti runs
-// several concurrent streams on one device through the event-driven engine.
-// Each stream is a SimMultiStream — any workload spec (CBR, VBR, video,
-// trace) plus its own dedicated buffer — and all buffers drain concurrently
-// while the shared device sleeps. The device wakes when any buffer falls to
-// its wake level (provisioned to survive a full service round at peak
-// demand), repositions to each stream's region in turn — paying the
-// backend's positioning transition per stream, exactly like the closed
+// several concurrent streams on one device through the same unified
+// scheduling core the single-stream simulator drives at K=1. Each stream is
+// a SimMultiStream — any workload spec (CBR, VBR, video, trace) plus its own
+// dedicated buffer and an optional Priority class — and all buffers drain
+// concurrently while the shared device sleeps. The device wakes when any
+// buffer falls to its wake level (provisioned to survive a full service
+// round at peak demand; at K=1 this reduces exactly to the single-stream
+// positioning rule), repositions to each stream's region in turn — paying
+// the backend's positioning transition per stream, exactly like the closed
 // form's inter-stream seeks — refills that stream at the media rate, serves
 // the best-effort backlog and shuts down again.
 //
-// Two scheduling policies order the service round (SchedulingPolicy,
+// Three scheduling policies order the service round (SchedulingPolicy,
 // SimMultiConfig.Policy):
 //
 //   - PolicyRoundRobin (the default): every wake-up services all streams in
@@ -158,6 +165,9 @@
 //     closed-form multistream.At models.
 //   - PolicyMostUrgent: an EDF-like variant that refills the buffer closest
 //     to starving first.
+//   - PolicyPriority: services higher SimMultiStream.Priority classes first,
+//     most urgent first within a class — a recording stream can be guaranteed
+//     its refill before opportunistic playback streams.
 //
 // SimulateMulti returns a SimMultiStats: aggregate device statistics
 // (wake-ups, per-state time and energy, DRAM energy) plus one record per
@@ -169,11 +179,11 @@
 // per-cycle energy within 5 % of At for mixed read/write stream sets.
 //
 // The same path is exposed end to end: memssim accepts repeatable -streams
-// specs ("-streams name=playback,rate=1024kbps,buffer=128KiB,write=0") with
-// -policy rr|edf, and POST /v1/multisim takes {"policy", "streams":
-// [{"name", "stream", "rate", "buffer", "write_fraction", "video"}],
-// "duration", "best_effort", "seed", "replicas"} with the resolved policy
-// and per-stream parameters fingerprinted into the result cache.
+// specs ("-streams name=playback,rate=1024kbps,buffer=128KiB,write=0,prio=1")
+// with -policy rr|edf|prio, and POST /v1/multisim takes {"policy", "streams":
+// [{"name", "stream", "rate", "buffer", "write_fraction", "priority",
+// "video"}], "duration", "best_effort", "seed", "replicas"} with the resolved
+// policy and per-stream parameters fingerprinted into the result cache.
 //
 // # Performance
 //
@@ -182,14 +192,18 @@
 // including regenerating the demand pattern and best-effort trace for the
 // next seed — performs zero heap allocations, and a shared-device iteration
 // allocates only its two output records. TestSteadyStateAllocs in
-// internal/sim guards this with testing.AllocsPerRun, and the batch APIs
-// exploit it through per-worker simulator reuse (see Concurrency above).
+// internal/sim guards this with testing.AllocsPerRun, and the batch and
+// replica APIs exploit it through per-worker simulator reuse (see
+// Concurrency above) — the service layer's /v1/simulate and /v1/multisim
+// replica loops validate one prototype configuration and rewind a pooled
+// simulator per worker instead of building one per replica.
 //
 // cmd/memsbench tracks the numbers across pull requests:
 //
 //	go run ./cmd/memsbench                        # human-readable table
-//	go run ./cmd/memsbench -format json -out BENCH_8.json
-//	go run ./cmd/memsbench -check BENCH_8.json    # CI regression gate
+//	go run ./cmd/memsbench -format json -out BENCH_9.json
+//	go run ./cmd/memsbench -check BENCH_9.json    # CI regression gate
+//	go run ./cmd/memsbench -compare BENCH_8.json BENCH_9.json
 //
 // Each scenario (cbr-steady, vbr-mobile, video-abr, trace-replay,
 // multi-4stream, service-warm) reports ns/op, B/op, allocs/op and simulated

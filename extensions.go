@@ -76,10 +76,14 @@ const (
 	// PolicyMostUrgent services the buffer closest to starving first (an
 	// EDF-like variant).
 	PolicyMostUrgent = engine.PolicyMostUrgent
+	// PolicyPriority services higher SimMultiStream.Priority values first,
+	// most urgent first within a class.
+	PolicyPriority = engine.PolicyPriority
 )
 
 // ParseSchedulingPolicy canonicalizes a policy spelling: "round-robin" (or
-// "rr"), "most-urgent" (or "edf"), or empty for the round-robin default.
+// "rr"), "most-urgent" (or "edf"), "priority" (or "prio"), or empty for the
+// round-robin default.
 func ParseSchedulingPolicy(s string) (SchedulingPolicy, error) {
 	p, err := engine.ParsePolicy(s)
 	if err != nil {

@@ -1,0 +1,96 @@
+package engine
+
+// Core: the single-stream view of the unified scheduling core. Historically
+// Core was a separate 500-line implementation duplicating the wake/refill/
+// shutdown accounting of MultiCore; it is now a thin adapter over the K=1
+// case, kept because the single-stream simulator and its callers speak in
+// terms of one buffer with an explicit drain target and per-call write
+// fraction. Every method delegates to the shared machinery, so the two
+// engines cannot drift apart again.
+
+import (
+	"memstream/internal/device"
+	"memstream/internal/units"
+)
+
+// Core is the accounting heart of one simulated single-stream device: it
+// tracks simulated time, the buffer fill level and the per-state time/energy
+// statistics while a driver (internal/sim's cycle loop) walks it through the
+// refill cycle. It is the K=1 view of MultiCore — the device aggregate
+// statistics are the stream's statistics.
+type Core struct {
+	m *MultiCore
+}
+
+// NewCore builds a core for one run: the buffer starts full.
+func NewCore(b Backend, src RateSource, buffer units.Size) *Core {
+	return &Core{m: NewMultiCore(b, []StreamConfig{{Source: src, Buffer: buffer}})}
+}
+
+// Multi exposes the underlying unified core, for drivers that outgrow the
+// single-stream view.
+func (c *Core) Multi() *MultiCore { return c.m }
+
+// Reset rewinds the core to the state NewCore would build for the same
+// backend, source and buffer — time zero, a full buffer, zeroed statistics —
+// without allocating. The rate source is not touched: a driver re-seeding a
+// stochastic source resets it separately before the next run.
+func (c *Core) Reset() { c.m.Reset() }
+
+// Now returns the current simulated time.
+func (c *Core) Now() units.Duration { return c.m.now }
+
+// Level returns the current buffer fill level.
+func (c *Core) Level() units.Size { return c.m.streams[0].level }
+
+// Stats exposes the accumulating statistics; drivers add their own counters
+// (best-effort traffic, ECC events, DRAM energy) to it directly.
+func (c *Core) Stats() *Stats { return c.m.DeviceStats() }
+
+// Backend returns the device backend being driven.
+func (c *Core) Backend() Backend { return c.m.backend }
+
+// WakeLevel returns the buffer level at which the device must wake so the
+// stream survives the positioning transition at its peak demand, with a
+// small safety margin.
+func (c *Core) WakeLevel() units.Size { return c.m.WakeLevel(0) }
+
+// Account records dt seconds in the given device state while the stream
+// drains the buffer at the demand sampled at the start of the interval.
+func (c *Core) Account(state device.PowerState, dt units.Duration) {
+	c.m.Account(state, dt, 0)
+}
+
+// DrainTo stays in the given state until the buffer reaches the target level
+// or the deadline passes, stepping exactly from rate change to rate change.
+// It is DrainToWake with the target standing in for the stream's provisioned
+// wake level.
+func (c *Core) DrainTo(state device.PowerState, target units.Size, deadline units.Duration) {
+	st := c.m.streams[0]
+	saved := st.wakeLevel
+	st.wakeLevel = target
+	c.m.DrainToWake(state, deadline)
+	st.wakeLevel = saved
+}
+
+// Positioning runs the standby-to-active transition (the wake-up seek or
+// spin-up), draining the buffer at the demand in effect along the way.
+func (c *Core) Positioning() { c.m.Positioning(0) }
+
+// Shutdown runs the active-to-standby transition.
+func (c *Core) Shutdown() { c.m.Shutdown() }
+
+// RefillToFull runs the device in the given active state until the buffer is
+// full, crediting the transferred media bits and the write wear implied by
+// writeFraction.
+func (c *Core) RefillToFull(state device.PowerState, writeFraction float64) {
+	c.m.refill(state, 0, writeFraction)
+}
+
+// CreditWrite routes a non-streaming (best-effort) write through the same
+// wear accounting as refill writes: the data counts as user bits and the
+// physical volume carries the backend's formatting inflation, so probe
+// lifetime projections see background writes and stream writes identically.
+func (c *Core) CreditWrite(size units.Size) {
+	c.m.CreditStreamWrite(0, size)
+}

@@ -1,8 +1,14 @@
 // Package engine is the event-driven simulation core shared by the
-// single-stream simulator (internal/sim), the shared-device study
-// (internal/multistream) and, through them, the service layer: the
-// wake/seek/refill/shutdown cycle machinery of Fig. 1b, accounting per-state
-// time and energy against a pluggable device Backend.
+// simulators (internal/sim), the shared-device study (internal/multistream)
+// and, through them, the service layer: the wake/seek/refill/shutdown cycle
+// machinery of Fig. 1b, accounting per-state time and energy against a
+// pluggable device Backend.
+//
+// There is one scheduling core, MultiCore: K stream buffers draining
+// concurrently while the device wakes, services them under a Policy and
+// shuts down again. A single-stream run is literally the K=1 case — Core is
+// a thin view over it — so wake provisioning, refill accounting, write-wear
+// inflation and the reset-in-place machinery exist exactly once.
 //
 // The engine advances time by next-event stepping, not by fixed slices: a
 // drain or refill integration step ends at the earliest of the target level,
@@ -222,249 +228,6 @@ func (s *Stats) ProjectedProbesLifetime(dev device.MEMS, cal workload.PlaybackCa
 	}
 	endurance := dev.Capacity.Scale(dev.ProbeWriteCycles)
 	return units.Year.Scale(endurance.Bits() / writtenPerYear)
-}
-
-// Core is the accounting heart of one simulated device: it tracks simulated
-// time, the buffer fill level and the per-state time/energy statistics while
-// a driver (internal/sim's cycle loop) walks it through the refill cycle.
-type Core struct {
-	backend Backend
-	source  RateSource
-	stepper RateStepper // nil for sources without announced rate changes
-	buffer  units.Size
-	// The backend is immutable for the lifetime of a run, so its hot-path
-	// quantities are cached here: calling value-typed backends through the
-	// interface would otherwise copy the whole device struct per accounting
-	// step.
-	statePower  [device.NumStates]units.Power
-	mediaRate   units.BitRate
-	positioning units.Duration
-	shutdown    units.Duration
-	// inflation is the physical-to-user write amplification at this buffer
-	// size, fixed per run because the sector size equals the buffer.
-	inflation float64
-
-	now   units.Duration
-	level units.Size
-	// inRebuffer marks that the previous accounting step ran the buffer dry,
-	// so consecutive dry steps collapse into one rebuffer episode.
-	inRebuffer bool
-	stats      Stats
-}
-
-// NewCore builds a core for one run: the buffer starts full.
-func NewCore(b Backend, src RateSource, buffer units.Size) *Core {
-	c := &Core{
-		backend:     b,
-		source:      src,
-		buffer:      buffer,
-		mediaRate:   b.MediaRate(),
-		positioning: b.PositioningTime(),
-		shutdown:    b.ShutdownTime(),
-		inflation:   b.WriteInflation(buffer),
-		level:       buffer,
-	}
-	for s := 0; s < device.NumStates; s++ {
-		c.statePower[s] = b.StatePower(device.PowerState(s))
-	}
-	if st, ok := src.(RateStepper); ok {
-		c.stepper = st
-	}
-	c.stats.MinBufferLevel = buffer
-	if c.mediaRate.Positive() {
-		c.stats.StartupDelay = c.positioning.Add(c.mediaRate.TimeFor(buffer))
-	}
-	return c
-}
-
-// Reset rewinds the core to the state NewCore would build for the same
-// backend, source and buffer — time zero, a full buffer, zeroed statistics —
-// without allocating. The rate source is not touched: a driver re-seeding a
-// stochastic source resets it separately before the next run.
-func (c *Core) Reset() {
-	c.now = 0
-	c.level = c.buffer
-	c.inRebuffer = false
-	c.stats = Stats{MinBufferLevel: c.buffer}
-	if c.mediaRate.Positive() {
-		c.stats.StartupDelay = c.positioning.Add(c.mediaRate.TimeFor(c.buffer))
-	}
-}
-
-// Now returns the current simulated time.
-func (c *Core) Now() units.Duration { return c.now }
-
-// Level returns the current buffer fill level.
-func (c *Core) Level() units.Size { return c.level }
-
-// Stats exposes the accumulating statistics; drivers add their own counters
-// (best-effort traffic, ECC events, DRAM energy) to it directly.
-func (c *Core) Stats() *Stats { return &c.stats }
-
-// Backend returns the device backend being driven.
-func (c *Core) Backend() Backend { return c.backend }
-
-// WakeLevel returns the buffer level at which the device must wake so the
-// stream survives the positioning transition at its peak demand, with a
-// small safety margin.
-func (c *Core) WakeLevel() units.Size {
-	return c.source.PeakRate().Times(c.positioning).Scale(1.05)
-}
-
-// Account records dt seconds in the given device state while the stream
-// drains the buffer at the demand sampled at the start of the interval.
-func (c *Core) Account(state device.PowerState, dt units.Duration) {
-	if dt <= 0 {
-		return
-	}
-	rate := c.source.RateAt(c.now)
-	drained := rate.Times(dt)
-	c.level = c.level.Sub(drained)
-	if c.level < 0 {
-		c.stats.Underruns++
-		// The missing bits stall playback for the time they would have
-		// taken at the current demand; consecutive dry steps are one
-		// user-visible rebuffer episode.
-		if rate.Positive() {
-			c.stats.RebufferTime = c.stats.RebufferTime.Add(rate.TimeFor(c.level.Scale(-1)))
-		}
-		if !c.inRebuffer {
-			c.stats.RebufferEpisodes++
-			c.inRebuffer = true
-		}
-		drained = drained.Add(c.level) // only what was actually there
-		c.level = 0
-	} else {
-		c.inRebuffer = false
-	}
-	c.stats.StreamedBits = c.stats.StreamedBits.Add(drained)
-	if c.level < c.stats.MinBufferLevel {
-		c.stats.MinBufferLevel = c.level
-	}
-	c.now = c.now.Add(dt)
-	c.stats.Steps++
-	c.stats.StateTime[state] = c.stats.StateTime[state].Add(dt)
-	c.stats.StateEnergy[state] = c.stats.StateEnergy[state].Add(c.statePower[state].Times(dt))
-}
-
-// stepBound trims an integration step so it ends no later than the source's
-// next rate change, keeping left-endpoint sampling exact for
-// piecewise-constant demand. Steps that would not advance time are left
-// untrimmed (the change is already behind or exactly at now).
-func (c *Core) stepBound(dt units.Duration) units.Duration {
-	if c.stepper == nil {
-		return dt
-	}
-	next := c.stepper.NextRateChange(c.now)
-	if remaining := next.Sub(c.now); remaining.Positive() && remaining < dt {
-		return remaining
-	}
-	return dt
-}
-
-// DrainTo stays in the given state until the buffer reaches the target level
-// or the deadline passes, stepping exactly from rate change to rate change.
-func (c *Core) DrainTo(state device.PowerState, target units.Size, deadline units.Duration) {
-	for c.level > target && c.now < deadline {
-		rate := c.source.RateAt(c.now)
-		if !rate.Positive() {
-			break
-		}
-		dt := rate.TimeFor(c.level.Sub(target))
-		if remaining := deadline.Sub(c.now); dt > remaining {
-			dt = remaining
-		}
-		dt = c.stepBound(dt)
-		c.Account(state, dt)
-	}
-}
-
-// transition accounts a mechanical transition of the given total length,
-// stepping through the source's rate changes so the concurrent drain stays
-// exact even when the transition spans several demand segments (the disk's
-// seconds-long spin-up against two-second VBR segments, for example). MEMS
-// transitions are milliseconds, so they almost always remain a single step.
-func (c *Core) transition(state device.PowerState, total units.Duration) {
-	for total.Positive() {
-		dt := c.stepBound(total)
-		if remaining := total.Sub(dt); remaining < total {
-			c.Account(state, dt)
-			total = remaining
-			continue
-		}
-		// dt vanished against total (a sub-ulp boundary sliver); finish in
-		// one step rather than loop without advancing.
-		c.Account(state, total)
-		return
-	}
-}
-
-// Positioning runs the standby-to-active transition (the wake-up seek or
-// spin-up), draining the buffer at the demand in effect along the way.
-func (c *Core) Positioning() {
-	c.transition(device.StateSeek, c.positioning)
-}
-
-// Shutdown runs the active-to-standby transition.
-func (c *Core) Shutdown() {
-	c.transition(device.StateShutdown, c.shutdown)
-}
-
-// RefillToFull runs the device in the given active state until the buffer is
-// full, crediting the transferred media bits and the write wear implied by
-// writeFraction.
-func (c *Core) RefillToFull(state device.PowerState, writeFraction float64) {
-	media := c.mediaRate
-	for c.level < c.buffer {
-		rate := c.source.RateAt(c.now)
-		net := media.Sub(rate)
-		if net <= 0 {
-			// The stream momentarily outruns the media rate; nothing refills
-			// until the demand drops. Step straight to the source's next rate
-			// change so one oversized video frame costs one step — falling
-			// back to 1 ms slices only for sources that cannot announce their
-			// changes (or whose next change fails to advance time).
-			dt := units.Duration(1e-3)
-			if c.stepper != nil {
-				next := c.stepper.NextRateChange(c.now)
-				if remaining := next.Sub(c.now); remaining.Positive() && !math.IsInf(remaining.Seconds(), 0) {
-					dt = remaining
-				}
-			}
-			c.Account(state, dt)
-			continue
-		}
-		dt := net.TimeFor(c.buffer.Sub(c.level))
-		dt = c.stepBound(dt)
-		transferred := media.Times(dt)
-		c.stats.MediaBits = c.stats.MediaBits.Add(transferred)
-		c.creditWrites(transferred, writeFraction)
-		// The refill and the drain happen concurrently: credit the incoming
-		// data before accounting the drain so the net fill never reads as an
-		// artificial underrun. The true occupancy minimum of a cycle occurs
-		// at the end of the positioning, which Account has already tracked.
-		c.level = c.level.Add(transferred)
-		c.Account(state, dt)
-		if c.level > c.buffer {
-			c.level = c.buffer
-		}
-	}
-}
-
-// creditWrites attributes the write share of transferred stream data to
-// device wear, inflated by the backend's formatting overhead.
-func (c *Core) creditWrites(transferred units.Size, writeFraction float64) {
-	userWritten := transferred.Scale(writeFraction)
-	c.stats.WrittenUserBits = c.stats.WrittenUserBits.Add(userWritten)
-	c.stats.WrittenPhysicalBits = c.stats.WrittenPhysicalBits.Add(userWritten.Scale(c.inflation))
-}
-
-// CreditWrite routes a non-streaming (best-effort) write through the same
-// wear accounting as refill writes: the data counts as user bits and the
-// physical volume carries the backend's formatting inflation, so probe
-// lifetime projections see background writes and stream writes identically.
-func (c *Core) CreditWrite(size units.Size) {
-	c.creditWrites(size, 1)
 }
 
 // CycleTimes is the steady-state composition of one refill cycle, used by

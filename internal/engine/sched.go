@@ -1,62 +1,23 @@
 package engine
 
-// Multi-source scheduling: one device shared by several concurrent streams,
-// the simulated counterpart of internal/multistream's closed-form super-cycle
-// model. Each stream owns a buffer fed by its own RateSource; the device
-// wakes when any buffer falls to its wake level, services every stream's
-// buffer under a scheduling Policy — paying the backend's positioning
-// transition before each stream, so inter-stream repositioning is accounted
-// exactly like the closed form's (n-1) extra seeks — and shuts down again.
-// MultiCore carries per-stream Stats (streamed bits, underruns, playback
-// metrics, attributed seek/transfer energy) alongside the aggregate device
-// Stats the drivers report.
+// The unified scheduling core: one device servicing K concurrent streams,
+// with the single-stream simulation as literally the K=1 case. Each stream
+// owns a buffer fed by its own RateSource; the device wakes when any buffer
+// falls to its wake level, services the streams under a scheduling Policy —
+// paying the backend's positioning transition before each stream, so
+// inter-stream repositioning is accounted exactly like the closed form's
+// (n-1) extra seeks — and shuts down again. MultiCore carries per-stream
+// Stats (streamed bits, underruns, playback metrics, attributed seek/transfer
+// energy) alongside the aggregate device Stats the drivers report; for K=1
+// the aggregate record is the single-stream statistics, which is what the
+// Core view exposes.
 
 import (
-	"fmt"
 	"math"
 
 	"memstream/internal/device"
 	"memstream/internal/units"
 )
-
-// Policy selects the order in which a woken device services the stream
-// buffers. The string values are the wire and CLI spellings.
-type Policy string
-
-// The scheduling policies.
-const (
-	// PolicyRoundRobin is the paper's gated cycle model: every wake-up
-	// services all streams in fixed declaration order.
-	PolicyRoundRobin Policy = "round-robin"
-	// PolicyMostUrgent services the streams in ascending time-to-empty at
-	// the moment of the wake-up (an EDF-like variant: the buffer closest to
-	// starving is refilled first).
-	PolicyMostUrgent Policy = "most-urgent"
-)
-
-// Validate checks that the policy is one of the known schedulers.
-func (p Policy) Validate() error {
-	switch p {
-	case PolicyRoundRobin, PolicyMostUrgent:
-		return nil
-	}
-	return fmt.Errorf("engine: unknown scheduling policy %q (want %q or %q)",
-		string(p), string(PolicyRoundRobin), string(PolicyMostUrgent))
-}
-
-// ParsePolicy canonicalizes a policy spelling: the canonical names, the short
-// aliases "rr" and "edf", or empty for the round-robin default. It is the
-// single alias table behind both the CLI flag and the wire field.
-func ParsePolicy(s string) (Policy, error) {
-	switch s {
-	case "", "rr", string(PolicyRoundRobin):
-		return PolicyRoundRobin, nil
-	case "edf", string(PolicyMostUrgent):
-		return PolicyMostUrgent, nil
-	default:
-		return "", fmt.Errorf("engine: unknown scheduling policy %q (want \"round-robin\"/\"rr\" or \"most-urgent\"/\"edf\")", s)
-	}
-}
 
 // StreamConfig describes one stream driven through a shared device.
 type StreamConfig struct {
@@ -67,9 +28,12 @@ type StreamConfig struct {
 	// WriteFraction is the share of the stream's traffic written to the
 	// device (1 for a recording, 0 for pure playback).
 	WriteFraction float64
+	// Priority is the stream's service class under PolicyPriority: higher
+	// values are serviced first within a wake-up. Other policies ignore it.
+	Priority int
 }
 
-// streamState is the per-stream accounting of a MultiCore.
+// streamState is the per-stream accounting of the core.
 type streamState struct {
 	source        RateSource
 	stepper       RateStepper // nil for sources without announced rate changes
@@ -78,6 +42,7 @@ type streamState struct {
 	wakeLevel     units.Size
 	inflation     float64
 	writeFraction float64
+	priority      int
 	inRebuffer    bool
 	stats         Stats
 }
@@ -113,10 +78,11 @@ func (st *streamState) drain(rate units.BitRate, dt units.Duration, dev *Stats) 
 	}
 }
 
-// MultiCore is the accounting heart of one shared device: N stream buffers
-// draining concurrently, one backend servicing them. Like Core it only does
-// the bookkeeping; a driver (internal/sim's multi-stream cycle loop) walks it
-// through wake-ups, per-stream refills and shutdowns.
+// MultiCore is the accounting heart of one simulated device: N stream buffers
+// draining concurrently, one backend servicing them. It only does the
+// bookkeeping; a driver (internal/sim's cycle loop) walks it through
+// wake-ups, per-stream refills and shutdowns. The single-stream Core is a
+// view of the K=1 case.
 type MultiCore struct {
 	backend Backend
 	streams []*streamState
@@ -136,10 +102,11 @@ type MultiCore struct {
 	order []int
 }
 
-// NewMultiCore builds a shared-device core: every buffer starts full. Wake
+// NewMultiCore builds a scheduling core: every buffer starts full. Wake
 // levels are provisioned so that the last-serviced stream survives a full
 // service round — all positionings plus every refill at peak demand — with a
-// small safety margin, mirroring Core.WakeLevel's single-stream rule.
+// small safety margin; for a single stream the round is just the positioning
+// transition, the paper's single-stream wake rule.
 func NewMultiCore(b Backend, streams []StreamConfig) *MultiCore {
 	m := &MultiCore{
 		backend:     b,
@@ -157,6 +124,7 @@ func NewMultiCore(b Backend, streams []StreamConfig) *MultiCore {
 			buffer:        sc.Buffer,
 			inflation:     b.WriteInflation(sc.Buffer),
 			writeFraction: sc.WriteFraction,
+			priority:      sc.Priority,
 		}
 		if stepper, ok := sc.Source.(RateStepper); ok {
 			st.stepper = stepper
@@ -175,12 +143,18 @@ func NewMultiCore(b Backend, streams []StreamConfig) *MultiCore {
 // sources (whose realized peaks change with the seed) can be re-provisioned
 // per run on the reset path.
 func (m *MultiCore) provision() {
-	// The longest a full service round can take: one positioning per stream
-	// plus each refill at the slowest net rate (media minus peak demand).
-	serviceBound := m.positioning.Scale(float64(len(m.streams)))
-	for _, st := range m.streams {
-		if peak := st.source.PeakRate(); peak < m.mediaRate {
-			serviceBound = serviceBound.Add(m.mediaRate.Sub(peak).TimeFor(st.buffer))
+	// The longest a full service round can take. A single stream only has to
+	// survive the positioning transition before its own refill begins; with
+	// several streams the round is one positioning per stream plus each
+	// refill at the slowest net rate (media minus peak demand), so even the
+	// last-serviced buffer holds out.
+	serviceBound := m.positioning
+	if len(m.streams) > 1 {
+		serviceBound = m.positioning.Scale(float64(len(m.streams)))
+		for _, st := range m.streams {
+			if peak := st.source.PeakRate(); peak < m.mediaRate {
+				serviceBound = serviceBound.Add(m.mediaRate.Sub(peak).TimeFor(st.buffer))
+			}
 		}
 	}
 
@@ -217,7 +191,7 @@ func (m *MultiCore) Reset() {
 // Now returns the current simulated time.
 func (m *MultiCore) Now() units.Duration { return m.now }
 
-// Backend returns the shared device backend being driven.
+// Backend returns the device backend being driven.
 func (m *MultiCore) Backend() Backend { return m.backend }
 
 // NumStreams returns the number of streams sharing the device.
@@ -229,8 +203,12 @@ func (m *MultiCore) Level(i int) units.Size { return m.streams[i].level }
 // WakeLevel returns the buffer level at which stream i forces a wake-up.
 func (m *MultiCore) WakeLevel(i int) units.Size { return m.streams[i].wakeLevel }
 
+// TotalBuffer returns the summed buffer capacity of all streams — for K=1,
+// the stream's own buffer.
+func (m *MultiCore) TotalBuffer() units.Size { return m.totalBuffer }
+
 // DeviceStats exposes the aggregate statistics; drivers add their own
-// counters (best-effort traffic, DRAM energy) to it directly.
+// counters (best-effort traffic, ECC events, DRAM energy) to it directly.
 func (m *MultiCore) DeviceStats() *Stats { return &m.device }
 
 // StreamStats exposes stream i's statistics. Seek and transfer time spent
@@ -299,7 +277,9 @@ func (m *MultiCore) wokenStream() int {
 // DrainToWake stays in the given state until some stream's buffer falls to
 // its wake level or the deadline passes, stepping exactly from rate change to
 // rate change. It returns the index of the stream that forced the wake-up, or
-// -1 when the deadline arrived first.
+// -1 when the deadline arrived first. A stream whose demand is momentarily
+// zero holds its level and cannot shorten the step; the device idles until a
+// demand resumes or the deadline arrives.
 func (m *MultiCore) DrainToWake(state device.PowerState, deadline units.Duration) int {
 	for m.now < deadline {
 		if i := m.wokenStream(); i >= 0 {
@@ -321,46 +301,11 @@ func (m *MultiCore) DrainToWake(state device.PowerState, deadline units.Duration
 	return -1
 }
 
-// ServiceOrder returns the order in which the given policy services the
-// streams at the current moment: declaration order for round-robin, ascending
-// time-to-empty for most-urgent (ties keep declaration order). The returned
-// slice is scratch owned by the core — valid until the next ServiceOrder
-// call — so the per-round scheduling decision allocates nothing.
-func (m *MultiCore) ServiceOrder(p Policy) []int {
-	order := m.order
-	for i := range order {
-		order[i] = i
-	}
-	if p == PolicyMostUrgent {
-		// Stable insertion sort: stream counts are small (a handful of
-		// buffers per device), and unlike sort.SliceStable it keeps the
-		// steady-state scheduling loop allocation-free.
-		for i := 1; i < len(order); i++ {
-			v := order[i]
-			u := m.urgency(v)
-			j := i
-			for ; j > 0 && m.urgency(order[j-1]) > u; j-- {
-				order[j] = order[j-1]
-			}
-			order[j] = v
-		}
-	}
-	return order
-}
-
-// urgency returns the seconds until stream i's buffer runs dry at its current
-// demand (infinite for a momentarily idle stream).
-func (m *MultiCore) urgency(i int) float64 {
-	st := m.streams[i]
-	rate := st.source.RateAt(m.now)
-	if !rate.Positive() {
-		return math.Inf(1)
-	}
-	return rate.TimeFor(st.level).Seconds()
-}
-
 // transition accounts a mechanical transition, stepping through every
-// stream's rate changes so the concurrent drains stay exact.
+// stream's rate changes so the concurrent drains stay exact even when the
+// transition spans several demand segments (the disk's seconds-long spin-up
+// against two-second VBR segments, for example). MEMS transitions are
+// milliseconds, so they almost always remain a single step.
 func (m *MultiCore) transition(state device.PowerState, total units.Duration, focus int) {
 	for total.Positive() {
 		dt := m.stepBound(total)
@@ -389,9 +334,17 @@ func (m *MultiCore) Shutdown() {
 }
 
 // RefillStream runs the device in the read/write state until stream focus's
-// buffer is full, crediting its media bits and write wear while every other
-// stream keeps draining.
+// buffer is full, crediting its media bits and the write wear implied by its
+// configured write fraction while every other stream keeps draining.
 func (m *MultiCore) RefillStream(focus int) {
+	m.refill(device.StateReadWrite, focus, m.streams[focus].writeFraction)
+}
+
+// refill is the one refill loop behind both RefillStream and the Core view's
+// RefillToFull: it runs the device in the given active state until stream
+// focus's buffer is full, crediting the transferred media bits and the write
+// wear implied by writeFraction.
+func (m *MultiCore) refill(state device.PowerState, focus int, writeFraction float64) {
 	st := m.streams[focus]
 	media := m.mediaRate
 	for st.level < st.buffer {
@@ -405,7 +358,7 @@ func (m *MultiCore) RefillStream(focus int) {
 			if bound := m.stepBound(units.Duration(math.Inf(1))); bound.Positive() && !math.IsInf(bound.Seconds(), 0) {
 				dt = bound
 			}
-			m.Account(device.StateReadWrite, dt, focus)
+			m.Account(state, dt, focus)
 			continue
 		}
 		dt := net.TimeFor(st.buffer.Sub(st.level))
@@ -413,12 +366,13 @@ func (m *MultiCore) RefillStream(focus int) {
 		transferred := media.Times(dt)
 		m.device.MediaBits = m.device.MediaBits.Add(transferred)
 		st.stats.MediaBits = st.stats.MediaBits.Add(transferred)
-		m.creditWrites(st, transferred.Scale(st.writeFraction))
-		// Credit the incoming data before accounting the drain so the net
-		// fill never reads as an artificial underrun (same ordering as
-		// Core.RefillToFull).
+		m.creditWrites(st, transferred.Scale(writeFraction))
+		// The refill and the drain happen concurrently: credit the incoming
+		// data before accounting the drain so the net fill never reads as an
+		// artificial underrun. The true occupancy minimum of a cycle occurs
+		// at the end of the positioning, which Account has already tracked.
 		st.level = st.level.Add(transferred)
-		m.Account(device.StateReadWrite, dt, focus)
+		m.Account(state, dt, focus)
 		if st.level > st.buffer {
 			st.level = st.buffer
 		}
@@ -437,6 +391,15 @@ func (m *MultiCore) creditWrites(st *streamState, user units.Size) {
 	phys := user.Scale(st.inflation)
 	st.stats.WrittenPhysicalBits = st.stats.WrittenPhysicalBits.Add(phys)
 	m.device.WrittenPhysicalBits = m.device.WrittenPhysicalBits.Add(phys)
+}
+
+// CreditStreamWrite routes a non-streaming (best-effort) write through stream
+// i's wear accounting: the data counts as user bits and the physical volume
+// carries that stream's formatting inflation, exactly like its refill writes.
+// The single-stream simulator uses it so probe-lifetime projections see
+// background writes and stream writes identically.
+func (m *MultiCore) CreditStreamWrite(i int, size units.Size) {
+	m.creditWrites(m.streams[i], size)
 }
 
 // CreditBestEffortWrite counts a background write against device wear. The

@@ -689,6 +689,10 @@ type MultiSimStreamSpec struct {
 	// WriteFraction is the written share of this stream's traffic (default
 	// 0.4, the Table I mix; 0 for pure playback, 1 for a recording).
 	WriteFraction *float64 `json:"write_fraction,omitempty"`
+	// Priority is the stream's service class under the "priority" policy:
+	// higher-priority streams are refilled first within a wake-up (default 0;
+	// the other policies ignore it).
+	Priority int `json:"priority,omitempty"`
 	// Video tunes the "video" stream kind (rejected for other kinds).
 	Video *VideoSpec `json:"video,omitempty"`
 }
@@ -701,7 +705,8 @@ type MultiSimRequest struct {
 	// Policy selects the service order within a wake-up: "round-robin" (or
 	// "rr", the default) services every stream in declaration order, per the
 	// paper's cycle model; "most-urgent" (or "edf") refills the buffer
-	// closest to starving first.
+	// closest to starving first; "priority" (or "prio") refills higher
+	// stream priorities first, most urgent first within a class.
 	Policy string `json:"policy,omitempty"`
 	// Streams are the concurrent streams sharing the device.
 	Streams []MultiSimStreamSpec `json:"streams"`
@@ -784,7 +789,7 @@ type MultiSimResponse struct {
 func resolvePolicy(s string) (engine.Policy, error) {
 	p, err := engine.ParsePolicy(s)
 	if err != nil {
-		return "", invalidf("unknown policy %q (want \"round-robin\"/\"rr\" or \"most-urgent\"/\"edf\")", s)
+		return "", invalidf("unknown policy %q (want \"round-robin\"/\"rr\", \"most-urgent\"/\"edf\" or \"priority\"/\"prio\")", s)
 	}
 	return p, nil
 }
@@ -797,6 +802,7 @@ type multiSimStream struct {
 	rate          units.BitRate
 	buffer        units.Size
 	writeFraction float64
+	priority      int
 	video         workload.StreamSpec // resolved spec for kind "video"
 }
 
@@ -807,6 +813,7 @@ type multiSimStreamKey struct {
 	RateBps       float64
 	BufferBits    float64
 	WriteFraction float64
+	Priority      int
 	Video         videoKey
 }
 
@@ -852,13 +859,14 @@ func resolveMultiSimStreams(specs []MultiSimStreamSpec) ([]multiSimStream, []mul
 		if math.IsNaN(write) || write < 0 || write > 1 {
 			return nil, nil, invalidf("streams[%d].write_fraction must be in [0, 1], got %v", i, write)
 		}
-		st := multiSimStream{name: s.Name, kind: kind, rate: rate, buffer: buffer, writeFraction: write}
+		st := multiSimStream{name: s.Name, kind: kind, rate: rate, buffer: buffer, writeFraction: write, priority: s.Priority}
 		key := multiSimStreamKey{
 			Name:          s.Name,
 			Kind:          kind,
 			RateBps:       rate.BitsPerSecond(),
 			BufferBits:    buffer.Bits(),
 			WriteFraction: write,
+			Priority:      s.Priority,
 		}
 		if kind == "video" {
 			st.video, err = s.Video.resolve(rate)

@@ -561,42 +561,37 @@ func (s *Service) SimulateBytes(ctx context.Context, req SimulateRequest) ([]byt
 			backend = engine.NewDisk(sd.Disk)
 		}
 		mediaRate := sim.Config{Device: sd.MEMS, Backend: backend}.MediaRate()
-		cfgs := make([]sim.Config, replicas)
-		for i := range cfgs {
-			replicaSeed := seed + uint64(i)
-			// Every kind routes through the typed workload spec; the
-			// stochastic kinds re-derive their randomness from the replica
-			// seed, exactly as VBR always did.
-			var spec workload.StreamSpec
-			switch kind {
-			case "cbr":
-				spec = workload.CBRSpec(rate)
-			case "vbr":
-				spec = workload.VBRSpec(rate, replicaSeed)
-			case "video":
-				spec = videoSpec
-				spec.Seed = replicaSeed
-			case "trace":
-				spec = traceSpec
-			}
-			cfg := sim.Config{
-				Device:   sd.MEMS,
-				Backend:  backend,
-				DRAM:     device.DefaultDRAM(),
-				Buffer:   buffer,
-				Spec:     spec,
-				Duration: duration,
-				Seed:     replicaSeed,
-			}
-			if bestEffort > 0 {
-				cfg.BestEffort = workload.NewBestEffortProcess(bestEffort, mediaRate, replicaSeed)
-			}
-			if err := cfg.Validate(); err != nil {
-				return nil, invalidf("%v", err)
-			}
-			cfgs[i] = cfg
+		// One prototype configuration, validated once; RunReplicas applies
+		// the replica seeds to every stochastic input, exactly as the old
+		// per-replica construction did, and reuses one pooled simulator per
+		// worker instead of building replicas simulators.
+		var spec workload.StreamSpec
+		switch kind {
+		case "cbr":
+			spec = workload.CBRSpec(rate)
+		case "vbr":
+			spec = workload.VBRSpec(rate, seed)
+		case "video":
+			spec = videoSpec
+		case "trace":
+			spec = traceSpec
 		}
-		stats, err := sim.RunBatch(ctx, workers, cfgs)
+		cfg := sim.Config{
+			Device:   sd.MEMS,
+			Backend:  backend,
+			DRAM:     device.DefaultDRAM(),
+			Buffer:   buffer,
+			Spec:     spec,
+			Duration: duration,
+			Seed:     seed,
+		}
+		if bestEffort > 0 {
+			cfg.BestEffort = workload.NewBestEffortProcess(bestEffort, mediaRate, seed)
+		}
+		if err := cfg.Validate(); err != nil {
+			return nil, invalidf("%v", err)
+		}
+		stats, err := sim.RunReplicas(ctx, workers, cfg, seed, replicas)
 		if err != nil {
 			// Run-time simulator failures are request-derived (most commonly
 			// a buffer below the disk's spin-up drain, which only the run
@@ -616,7 +611,7 @@ func (s *Service) SimulateBytes(ctx context.Context, req SimulateRequest) ([]byt
 		for i, st := range stats {
 			perBit := st.PerBitEnergy()
 			resp.Runs[i] = SimulateResult{
-				Seed:                cfgs[i].Seed,
+				Seed:                seed + uint64(i),
 				SimulatedSeconds:    st.SimulatedTime.Seconds(),
 				StreamedBits:        st.StreamedBits.Bits(),
 				RefillCycles:        st.RefillCycles,
@@ -736,36 +731,33 @@ func (s *Service) MultiSimBytes(ctx context.Context, req MultiSimRequest) ([]byt
 			backend = engine.NewDisk(sd.Disk)
 		}
 		mediaRate := sim.MultiConfig{Device: sd.MEMS, Backend: backend}.MediaRate()
-		cfgs := make([]sim.MultiConfig, replicas)
-		for i := range cfgs {
-			replicaSeed := seed + uint64(i)
-			cfg := sim.MultiConfig{
-				Device:   sd.MEMS,
-				Backend:  backend,
-				DRAM:     device.DefaultDRAM(),
-				Policy:   policy,
-				Duration: duration,
-				Seed:     replicaSeed,
-			}
-			for j, st := range streams {
-				// Each stream of each replica draws from its own seed so the
-				// stochastic kinds stay independent across both axes.
-				streamSeed := replicaSeed ^ (uint64(j+1) * 0x9e3779b97f4a7c15)
-				cfg.Streams = append(cfg.Streams, sim.MultiStream{
-					Name:   st.name,
-					Spec:   st.spec(streamSeed),
-					Buffer: st.buffer,
-				})
-			}
-			if bestEffort > 0 {
-				cfg.BestEffort = workload.NewBestEffortProcess(bestEffort, mediaRate, replicaSeed)
-			}
-			if err := cfg.Validate(); err != nil {
-				return nil, invalidf("%v", err)
-			}
-			cfgs[i] = cfg
+		// One prototype configuration, validated once; RunMultiReplicas
+		// applies the replica seeds through the multi-stream convention
+		// (stream j of replica i draws from seed+i ^ ((j+1)·golden ratio),
+		// exactly as before) on one pooled simulator per worker.
+		cfg := sim.MultiConfig{
+			Device:   sd.MEMS,
+			Backend:  backend,
+			DRAM:     device.DefaultDRAM(),
+			Policy:   policy,
+			Duration: duration,
+			Seed:     seed,
 		}
-		stats, err := sim.RunMultiBatch(ctx, workers, cfgs)
+		for j, st := range streams {
+			cfg.Streams = append(cfg.Streams, sim.MultiStream{
+				Name:     st.name,
+				Spec:     st.spec(seed ^ (uint64(j+1) * 0x9e3779b97f4a7c15)),
+				Buffer:   st.buffer,
+				Priority: st.priority,
+			})
+		}
+		if bestEffort > 0 {
+			cfg.BestEffort = workload.NewBestEffortProcess(bestEffort, mediaRate, seed)
+		}
+		if err := cfg.Validate(); err != nil {
+			return nil, invalidf("%v", err)
+		}
+		stats, err := sim.RunMultiReplicas(ctx, workers, cfg, seed, replicas)
 		if err != nil {
 			// Run-time failures are request-derived (most commonly a buffer
 			// that cannot cover the multi-stream service round); keep them
@@ -783,7 +775,7 @@ func (s *Service) MultiSimBytes(ctx context.Context, req MultiSimRequest) ([]byt
 		for i, st := range stats {
 			perBit := st.Device.PerBitEnergy()
 			run := MultiSimResult{
-				Seed:               cfgs[i].Seed,
+				Seed:               seed + uint64(i),
 				SimulatedSeconds:   st.Device.SimulatedTime.Seconds(),
 				WakeUps:            st.Device.RefillCycles,
 				StreamedBits:       st.Device.StreamedBits.Bits(),

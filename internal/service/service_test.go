@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"math"
 	"net/http"
@@ -879,6 +880,38 @@ func TestMultiSimPolicySpellingsAndFingerprint(t *testing.T) {
 	}
 	if bytes.Equal(a, c) {
 		t.Error("different policies must not share a response body")
+	}
+}
+
+// TestMultiSimPriorityPolicy exercises the "priority" policy end to end: the
+// "prio" alias canonicalizes, the per-stream priority field is accepted, and
+// a different priority assignment gets its own cache entry.
+func TestMultiSimPriorityPolicy(t *testing.T) {
+	_, srv := newTestServer(t, Config{})
+	body := func(moviePrio, cameraPrio int) string {
+		return fmt.Sprintf(`{"policy":"prio","streams":[`+
+			`{"name":"movie","rate":"1024 kbps","buffer":"256 KB","priority":%d},`+
+			`{"name":"camera","rate":"512 kbps","buffer":"128 KB","write_fraction":1,"priority":%d}`+
+			`],"duration":"30 s"}`, moviePrio, cameraPrio)
+	}
+	status, a := post(t, srv, "/v1/multisim", body(1, 0))
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, body %s", status, a)
+	}
+	var resp MultiSimResponse
+	if err := json.Unmarshal(a, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Policy != "priority" {
+		t.Errorf("policy = %q; want the canonical priority spelling", resp.Policy)
+	}
+	if resp.Runs[0].Underruns != 0 {
+		t.Errorf("underruns = %d; provisioned buffers must not underrun", resp.Runs[0].Underruns)
+	}
+	// Inverting the classes makes the camera go first within every wake-up,
+	// so the run (and therefore the cached body) must change.
+	if _, b := post(t, srv, "/v1/multisim", body(0, 1)); bytes.Equal(a, b) {
+		t.Error("inverted stream priorities must not share a response body")
 	}
 }
 

@@ -32,6 +32,11 @@ type MultiStream struct {
 	Spec workload.StreamSpec
 	// Buffer is the stream's dedicated buffer capacity.
 	Buffer units.Size
+	// Priority is the stream's service class under engine.PolicyPriority:
+	// higher values are serviced first within a wake-up (a recording
+	// guarding a live signal outranks playback, for example). Other
+	// policies ignore it.
+	Priority int
 }
 
 // MultiConfig describes one shared-device simulation run.
@@ -182,19 +187,18 @@ func (m *MultiStats) EnergyShare(i int) float64 {
 	return own.Joules() / total.Joules()
 }
 
-// MultiSimulator runs the shared-device scheduling loop on the event-driven
-// multi-stream engine core.
+// MultiSimulator runs the shared-device scheduling loop on the unified
+// event-driven scheduling core.
 type MultiSimulator struct {
 	cfg     MultiConfig
 	backend engine.Backend
 	core    *engine.MultiCore
-	policy  engine.Policy
 	// sources keeps the per-stream demand patterns in configuration order so
 	// ResetFor can reseed them in place across replicas.
 	sources []engine.RateSource
-
-	requests []workload.BestEffortRequest
-	nextReq  int
+	// run is the shared cycle loop, configured for the shared-device model:
+	// no top-off, uninflated background writes, refilled-volume DRAM charge.
+	run runner
 }
 
 // NewMulti builds a multi-stream simulator from a validated configuration.
@@ -223,6 +227,7 @@ func newMultiValidated(cfg MultiConfig) (*MultiSimulator, error) {
 			Source:        pattern,
 			Buffer:        s.Buffer,
 			WriteFraction: s.Spec.WriteFraction,
+			Priority:      s.Priority,
 		}
 		sources[i] = pattern
 	}
@@ -235,13 +240,20 @@ func newMultiValidated(cfg MultiConfig) (*MultiSimulator, error) {
 		}
 	}
 	backend := cfg.backend()
+	core := engine.NewMultiCore(backend, streams)
 	return &MultiSimulator{
-		cfg:      cfg,
-		backend:  backend,
-		core:     engine.NewMultiCore(backend, streams),
-		policy:   cfg.policy(),
-		sources:  sources,
-		requests: requests,
+		cfg:     cfg,
+		backend: backend,
+		core:    core,
+		sources: sources,
+		run: runner{
+			core:       core,
+			policy:     cfg.policy(),
+			dram:       cfg.DRAM,
+			duration:   cfg.Duration,
+			bestEffort: cfg.BestEffort,
+			requests:   requests,
+		},
 	}, nil
 }
 
@@ -285,17 +297,12 @@ func (s *MultiSimulator) rewind(cfg MultiConfig) error {
 			return fmt.Errorf("sim: stream %d (%s): pattern cannot be reset", i, cfg.Streams[i].Name)
 		}
 	}
-	if cfg.BestEffort.TargetFraction > 0 {
-		requests, err := cfg.BestEffort.AppendRequests(s.requests[:0], cfg.Duration)
-		if err != nil {
-			return err
-		}
-		s.requests = requests
-	} else {
-		s.requests = s.requests[:0]
+	if err := s.run.rewindRequests(cfg.BestEffort); err != nil {
+		return err
 	}
 	s.cfg = cfg
-	s.nextReq = 0
+	// Reset re-provisions the wake levels against the reseeded patterns'
+	// realized peaks, so it must follow the pattern resets above.
 	s.core.Reset()
 	return nil
 }
@@ -308,15 +315,9 @@ func (s *MultiSimulator) rewind(cfg MultiConfig) error {
 // configuration is reset-compatible by construction, so Reset skips the
 // compatibility check and adds no allocations of its own.
 func (s *MultiSimulator) Reset(seed uint64) error {
-	cfg := s.cfg
-	cfg.Seed = seed
-	for j := range cfg.Streams {
-		// cfg.Streams shares the simulator-owned backing; rewind replaces
-		// s.cfg wholesale, so seeding in place is safe.
-		cfg.Streams[j].Spec.Seed = seed ^ (uint64(j+1) * 0x9e3779b97f4a7c15)
-	}
-	cfg.BestEffort.Seed = seed
-	return s.rewind(cfg)
+	// s.cfg.Streams is the simulator-owned backing; rewind replaces s.cfg
+	// wholesale, so reseeding it in place is safe.
+	return s.rewind(reseedMultiConfig(s.cfg, seed))
 }
 
 // multiResetCompatible reports whether two configurations are identical up
@@ -337,67 +338,17 @@ func multiResetCompatible(a, b MultiConfig) bool {
 	return reflect.DeepEqual(a, b)
 }
 
-// serveBestEffort serves every queued request that has arrived by now.
-func (s *MultiSimulator) serveBestEffort() {
-	stats := s.core.DeviceStats()
-	for s.nextReq < len(s.requests) && s.requests[s.nextReq].Arrival <= s.core.Now() {
-		req := s.requests[s.nextReq]
-		s.nextReq++
-		s.core.Account(device.StateBestEffort, s.cfg.BestEffort.ServiceTime(req.Size), -1)
-		stats.BestEffortBits = stats.BestEffortBits.Add(req.Size)
-		stats.BestEffortRequests++
-		if req.Write {
-			s.core.CreditBestEffortWrite(req.Size)
-		}
-	}
-}
-
 // Run executes the simulation and returns the collected statistics.
 func (s *MultiSimulator) Run() (*MultiStats, error) {
-	end := s.cfg.Duration
-	var totalBuffer units.Size
 	for i, st := range s.cfg.Streams {
-		totalBuffer = totalBuffer.Add(st.Buffer)
 		if s.core.WakeLevel(i) >= st.Buffer {
 			return nil, fmt.Errorf(
 				"sim: stream %d (%s): buffer %v cannot cover a full %d-stream service round at peak demand (wake level %v)",
 				i, st.Name, st.Buffer, len(s.cfg.Streams), s.core.WakeLevel(i))
 		}
 	}
+	s.run.run()
 	dev := s.core.DeviceStats()
-	lastCycleEnd := units.Duration(0)
-	lastMediaBits := units.Size(0)
-	for s.core.Now() < end {
-		// Standby until some stream's buffer falls to its wake level.
-		if s.core.DrainToWake(device.StateStandby, end) < 0 {
-			break
-		}
-
-		// One super-cycle: position to each stream region in policy order,
-		// refill that stream to full, then serve queued best-effort work and
-		// shut down.
-		for _, idx := range s.core.ServiceOrder(s.policy) {
-			s.core.Positioning(idx)
-			s.core.RefillStream(idx)
-			s.core.StreamStats(idx).RefillCycles++
-		}
-		s.serveBestEffort()
-		s.core.Shutdown()
-		dev.RefillCycles++
-
-		// DRAM energy for this cycle: retention for every buffer over the
-		// cycle plus one pass in and one pass out for the refilled data.
-		cycleTime := s.core.Now().Sub(lastCycleEnd)
-		refilled := dev.MediaBits.Sub(lastMediaBits)
-		dev.DRAMEnergy = dev.DRAMEnergy.
-			Add(s.cfg.DRAM.BackgroundPower(totalBuffer).Times(cycleTime)).
-			Add(s.cfg.DRAM.AccessEnergy(refilled.Scale(2)))
-		lastCycleEnd = s.core.Now()
-		lastMediaBits = dev.MediaBits
-	}
-	dev.SimulatedTime = s.core.Now()
-	// Best-effort data passes through the buffer once in and once out.
-	dev.DRAMEnergy = dev.DRAMEnergy.Add(s.cfg.DRAM.AccessEnergy(dev.BestEffortBits.Scale(2)))
 
 	out := &MultiStats{Device: *dev, Streams: make([]NamedStats, len(s.cfg.Streams))}
 	for i, st := range s.cfg.Streams {

@@ -157,6 +157,41 @@ func TestRunMultiDeterministic(t *testing.T) {
 	}
 }
 
+// TestRunMultiPriorityEqualClassesMatchMostUrgent pins the priority policy's
+// degenerate case: with every stream in the same class it must order exactly
+// like most-urgent, so the two runs are bit-identical.
+func TestRunMultiPriorityEqualClassesMatchMostUrgent(t *testing.T) {
+	want, err := RunMulti(policyParityConfig(engine.PolicyMostUrgent))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunMulti(policyParityConfig(engine.PolicyPriority))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("equal-priority run diverged from most-urgent:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+// TestRunMultiPriorityServesCleanly runs a mixed-priority set and checks the
+// policy keeps every stream healthy.
+func TestRunMultiPriorityServesCleanly(t *testing.T) {
+	cfg := policyParityConfig(engine.PolicyPriority)
+	cfg.Streams[0].Priority = 1
+	cfg.Streams[2].Priority = 2
+	stats, err := RunMulti(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Device.Underruns != 0 {
+		t.Errorf("%d underruns under mixed priorities", stats.Device.Underruns)
+	}
+	if stats.Device.RefillCycles == 0 {
+		t.Error("no wake-ups")
+	}
+}
+
 func TestRunMultiPoliciesBothServeCleanly(t *testing.T) {
 	for _, policy := range []engine.Policy{engine.PolicyRoundRobin, engine.PolicyMostUrgent} {
 		cfg := twoStreamConfig()

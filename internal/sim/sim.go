@@ -170,19 +170,18 @@ func (c Config) Validate() error {
 	return errors.Join(errs...)
 }
 
-// Simulator runs the refill-cycle state machine on the event-driven engine.
+// Simulator runs the refill-cycle state machine on the unified event-driven
+// scheduling core, as its K=1 case.
 type Simulator struct {
 	cfg     Config
 	backend engine.Backend
-	core    *engine.Core
+	core    *engine.MultiCore
 	source  RateSource
 	rng     *workload.Rng
-	// writeFraction is the resolved stream write share (from Spec when set,
-	// from the legacy Stream otherwise).
-	writeFraction float64
-
-	requests []workload.BestEffortRequest
-	nextReq  int
+	// run is the shared cycle loop, configured for the single-stream model:
+	// top-off refill, inflated background writes, full-buffer DRAM charge
+	// and the ECC error model.
+	run runner
 }
 
 // New builds a simulator from a validated configuration.
@@ -232,15 +231,31 @@ func newValidated(cfg Config) (*Simulator, error) {
 		cfg.ECCSampleWords = 8
 	}
 	backend := cfg.backend()
-	return &Simulator{
-		cfg:           cfg,
-		backend:       backend,
-		core:          engine.NewCore(backend, source, cfg.Buffer),
-		source:        source,
-		rng:           workload.NewRng(cfg.Seed ^ 0xdeadbeefcafef00d),
-		writeFraction: writeFraction,
-		requests:      requests,
-	}, nil
+	core := engine.NewMultiCore(backend, []engine.StreamConfig{{
+		Source:        source,
+		Buffer:        cfg.Buffer,
+		WriteFraction: writeFraction,
+	}})
+	s := &Simulator{
+		cfg:     cfg,
+		backend: backend,
+		core:    core,
+		source:  source,
+		rng:     workload.NewRng(cfg.Seed ^ 0xdeadbeefcafef00d),
+	}
+	s.run = runner{
+		core:                    core,
+		policy:                  engine.PolicyRoundRobin,
+		dram:                    cfg.DRAM,
+		duration:                cfg.Duration,
+		bestEffort:              cfg.BestEffort,
+		requests:                requests,
+		topOff:                  true,
+		inflateBestEffortWrites: true,
+		fixedCycleAccess:        cfg.Buffer,
+		injectErrors:            s.injectErrors,
+	}
+	return s, nil
 }
 
 // patternSeed returns the seed the demand pattern derives its randomness
@@ -301,18 +316,13 @@ func (s *Simulator) rewind(cfg Config) error {
 	default:
 		return errors.New("sim: a custom rate source cannot be reset")
 	}
-	if cfg.BestEffort.TargetFraction > 0 {
-		requests, err := cfg.BestEffort.AppendRequests(s.requests[:0], cfg.Duration)
-		if err != nil {
-			return err
-		}
-		s.requests = requests
-	} else {
-		s.requests = s.requests[:0]
+	if err := s.run.rewindRequests(cfg.BestEffort); err != nil {
+		return err
 	}
 	s.cfg = cfg
-	s.nextReq = 0
 	s.rng.Seed(cfg.Seed ^ 0xdeadbeefcafef00d)
+	// Reset re-provisions the wake level against the reseeded pattern's
+	// realized peak, so it must follow the pattern reset above.
 	s.core.Reset()
 	return nil
 }
@@ -324,15 +334,7 @@ func (s *Simulator) rewind(cfg Config) error {
 // reset-compatible by construction, so Reset skips the compatibility check
 // and runs allocation-free.
 func (s *Simulator) Reset(seed uint64) error {
-	cfg := s.cfg
-	cfg.Seed = seed
-	if cfg.Spec.Kind != "" {
-		cfg.Spec.Seed = seed
-	} else {
-		cfg.Stream.Seed = seed
-	}
-	cfg.BestEffort.Seed = seed
-	return s.rewind(cfg)
+	return s.rewind(reseedConfig(s.cfg, seed))
 }
 
 // resetCompatible reports whether two configurations are identical up to
@@ -350,32 +352,13 @@ func resetCompatible(a, b Config) bool {
 	return reflect.DeepEqual(a, b)
 }
 
-// serveBestEffort serves every queued request that has arrived by now.
-func (s *Simulator) serveBestEffort() {
-	stats := s.core.Stats()
-	for s.nextReq < len(s.requests) && s.requests[s.nextReq].Arrival <= s.core.Now() {
-		req := s.requests[s.nextReq]
-		s.nextReq++
-		serviceTime := s.cfg.BestEffort.ServiceTime(req.Size)
-		s.core.Account(device.StateBestEffort, serviceTime)
-		stats.BestEffortBits = stats.BestEffortBits.Add(req.Size)
-		stats.BestEffortRequests++
-		if req.Write {
-			// Route background writes through the same crediting path as
-			// refill writes, so probe-lifetime projections count their user
-			// bits and formatting inflation consistently.
-			s.core.CreditWrite(req.Size)
-		}
-	}
-}
-
 // injectErrors exercises the ECC codec with the configured raw bit-error rate
 // on a sample of codewords for this refill.
 func (s *Simulator) injectErrors() {
 	if s.cfg.BitErrorRate <= 0 || s.cfg.ECCSampleWords <= 0 {
 		return
 	}
-	stats := s.core.Stats()
+	stats := s.core.DeviceStats()
 	expectedFlipsPerWord := s.cfg.BitErrorRate * float64(ecc.CodewordBits)
 	for i := 0; i < s.cfg.ECCSampleWords; i++ {
 		word := s.rng.Uint64()
@@ -405,46 +388,14 @@ func (s *Simulator) injectErrors() {
 
 // Run executes the simulation and returns the collected statistics.
 func (s *Simulator) Run() (*Stats, error) {
-	end := s.cfg.Duration
-	stats := s.core.Stats()
-	lastCycleEnd := units.Duration(0)
 	// Wake the device early enough that the buffer survives the positioning
 	// transition at the stream's peak demand, with a small safety margin.
-	wakeLevel := s.core.WakeLevel()
-	if wakeLevel >= s.cfg.Buffer {
+	if s.core.WakeLevel(0) >= s.cfg.Buffer {
 		return nil, fmt.Errorf("sim: buffer %v cannot even cover the %v positioning time at peak demand",
 			s.cfg.Buffer, s.backend.PositioningTime())
 	}
-	for s.core.Now() < end {
-		// Standby while the buffer drains towards the wake level.
-		s.core.DrainTo(device.StateStandby, wakeLevel, end)
-		if s.core.Now() >= end {
-			break
-		}
-
-		// Position back to the stream region, refill to full, serve queued
-		// best-effort work, top off, shut down.
-		s.core.Positioning()
-		s.core.RefillToFull(device.StateReadWrite, s.writeFraction)
-		s.serveBestEffort()
-		s.core.RefillToFull(device.StateReadWrite, s.writeFraction)
-		s.injectErrors()
-		s.core.Shutdown()
-
-		stats.RefillCycles++
-
-		// DRAM energy for this cycle: retention over the cycle plus one pass
-		// in and one pass out for the refilled data (best-effort traffic is
-		// accounted once at the end of the run).
-		cycleTime := s.core.Now().Sub(lastCycleEnd)
-		stats.DRAMEnergy = stats.DRAMEnergy.
-			Add(s.cfg.DRAM.BackgroundPower(s.cfg.Buffer).Times(cycleTime)).
-			Add(s.cfg.DRAM.AccessEnergy(s.cfg.Buffer.Scale(2)))
-		lastCycleEnd = s.core.Now()
-	}
-	stats.SimulatedTime = s.core.Now()
-	// Best-effort data passes through the buffer once in and once out.
-	stats.DRAMEnergy = stats.DRAMEnergy.Add(s.cfg.DRAM.AccessEnergy(stats.BestEffortBits.Scale(2)))
+	s.run.run()
+	stats := s.core.DeviceStats()
 	// Fold this run into the process-wide observability totals, once, now
 	// that the statistics are final.
 	stats.RecordRun()
