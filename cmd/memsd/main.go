@@ -8,6 +8,8 @@
 //
 //	memsd [-addr :8377] [-cache-entries 4096] [-cache-shards 16]
 //	      [-workers 0] [-timeout 30s] [-debug-addr addr]
+//	      [-max-inflight 256] [-max-queue 512] [-queue-wait 1s]
+//	      [-rate-limit 0] [-rate-burst 0] [-rate-clients 4096]
 //
 // Endpoints:
 //
@@ -19,6 +21,17 @@
 //	GET  /healthz        liveness probe (status, uptime, build version)
 //	GET  /statsz         cache hit/miss/eviction and in-flight counters
 //	GET  /metricsz       Prometheus text exposition (counters, gauges, latency histograms)
+//
+// The /v1 endpoints sit behind traffic controls: at most -max-inflight
+// requests compute at once, up to -max-queue more wait briefly (at most
+// -queue-wait) for a slot, and everything beyond that is shed with a 429
+// carrying a Retry-After hint. -rate-limit N additionally enforces a
+// per-client token bucket of N requests/second (burst -rate-burst), keyed
+// on the X-API-Key header when present and the client IP otherwise, over an
+// LRU table of -rate-clients keys. -max-inflight 0 disables admission
+// control; -rate-limit 0 (the default) disables rate limiting. cmd/memsload
+// drives these controls at a configurable rate and asserts latency and shed
+// budgets from the scraped metrics.
 //
 // Every request is logged to stderr as a structured record (request ID,
 // endpoint, status, latency, cache outcome, worker bound); clients may pin
@@ -63,6 +76,12 @@ func main() {
 	cacheShards := flag.Int("cache-shards", 0, "result-cache shard count (0 = service default, 16)")
 	workers := flag.Int("workers", 0, "per-request worker cap (0 = one per CPU)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request compute deadline (0 disables)")
+	maxInFlight := flag.Int("max-inflight", 256, "concurrent /v1 requests admitted at once (0 disables admission control)")
+	maxQueue := flag.Int("max-queue", 512, "requests allowed to wait for an in-flight slot before shedding")
+	queueWait := flag.Duration("queue-wait", time.Second, "longest a queued request waits for capacity before shedding")
+	rateLimit := flag.Float64("rate-limit", 0, "per-client /v1 allowance in requests per second (0 disables rate limiting)")
+	rateBurst := flag.Int("rate-burst", 0, "per-client token-bucket burst (0 = ceiling of -rate-limit)")
+	rateClients := flag.Int("rate-clients", 0, "rate-limiter client-key table bound, LRU evicted (0 = service default, 4096)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -71,10 +90,16 @@ func main() {
 		addr:      *addr,
 		debugAddr: *debugAddr,
 		service: memstream.ServiceConfig{
-			CacheEntries: *cacheEntries,
-			CacheShards:  *cacheShards,
-			MaxWorkers:   *workers,
-			Timeout:      *timeout,
+			CacheEntries:     *cacheEntries,
+			CacheShards:      *cacheShards,
+			MaxWorkers:       *workers,
+			Timeout:          *timeout,
+			MaxInFlight:      *maxInFlight,
+			MaxQueue:         *maxQueue,
+			QueueWait:        *queueWait,
+			RateLimit:        *rateLimit,
+			RateBurst:        *rateBurst,
+			RateLimitClients: *rateClients,
 		},
 	}
 	if err := run(ctx, os.Stderr, dc); err != nil {
@@ -178,16 +203,34 @@ func run(ctx context.Context, logw io.Writer, dc daemonConfig) error {
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
 		defer cancel()
 		// Drain politely for half the grace, then cancel the remaining
-		// requests so the second half is enough for them to unwind.
+		// requests so the second half is enough for them to unwind. Both
+		// listeners drain concurrently under the one shared window — a slow
+		// main drain must not eat the debug listener's budget — and each
+		// failure is reported under its own name.
 		timer := time.AfterFunc(shutdownGrace/2, cancelRequests)
 		defer timer.Stop()
-		err := srv.Shutdown(shutdownCtx)
+		var mainErr, debugErr error
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mainErr = srv.Shutdown(shutdownCtx)
+		}()
 		if dsrv != nil {
-			if derr := dsrv.Shutdown(shutdownCtx); err == nil {
-				err = derr
-			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				debugErr = dsrv.Shutdown(shutdownCtx)
+			}()
 		}
-		done <- err
+		wg.Wait()
+		if mainErr != nil {
+			mainErr = fmt.Errorf("main listener: %w", mainErr)
+		}
+		if debugErr != nil {
+			debugErr = fmt.Errorf("debug listener: %w", debugErr)
+		}
+		done <- errors.Join(mainErr, debugErr)
 	}()
 
 	if err := srv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {

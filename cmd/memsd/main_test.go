@@ -113,6 +113,93 @@ func TestDaemonServesAndShutsDownGracefully(t *testing.T) {
 	}
 }
 
+// TestDaemonTrafficControls checks the traffic-control knobs plumb through
+// the daemon config: a 1 rps / burst-1 per-client limit refuses the second
+// immediate /v1 request with the full 429 contract, the refusal is visible
+// in /statsz and /metricsz, and non-/v1 surfaces stay unlimited.
+func TestDaemonTrafficControls(t *testing.T) {
+	base, _, stop := startDaemon(t, memstream.ServiceConfig{
+		Timeout:     30 * time.Second,
+		MaxInFlight: 8,
+		MaxQueue:    8,
+		RateLimit:   1,
+		RateBurst:   1,
+	}, "")
+	defer stop()
+
+	body := `{"rate":"1024 kbps"}`
+	resp, err := http.Post(base+"/v1/breakeven", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("breakeven: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first breakeven status = %d; want 200", resp.StatusCode)
+	}
+
+	resp, err = http.Post(base+"/v1/breakeven", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("second breakeven: %v", err)
+	}
+	refusal, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second breakeven status = %d; want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("429 without a Retry-After header")
+	}
+	var eb struct {
+		Error             string `json:"error"`
+		RetryAfterSeconds int    `json:"retry_after_seconds"`
+	}
+	if err := json.Unmarshal(refusal, &eb); err != nil || eb.RetryAfterSeconds < 1 {
+		t.Errorf("refusal body = %s (err %v); want strict JSON with retry_after_seconds", refusal, err)
+	}
+
+	// The refusal shows up in /statsz and /metricsz; /metricsz itself and
+	// /healthz are never limited.
+	for i := 0; i < 3; i++ {
+		hr, err := http.Get(base + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		hr.Body.Close()
+		if hr.StatusCode != http.StatusOK {
+			t.Fatalf("healthz while client over-limit = %d; want 200", hr.StatusCode)
+		}
+	}
+	sr, err := http.Get(base + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st memstream.ServiceStats
+	err = json.NewDecoder(sr.Body).Decode(&st)
+	sr.Body.Close()
+	if err != nil {
+		t.Fatalf("decode statsz: %v", err)
+	}
+	if st.RateLimited != 1 || st.InFlightLimit != 8 {
+		t.Errorf("statsz = rate_limited %d, in_flight_limit %d; want 1 and 8", st.RateLimited, st.InFlightLimit)
+	}
+	mr, err := http.Get(base + "/metricsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exposition, _ := io.ReadAll(mr.Body)
+	mr.Body.Close()
+	for _, line := range []string{
+		`memsd_http_rate_limited_total{reason="ip"} 1`,
+		`memsd_http_inflight_limit 8`,
+		`memsd_http_requests_shed_total 0`,
+	} {
+		if !strings.Contains(string(exposition), line+"\n") {
+			t.Errorf("metricsz missing %q", line)
+		}
+	}
+}
+
 func TestDaemonRefusesBusyPort(t *testing.T) {
 	base, _, stop := startDaemon(t, memstream.ServiceConfig{}, "")
 	defer stop()

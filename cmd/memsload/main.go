@@ -1,0 +1,643 @@
+// Command memsload is the k-request replay load generator for memsd: it
+// drives a running daemon at a configurable request rate, concurrency and
+// endpoint mix, measures client-side latency percentiles, and scrapes the
+// daemon's /metricsz exposition afterwards so server-side shed, rate-limit
+// and latency-histogram budgets can be asserted in the same run. It is both
+// an interactive tool (table report) and a CI gate (JSON report plus
+// -max-p99 / -max-5xx / -min-429 style assertions that set the exit code).
+//
+// Usage:
+//
+//	memsload -addr http://127.0.0.1:8377 [-rps 50] [-concurrency 16]
+//	         [-duration 10s] [-mix dimension=4,breakeven=2,simulate=1]
+//	         [-spread 8] [-request-timeout 10s] [-format table|json]
+//	         [-no-scrape] [-max-p99 0] [-max-5xx -1] [-min-429 -1]
+//	         [-max-429 -1] [-max-transport -1]
+//
+// The mix is a comma list of endpoint=weight pairs over dimension, sweep,
+// simulate, multisim, breakeven, multistream and healthz; requests are
+// interleaved deterministically in weight proportion. -spread N cycles each
+// endpoint's request body over N distinct variants (different rates), so a
+// run exercises the compute path rather than replaying one cache entry.
+//
+// Assertions (each skipped at its default):
+//
+//	-max-p99 d       fail if the scraped server-side p99 of any driven /v1
+//	                 endpoint exceeds d (falls back to client-side p99 with
+//	                 -no-scrape)
+//	-max-5xx n       fail if more than n responses were 5xx
+//	-min-429 n       fail if fewer than n responses were 429 (over-limit
+//	                 runs must actually shed)
+//	-max-429 n       fail if more than n responses were 429
+//	-max-transport n fail if more than n requests failed at the transport
+//
+// Exit status: 0 when the run completed and every assertion held, 1
+// otherwise.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+func main() {
+	cfg, err := parseFlags(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "memsload:", err)
+		os.Exit(2)
+	}
+	report, err := run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "memsload:", err)
+		os.Exit(1)
+	}
+	if err := render(cfg, report); err != nil {
+		fmt.Fprintln(os.Stderr, "memsload:", err)
+		os.Exit(1)
+	}
+	if failures := assertBudgets(cfg, report); len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "memsload: budget violated:", f)
+		}
+		os.Exit(1)
+	}
+}
+
+// config is the parsed command line.
+type config struct {
+	addr        string
+	rps         float64
+	concurrency int
+	duration    time.Duration
+	mix         []mixEntry
+	spread      int
+	reqTimeout  time.Duration
+	format      string
+	scrape      bool
+	out         io.Writer
+
+	maxP99       time.Duration
+	max5xx       int
+	min429       int
+	max429       int
+	maxTransport int
+}
+
+// parseFlags parses argv into a config (split from main for tests).
+func parseFlags(argv []string, out io.Writer) (*config, error) {
+	fs := flag.NewFlagSet("memsload", flag.ContinueOnError)
+	cfg := &config{out: out}
+	fs.StringVar(&cfg.addr, "addr", "http://127.0.0.1:8377", "base URL of the memsd daemon")
+	fs.Float64Var(&cfg.rps, "rps", 50, "request rate to offer, requests per second")
+	fs.IntVar(&cfg.concurrency, "concurrency", 16, "concurrent in-flight requests the generator may hold")
+	fs.DurationVar(&cfg.duration, "duration", 10*time.Second, "how long to offer load")
+	mix := fs.String("mix", "dimension=4,breakeven=2,simulate=1", "endpoint mix as comma-separated name=weight pairs")
+	fs.IntVar(&cfg.spread, "spread", 8, "distinct request-body variants per endpoint (1 replays one cacheable body)")
+	fs.DurationVar(&cfg.reqTimeout, "request-timeout", 10*time.Second, "per-request client timeout")
+	fs.StringVar(&cfg.format, "format", "table", "report format: table or json")
+	noScrape := fs.Bool("no-scrape", false, "skip the final /metricsz scrape (client-side numbers only)")
+	fs.DurationVar(&cfg.maxP99, "max-p99", 0, "fail if a driven /v1 endpoint's p99 latency exceeds this (0 skips)")
+	fs.IntVar(&cfg.max5xx, "max-5xx", -1, "fail if more than this many responses were 5xx (-1 skips)")
+	fs.IntVar(&cfg.min429, "min-429", -1, "fail if fewer than this many responses were 429 (-1 skips)")
+	fs.IntVar(&cfg.max429, "max-429", -1, "fail if more than this many responses were 429 (-1 skips)")
+	fs.IntVar(&cfg.maxTransport, "max-transport", -1, "fail if more than this many requests failed at the transport (-1 skips)")
+	if err := fs.Parse(argv); err != nil {
+		return nil, err
+	}
+	if cfg.rps <= 0 {
+		return nil, fmt.Errorf("-rps must be positive, got %v", cfg.rps)
+	}
+	if cfg.concurrency < 1 {
+		return nil, fmt.Errorf("-concurrency must be at least 1, got %d", cfg.concurrency)
+	}
+	if cfg.duration <= 0 {
+		return nil, fmt.Errorf("-duration must be positive, got %v", cfg.duration)
+	}
+	if cfg.spread < 1 {
+		return nil, fmt.Errorf("-spread must be at least 1, got %d", cfg.spread)
+	}
+	if cfg.format != "table" && cfg.format != "json" {
+		return nil, fmt.Errorf("-format must be table or json, got %q", cfg.format)
+	}
+	cfg.scrape = !*noScrape
+	cfg.addr = strings.TrimRight(cfg.addr, "/")
+	var err error
+	if cfg.mix, err = parseMix(*mix); err != nil {
+		return nil, err
+	}
+	return cfg, nil
+}
+
+// endpointSpec names one drivable endpoint: its HTTP shape and a body
+// generator cycling over spread distinct variants.
+type endpointSpec struct {
+	name   string
+	method string
+	path   string
+	// body builds variant v's request body ("" for GET endpoints).
+	body func(v int) string
+}
+
+// goal is the shared design-goal clause of the generated bodies.
+const goal = `{"energy_saving":0.7,"capacity_utilisation":0.88,"lifetime":"7 years"}`
+
+// variantRate spreads request bodies over distinct, valid streaming rates:
+// 256..(256+16·v) kbps stays well inside every endpoint's feasible band.
+func variantRate(v int) string { return strconv.Itoa(256+16*v) + " kbps" }
+
+// endpoints is the catalogue of drivable endpoints by mix name.
+var endpoints = map[string]endpointSpec{
+	"dimension": {name: "dimension", method: "POST", path: "/v1/dimension", body: func(v int) string {
+		return `{"rate":"` + variantRate(v) + `","goal":` + goal + `}`
+	}},
+	"sweep": {name: "sweep", method: "POST", path: "/v1/sweep", body: func(v int) string {
+		return `{"goal":` + goal + `,"min_rate":"` + variantRate(v) + `","max_rate":"4096 kbps","points":16}`
+	}},
+	"simulate": {name: "simulate", method: "POST", path: "/v1/simulate", body: func(v int) string {
+		return `{"rate":"` + variantRate(v) + `","buffer":"64 KiB","duration":"30 s"}`
+	}},
+	"multisim": {name: "multisim", method: "POST", path: "/v1/multisim", body: func(v int) string {
+		return `{"streams":[{"name":"playback","rate":"` + variantRate(v) + `","buffer":"128 KiB","write_fraction":0},` +
+			`{"name":"camera","rate":"512 kbps","buffer":"64 KiB","write_fraction":1}],"duration":"30 s"}`
+	}},
+	"breakeven": {name: "breakeven", method: "POST", path: "/v1/breakeven", body: func(v int) string {
+		return `{"rate":"` + variantRate(v) + `"}`
+	}},
+	"multistream": {name: "multistream", method: "POST", path: "/v1/multistream", body: func(v int) string {
+		return `{"goal":` + goal + `,"streams":[{"name":"rec","rate":"` + variantRate(v) + `","write_fraction":1}]}`
+	}},
+	"healthz": {name: "healthz", method: "GET", path: "/healthz", body: func(int) string { return "" }},
+}
+
+// mixEntry is one endpoint's weight in the offered mix.
+type mixEntry struct {
+	spec   endpointSpec
+	weight int
+}
+
+// parseMix parses "dimension=4,breakeven=2" into weighted entries.
+func parseMix(s string) ([]mixEntry, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("-mix must name at least one endpoint")
+	}
+	var mix []mixEntry
+	seen := map[string]bool{}
+	for _, part := range strings.Split(s, ",") {
+		name, weightStr, found := strings.Cut(strings.TrimSpace(part), "=")
+		weight := 1
+		if found {
+			w, err := strconv.Atoi(weightStr)
+			if err != nil || w < 1 {
+				return nil, fmt.Errorf("mix weight %q of %q must be a positive integer", weightStr, name)
+			}
+			weight = w
+		}
+		spec, ok := endpoints[name]
+		if !ok {
+			known := make([]string, 0, len(endpoints))
+			for k := range endpoints {
+				known = append(known, k)
+			}
+			sort.Strings(known)
+			return nil, fmt.Errorf("unknown mix endpoint %q (known: %s)", name, strings.Join(known, ", "))
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("mix endpoint %q repeated", name)
+		}
+		seen[name] = true
+		mix = append(mix, mixEntry{spec: spec, weight: weight})
+	}
+	sort.Slice(mix, func(i, j int) bool { return mix[i].spec.name < mix[j].spec.name })
+	return mix, nil
+}
+
+// pick returns the mix entry of the i-th request: a deterministic
+// interleave proportional to the weights (request i takes slot i modulo the
+// total weight in the cumulative-weight table).
+func pick(mix []mixEntry, i int) endpointSpec {
+	total := 0
+	for _, m := range mix {
+		total += m.weight
+	}
+	slot := i % total
+	for _, m := range mix {
+		if slot < m.weight {
+			return m.spec
+		}
+		slot -= m.weight
+	}
+	return mix[len(mix)-1].spec
+}
+
+// sample is one completed request's outcome.
+type sample struct {
+	endpoint string // the request path, matching the server's endpoint label
+	status   int    // HTTP status, or 0 on a transport failure
+	latency  time.Duration
+}
+
+// EndpointReport aggregates one endpoint's client-side view.
+type EndpointReport struct {
+	Endpoint  string  `json:"endpoint"`
+	Requests  int     `json:"requests"`
+	OK        int     `json:"ok"`
+	Refused   int     `json:"refused_429"`
+	Other4xx  int     `json:"other_4xx"`
+	Errors5xx int     `json:"errors_5xx"`
+	Transport int     `json:"transport_errors"`
+	P50Ms     float64 `json:"p50_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+	MaxMs     float64 `json:"max_ms"`
+}
+
+// ServerReport is the server-side view scraped from /metricsz after the run.
+type ServerReport struct {
+	Shed           uint64 `json:"shed"`
+	RateLimited    uint64 `json:"rate_limited"`
+	BodyTooLarge   uint64 `json:"body_too_large"`
+	DeadlineAborts uint64 `json:"deadline_aborts"`
+	Responses5xx   uint64 `json:"responses_5xx"`
+	// P99Seconds is the nearest-bucket-bound p99 per endpoint label, from
+	// the scraped latency histograms.
+	P99Seconds map[string]float64 `json:"p99_seconds"`
+}
+
+// Report is the full run outcome.
+type Report struct {
+	Addr            string           `json:"addr"`
+	OfferedRPS      float64          `json:"offered_rps"`
+	AchievedRPS     float64          `json:"achieved_rps"`
+	Concurrency     int              `json:"concurrency"`
+	DurationSeconds float64          `json:"duration_seconds"`
+	Endpoints       []EndpointReport `json:"endpoints"`
+	Total           EndpointReport   `json:"total"`
+	Server          *ServerReport    `json:"server,omitempty"`
+}
+
+// run offers the configured load and aggregates the outcome.
+func run(cfg *config) (*Report, error) {
+	client := &http.Client{Timeout: cfg.reqTimeout}
+	// Probe once so an unreachable daemon fails fast instead of producing a
+	// report of transport errors.
+	if resp, err := client.Get(cfg.addr + "/healthz"); err != nil {
+		return nil, fmt.Errorf("probe %s/healthz: %w", cfg.addr, err)
+	} else {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	tickets := make(chan int, cfg.concurrency)
+	samples := make(chan sample, cfg.concurrency)
+	var workers sync.WaitGroup
+	for w := 0; w < cfg.concurrency; w++ {
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			for i := range tickets {
+				samples <- issue(client, cfg, i)
+			}
+		}()
+	}
+	collected := make(map[string]*EndpointReport)
+	latencies := make(map[string][]time.Duration)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for s := range samples {
+			r := collected[s.endpoint]
+			if r == nil {
+				r = &EndpointReport{Endpoint: s.endpoint}
+				collected[s.endpoint] = r
+			}
+			r.Requests++
+			switch {
+			case s.status == 0:
+				r.Transport++
+			case s.status == http.StatusTooManyRequests:
+				r.Refused++
+			case s.status >= 500:
+				r.Errors5xx++
+			case s.status >= 400:
+				r.Other4xx++
+			default:
+				r.OK++
+			}
+			latencies[s.endpoint] = append(latencies[s.endpoint], s.latency)
+		}
+	}()
+
+	// Open-loop pacing: request i is offered at start + i/rps. When every
+	// worker is busy the offer blocks (the generator itself degrades under
+	// saturation — exactly the regime admission control is for).
+	start := time.Now()
+	period := float64(time.Second) / cfg.rps
+	issued := 0
+	for {
+		next := start.Add(time.Duration(float64(issued) * period))
+		if next.Sub(start) >= cfg.duration {
+			break
+		}
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		tickets <- issued
+		issued++
+	}
+	close(tickets)
+	workers.Wait()
+	close(samples)
+	<-done
+	elapsed := time.Since(start)
+
+	report := &Report{
+		Addr:            cfg.addr,
+		OfferedRPS:      cfg.rps,
+		AchievedRPS:     float64(issued) / elapsed.Seconds(),
+		Concurrency:     cfg.concurrency,
+		DurationSeconds: elapsed.Seconds(),
+	}
+	names := make([]string, 0, len(collected))
+	for name := range collected {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	total := EndpointReport{Endpoint: "total"}
+	var allLatencies []time.Duration
+	for _, name := range names {
+		r := collected[name]
+		fillQuantiles(r, latencies[name])
+		report.Endpoints = append(report.Endpoints, *r)
+		total.Requests += r.Requests
+		total.OK += r.OK
+		total.Refused += r.Refused
+		total.Other4xx += r.Other4xx
+		total.Errors5xx += r.Errors5xx
+		total.Transport += r.Transport
+		allLatencies = append(allLatencies, latencies[name]...)
+	}
+	fillQuantiles(&total, allLatencies)
+	report.Total = total
+
+	if cfg.scrape {
+		server, err := scrapeServer(client, cfg.addr)
+		if err != nil {
+			return nil, err
+		}
+		report.Server = server
+	}
+	return report, nil
+}
+
+// issue sends the i-th request and records its outcome.
+func issue(client *http.Client, cfg *config, i int) sample {
+	spec := pick(cfg.mix, i)
+	// Variants advance with the per-endpoint request index so every spread
+	// value is exercised regardless of the mix interleave.
+	variant := (i / len(cfg.mix)) % cfg.spread
+	var req *http.Request
+	var err error
+	if spec.method == "GET" {
+		req, err = http.NewRequest("GET", cfg.addr+spec.path, nil)
+	} else {
+		req, err = http.NewRequest("POST", cfg.addr+spec.path, strings.NewReader(spec.body(variant)))
+		if req != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+	}
+	if err != nil {
+		return sample{endpoint: spec.path}
+	}
+	start := time.Now()
+	resp, err := client.Do(req)
+	latency := time.Since(start)
+	if err != nil {
+		return sample{endpoint: spec.path, latency: latency}
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return sample{endpoint: spec.path, status: resp.StatusCode, latency: latency}
+}
+
+// fillQuantiles computes the exact client-side p50/p99/max of one endpoint.
+func fillQuantiles(r *EndpointReport, lat []time.Duration) {
+	if len(lat) == 0 {
+		return
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	r.P50Ms = ms(quantileExact(lat, 0.50))
+	r.P99Ms = ms(quantileExact(lat, 0.99))
+	r.MaxMs = ms(lat[len(lat)-1])
+}
+
+// quantileExact returns the q-quantile of a sorted sample (nearest-rank).
+func quantileExact(sorted []time.Duration, q float64) time.Duration {
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// scrapeServer fetches /metricsz and extracts the traffic-control counters
+// and per-endpoint p99 estimates.
+func scrapeServer(client *http.Client, addr string) (*ServerReport, error) {
+	resp, err := client.Get(addr + "/metricsz")
+	if err != nil {
+		return nil, fmt.Errorf("scrape /metricsz: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("read /metricsz: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("scrape /metricsz: status %d", resp.StatusCode)
+	}
+	return parseExposition(string(body))
+}
+
+// parseExposition extracts the server report from the Prometheus text
+// exposition. It understands exactly the families memsload asserts on.
+func parseExposition(text string) (*ServerReport, error) {
+	sr := &ServerReport{P99Seconds: map[string]float64{}}
+	// Histogram buckets accumulate per endpoint; bounds arrive in ascending
+	// order within a family, so the running structures stay sorted.
+	type histo struct {
+		bounds []float64
+		counts []uint64
+	}
+	hist := map[string]*histo{}
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return nil, err
+		}
+		switch name {
+		case "memsd_http_requests_shed_total":
+			sr.Shed = uint64(value)
+		case "memsd_http_rate_limited_total":
+			sr.RateLimited += uint64(value)
+		case "memsd_http_body_too_large_total":
+			sr.BodyTooLarge = uint64(value)
+		case "memsd_http_deadline_aborts_total":
+			sr.DeadlineAborts = uint64(value)
+		case "memsd_http_requests_total":
+			if labels["code"] == "5xx" {
+				sr.Responses5xx += uint64(value)
+			}
+		case "memsd_http_request_duration_seconds_bucket":
+			endpoint := labels["endpoint"]
+			h := hist[endpoint]
+			if h == nil {
+				h = &histo{}
+				hist[endpoint] = h
+			}
+			bound := math.Inf(1)
+			if labels["le"] != "+Inf" {
+				if bound, err = strconv.ParseFloat(labels["le"], 64); err != nil {
+					return nil, fmt.Errorf("bad le bound %q: %w", labels["le"], err)
+				}
+			}
+			h.bounds = append(h.bounds, bound)
+			h.counts = append(h.counts, uint64(value))
+		}
+	}
+	for endpoint, h := range hist {
+		if p99, ok := bucketQuantile(h.bounds, h.counts, 0.99); ok {
+			sr.P99Seconds[endpoint] = p99
+		}
+	}
+	return sr, nil
+}
+
+// parseSample splits one exposition line into name, labels and value.
+func parseSample(line string) (string, map[string]string, float64, error) {
+	idx := strings.LastIndexByte(line, ' ')
+	if idx < 0 {
+		return "", nil, 0, fmt.Errorf("malformed exposition line %q", line)
+	}
+	value, err := strconv.ParseFloat(line[idx+1:], 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("malformed exposition value in %q: %w", line, err)
+	}
+	name := line[:idx]
+	labels := map[string]string{}
+	if open := strings.IndexByte(name, '{'); open >= 0 {
+		raw := strings.TrimSuffix(name[open+1:], "}")
+		name = name[:open]
+		for _, pair := range strings.Split(raw, ",") {
+			k, v, found := strings.Cut(pair, "=")
+			if !found {
+				return "", nil, 0, fmt.Errorf("malformed label %q in %q", pair, line)
+			}
+			labels[k] = strings.Trim(v, `"`)
+		}
+	}
+	return name, labels, value, nil
+}
+
+// bucketQuantile estimates a quantile from cumulative histogram buckets the
+// same nearest-bound way the service's own LatencyQuantile does.
+func bucketQuantile(bounds []float64, cumulative []uint64, q float64) (float64, bool) {
+	if len(cumulative) == 0 {
+		return 0, false
+	}
+	total := cumulative[len(cumulative)-1]
+	if total == 0 {
+		return 0, false
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank == 0 {
+		rank = 1
+	}
+	for i, c := range cumulative {
+		if c >= rank {
+			return bounds[i], true
+		}
+	}
+	return bounds[len(bounds)-1], true
+}
+
+// render writes the report in the configured format.
+func render(cfg *config, r *Report) error {
+	if cfg.format == "json" {
+		enc := json.NewEncoder(cfg.out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(r)
+	}
+	w := cfg.out
+	fmt.Fprintf(w, "memsload: %s — offered %.1f rps (achieved %.1f), concurrency %d, %.1fs\n\n",
+		r.Addr, r.OfferedRPS, r.AchievedRPS, r.Concurrency, r.DurationSeconds)
+	fmt.Fprintf(w, "%-18s %8s %8s %8s %8s %8s %8s %9s %9s %9s\n",
+		"endpoint", "reqs", "ok", "429", "4xx", "5xx", "trans", "p50(ms)", "p99(ms)", "max(ms)")
+	rows := append(append([]EndpointReport(nil), r.Endpoints...), r.Total)
+	for _, e := range rows {
+		fmt.Fprintf(w, "%-18s %8d %8d %8d %8d %8d %8d %9.1f %9.1f %9.1f\n",
+			e.Endpoint, e.Requests, e.OK, e.Refused, e.Other4xx, e.Errors5xx, e.Transport,
+			e.P50Ms, e.P99Ms, e.MaxMs)
+	}
+	if r.Server != nil {
+		fmt.Fprintf(w, "\nserver (/metricsz): shed %d, rate-limited %d, body-too-large %d, deadline-aborts %d, 5xx %d\n",
+			r.Server.Shed, r.Server.RateLimited, r.Server.BodyTooLarge, r.Server.DeadlineAborts, r.Server.Responses5xx)
+		endpoints := make([]string, 0, len(r.Server.P99Seconds))
+		for e := range r.Server.P99Seconds {
+			endpoints = append(endpoints, e)
+		}
+		sort.Strings(endpoints)
+		for _, e := range endpoints {
+			fmt.Fprintf(w, "server p99 %-18s <= %.4fs\n", e, r.Server.P99Seconds[e])
+		}
+	}
+	return nil
+}
+
+// assertBudgets evaluates the CI assertions against the report, returning
+// one message per violated budget.
+func assertBudgets(cfg *config, r *Report) []string {
+	var failures []string
+	if cfg.maxP99 > 0 {
+		budget := cfg.maxP99.Seconds()
+		if r.Server != nil {
+			// Server-side histograms are the budgeted signal: every driven
+			// /v1 endpoint must hold the p99 bound.
+			driven := map[string]bool{}
+			for _, m := range cfg.mix {
+				driven[m.spec.path] = true
+			}
+			for endpoint, p99 := range r.Server.P99Seconds {
+				if driven[endpoint] && strings.HasPrefix(endpoint, "/v1/") && p99 > budget {
+					failures = append(failures, fmt.Sprintf("server p99 of %s = %.4fs exceeds %v", endpoint, p99, cfg.maxP99))
+				}
+			}
+		} else if p99 := r.Total.P99Ms / 1000; p99 > budget {
+			failures = append(failures, fmt.Sprintf("client p99 = %.4fs exceeds %v", p99, cfg.maxP99))
+		}
+	}
+	if cfg.max5xx >= 0 && r.Total.Errors5xx > cfg.max5xx {
+		failures = append(failures, fmt.Sprintf("5xx responses = %d exceed %d", r.Total.Errors5xx, cfg.max5xx))
+	}
+	if cfg.min429 >= 0 && r.Total.Refused < cfg.min429 {
+		failures = append(failures, fmt.Sprintf("429 responses = %d below the required %d", r.Total.Refused, cfg.min429))
+	}
+	if cfg.max429 >= 0 && r.Total.Refused > cfg.max429 {
+		failures = append(failures, fmt.Sprintf("429 responses = %d exceed %d", r.Total.Refused, cfg.max429))
+	}
+	if cfg.maxTransport >= 0 && r.Total.Transport > cfg.maxTransport {
+		failures = append(failures, fmt.Sprintf("transport errors = %d exceed %d", r.Total.Transport, cfg.maxTransport))
+	}
+	return failures
+}

@@ -1,0 +1,265 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"memstream"
+)
+
+func TestParseMix(t *testing.T) {
+	mix, err := parseMix("breakeven=2,dimension=4,healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mix) != 3 {
+		t.Fatalf("len(mix) = %d; want 3", len(mix))
+	}
+	// Entries are sorted by name so the interleave is order-independent.
+	wantNames := []string{"breakeven", "dimension", "healthz"}
+	wantWeights := []int{2, 4, 1}
+	for i, m := range mix {
+		if m.spec.name != wantNames[i] || m.weight != wantWeights[i] {
+			t.Errorf("mix[%d] = (%s, %d); want (%s, %d)", i, m.spec.name, m.weight, wantNames[i], wantWeights[i])
+		}
+	}
+
+	for _, bad := range []string{"", "nosuch=1", "dimension=0", "dimension=x", "dimension=1,dimension=2"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("parseMix(%q) accepted; want error", bad)
+		}
+	}
+}
+
+// TestPick checks the deterministic weighted interleave: over one full cycle
+// of the total weight each endpoint appears exactly its weight's worth, and
+// the sequence repeats cycle after cycle.
+func TestPick(t *testing.T) {
+	mix, err := parseMix("dimension=3,breakeven=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for i := 0; i < 8; i++ {
+		counts[pick(mix, i).name]++
+	}
+	if counts["dimension"] != 6 || counts["breakeven"] != 2 {
+		t.Fatalf("counts over two cycles = %v; want dimension 6, breakeven 2", counts)
+	}
+	for i := 0; i < 4; i++ {
+		if pick(mix, i).name != pick(mix, i+4).name {
+			t.Errorf("pick(%d) != pick(%d); the interleave must repeat each cycle", i, i+4)
+		}
+	}
+}
+
+func TestParseFlags(t *testing.T) {
+	cfg, err := parseFlags([]string{"-addr", "http://x:1/", "-rps", "10", "-min-429", "3"}, new(bytes.Buffer))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.addr != "http://x:1" {
+		t.Errorf("addr = %q; want trailing slash trimmed", cfg.addr)
+	}
+	if !cfg.scrape || cfg.min429 != 3 || cfg.max5xx != -1 {
+		t.Errorf("cfg = %+v; want scrape on, min429 3, max5xx skipped", cfg)
+	}
+
+	for _, bad := range [][]string{
+		{"-rps", "0"},
+		{"-concurrency", "0"},
+		{"-duration", "0s"},
+		{"-spread", "0"},
+		{"-format", "xml"},
+		{"-mix", "nosuch=1"},
+	} {
+		if _, err := parseFlags(bad, new(bytes.Buffer)); err == nil {
+			t.Errorf("parseFlags(%v) accepted; want error", bad)
+		}
+	}
+}
+
+func TestParseExposition(t *testing.T) {
+	text := strings.Join([]string{
+		`# HELP memsd_http_requests_shed_total whatever`,
+		`# TYPE memsd_http_requests_shed_total counter`,
+		`memsd_http_requests_shed_total 7`,
+		`memsd_http_rate_limited_total{reason="api_key"} 2`,
+		`memsd_http_rate_limited_total{reason="ip"} 3`,
+		`memsd_http_body_too_large_total 1`,
+		`memsd_http_deadline_aborts_total 4`,
+		`memsd_http_requests_total{endpoint="/v1/dimension",code="2xx"} 90`,
+		`memsd_http_requests_total{endpoint="/v1/dimension",code="5xx"} 5`,
+		`memsd_http_requests_total{endpoint="/v1/breakeven",code="5xx"} 1`,
+		`memsd_http_request_duration_seconds_bucket{endpoint="/v1/dimension",le="0.005"} 90`,
+		`memsd_http_request_duration_seconds_bucket{endpoint="/v1/dimension",le="0.05"} 99`,
+		`memsd_http_request_duration_seconds_bucket{endpoint="/v1/dimension",le="+Inf"} 100`,
+		``,
+	}, "\n")
+	sr, err := parseExposition(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Shed != 7 || sr.RateLimited != 5 || sr.BodyTooLarge != 1 || sr.DeadlineAborts != 4 {
+		t.Errorf("counters = %+v; want shed 7, rate-limited 5 (summed reasons), body-too-large 1, aborts 4", sr)
+	}
+	if sr.Responses5xx != 6 {
+		t.Errorf("Responses5xx = %d; want 6 summed across endpoints", sr.Responses5xx)
+	}
+	// Rank 99 of 100 lands in the le=0.05 bucket (nearest bound upward).
+	if got := sr.P99Seconds["/v1/dimension"]; got != 0.05 {
+		t.Errorf("p99 = %v; want the 0.05 bucket bound", got)
+	}
+
+	if _, err := parseExposition("not an exposition line"); err == nil {
+		t.Error("malformed exposition accepted; want error")
+	}
+}
+
+func TestBucketQuantile(t *testing.T) {
+	bounds := []float64{0.001, 0.01, 0.1}
+	if _, ok := bucketQuantile(nil, nil, 0.99); ok {
+		t.Error("empty histogram must report no quantile")
+	}
+	if _, ok := bucketQuantile(bounds, []uint64{0, 0, 0}, 0.99); ok {
+		t.Error("zero-count histogram must report no quantile")
+	}
+	if got, _ := bucketQuantile(bounds, []uint64{100, 100, 100}, 0.99); got != 0.001 {
+		t.Errorf("all-fast p99 = %v; want the first bound", got)
+	}
+	if got, _ := bucketQuantile(bounds, []uint64{50, 98, 100}, 0.99); got != 0.1 {
+		t.Errorf("tail p99 = %v; want the last bound", got)
+	}
+	if got, _ := bucketQuantile(bounds, []uint64{50, 99, 100}, 0.99); got != 0.01 {
+		t.Errorf("boundary p99 = %v; want the middle bound", got)
+	}
+}
+
+func TestAssertBudgets(t *testing.T) {
+	report := &Report{
+		Total: EndpointReport{Refused: 5, Errors5xx: 2, Transport: 1, P99Ms: 250},
+		Server: &ServerReport{P99Seconds: map[string]float64{
+			"/v1/dimension": 0.5,
+			"/healthz":      9, // never budgeted: not a /v1 endpoint
+		}},
+	}
+	mix, err := parseMix("dimension=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// All budgets at their skip sentinels: nothing fails.
+	cfg := &config{mix: mix, max5xx: -1, min429: -1, max429: -1, maxTransport: -1}
+	if f := assertBudgets(cfg, report); len(f) != 0 {
+		t.Errorf("skip-all budgets failed: %v", f)
+	}
+
+	cfg = &config{mix: mix, maxP99: 100 * time.Millisecond, max5xx: 1, min429: 10, max429: 2, maxTransport: 0}
+	f := assertBudgets(cfg, report)
+	if len(f) != 5 {
+		t.Fatalf("violations = %d (%v); want all 5 budgets tripped", len(f), f)
+	}
+
+	// Wide budgets all pass.
+	cfg = &config{mix: mix, maxP99: time.Second, max5xx: 2, min429: 1, max429: 10, maxTransport: 1}
+	if f := assertBudgets(cfg, report); len(f) != 0 {
+		t.Errorf("wide budgets failed: %v", f)
+	}
+
+	// Without a scrape the client-side p99 is the fallback signal.
+	report.Server = nil
+	cfg = &config{mix: mix, maxP99: 100 * time.Millisecond, max5xx: -1, min429: -1, max429: -1, maxTransport: -1}
+	if f := assertBudgets(cfg, report); len(f) != 1 {
+		t.Errorf("client-side p99 fallback violations = %v; want exactly one", f)
+	}
+}
+
+// TestRunAgainstService drives the whole generator against a real in-process
+// service with a tight per-client rate limit: the run must complete with zero
+// transport errors, produce 429s once the burst is spent, and the final
+// scrape must agree with the client-side refusal count.
+func TestRunAgainstService(t *testing.T) {
+	svc := memstream.NewService(memstream.ServiceConfig{
+		Timeout:   30 * time.Second,
+		RateLimit: 5,
+		RateBurst: 5,
+	})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	var out bytes.Buffer
+	cfg, err := parseFlags([]string{
+		"-addr", srv.URL,
+		"-rps", "200",
+		"-concurrency", "8",
+		"-duration", "300ms",
+		"-mix", "breakeven=3,healthz=1",
+		"-spread", "4",
+		"-format", "json",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Total.Requests == 0 {
+		t.Fatal("run issued no requests")
+	}
+	if report.Total.Transport != 0 {
+		t.Fatalf("transport errors = %d; want 0 against a live server", report.Total.Transport)
+	}
+	if report.Total.Refused == 0 {
+		t.Error("a 5 rps limit under 200 offered rps must refuse requests")
+	}
+	if report.Total.Errors5xx != 0 {
+		t.Errorf("5xx responses = %d; want 0", report.Total.Errors5xx)
+	}
+	if report.Server == nil {
+		t.Fatal("report has no scraped server section")
+	}
+	if report.Server.RateLimited != uint64(report.Total.Refused) {
+		t.Errorf("server rate-limited %d != client 429 count %d", report.Server.RateLimited, report.Total.Refused)
+	}
+	// healthz is never limited, so every one of its requests succeeded.
+	for _, e := range report.Endpoints {
+		if e.Endpoint == "/healthz" && e.OK != e.Requests {
+			t.Errorf("healthz report = %+v; want every request OK", e)
+		}
+	}
+
+	// The JSON rendering round-trips.
+	if err := render(cfg, report); err != nil {
+		t.Fatal(err)
+	}
+	var decoded Report
+	if err := json.Unmarshal(out.Bytes(), &decoded); err != nil {
+		t.Fatalf("rendered JSON does not parse: %v", err)
+	}
+	if decoded.Total.Requests != report.Total.Requests {
+		t.Errorf("decoded total %d != report total %d", decoded.Total.Requests, report.Total.Requests)
+	}
+
+	// Table rendering mentions every driven endpoint and the server section.
+	out.Reset()
+	cfg.format = "table"
+	if err := render(cfg, report); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"/v1/breakeven", "/healthz", "total", "server (/metricsz)"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("table output missing %q", want)
+		}
+	}
+
+	// An unreachable daemon fails fast at the probe.
+	cfg.addr = "http://127.0.0.1:1"
+	if _, err := run(cfg); err == nil {
+		t.Error("run against an unreachable daemon must fail at the healthz probe")
+	}
+}

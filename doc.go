@@ -237,7 +237,8 @@
 // ready-made daemon around it:
 //
 //	memsd [-addr :8377] [-cache-entries 4096] [-cache-shards 16] [-workers 0]
-//	      [-timeout 30s] [-debug-addr addr]
+//	      [-timeout 30s] [-debug-addr addr] [-max-inflight 256] [-max-queue 512]
+//	      [-queue-wait 1s] [-rate-limit 0] [-rate-burst 0] [-rate-clients 0]
 //
 // serving POST /v1/dimension, /v1/sweep, /v1/simulate, /v1/multisim,
 // /v1/breakeven and /v1/multistream (JSON bodies; unit strings, or bare numbers
@@ -257,6 +258,29 @@
 // bounds; worker bounds never change an answer (only its latency), so they
 // are excluded from the cache key.
 //
+// The /v1 endpoints sit behind two traffic controls. An admission controller
+// bounds the requests in flight (-max-inflight) and queues a short overflow
+// (-max-queue) for at most -queue-wait; arrivals beyond the queue, or queued
+// longer than the wait, are shed with 429, a Retry-After header computed from
+// the endpoint's observed p50 latency and the queue depth, and a strict-JSON
+// body mirroring the hint in retry_after_seconds. A per-client token bucket
+// (-rate-limit requests per second, burst -rate-burst) keys clients on
+// X-API-Key when present, client IP otherwise, in an LRU-bounded table of
+// -rate-clients entries so hostile key churn cannot grow memory; over-limit
+// requests get the same 429 contract with the exact token-deficit wait.
+// /healthz, /statsz and /metricsz bypass both controls. Both are off by
+// default in the library (zero ServiceConfig); cmd/memsd enables admission
+// control by default and leaves rate limiting opt-in.
+//
+// cmd/memsload drives a running daemon for interactive load tests and CI
+// gates: a configurable request rate, concurrency, duration and endpoint mix,
+// client-side p50/p99 per endpoint, and a final /metricsz scrape so budgets
+// can be asserted against the server's own counters and histograms:
+//
+//	memsload -addr http://localhost:8377 -rps 200 -duration 30s \
+//	  -mix dimension=4,breakeven=2,simulate=1 -format json \
+//	  -max-p99 250ms -max-5xx 0 -max-transport 0
+//
 // # Observability
 //
 // GET /metricsz serves the service's counters, gauges and latency histograms
@@ -273,8 +297,16 @@
 //     Service.LatencyQuantile derives them in-process.
 //   - memsd_http_in_flight_requests, memsd_compute_in_flight: gauges of
 //     requests inside the handler and inside the compute section.
-//   - memsd_http_deadline_aborts_total, memsd_http_requests_shed_total:
-//     requests lost to the compute deadline and to oversized bodies.
+//   - memsd_http_deadline_aborts_total: requests lost to the compute
+//     deadline.
+//   - memsd_http_requests_shed_total, memsd_http_inflight_limit,
+//     memsd_http_queue_depth: admission control — requests refused because
+//     the wait queue was full or the queue wait expired, the configured
+//     in-flight bound (0 when disabled) and the live queue occupancy.
+//   - memsd_http_rate_limited_total{reason}: per-client rate-limit refusals,
+//     by client-key kind ("ip" or "api_key").
+//   - memsd_http_body_too_large_total: requests rejected with 413 for an
+//     oversized body (a malformed request, not load shedding).
 //   - memsd_cache_hits_total, memsd_cache_misses_total,
 //     memsd_cache_evictions_total, memsd_cache_entries, memsd_cache_capacity,
 //     memsd_cache_shard_entries{shard}: the result cache, per shard.

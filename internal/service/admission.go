@@ -1,0 +1,199 @@
+package service
+
+// This file is the admission-control layer of the service: a bounded
+// in-flight semaphore with a short bounded wait queue in front of every
+// /v1/* endpoint. Work beyond the in-flight bound queues briefly; work
+// beyond the queue bound (or whose queue wait expires) is shed with a 429
+// and a computed Retry-After, so an overloaded daemon degrades by refusing
+// cheaply instead of accepting unboundedly and timing everything out.
+//
+// The controller is deliberately dumb and allocation-free on the admit
+// path: a buffered channel is the semaphore, an atomic counter bounds the
+// queue, and the only time it reads is the clock already paid for by the
+// per-request latency measurement.
+
+import (
+	"context"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"memstream/internal/metrics"
+)
+
+// admissionDefaults centralises the flag/config defaults cmd/memsd and the
+// tests share.
+const (
+	// DefaultQueueWait bounds how long an admitted-to-queue request waits
+	// for capacity when Config.QueueWait is zero.
+	DefaultQueueWait = time.Second
+	// minRetryAfterSeconds and maxRetryAfterSeconds clamp the computed
+	// Retry-After so clients always get a sane, parseable hint.
+	minRetryAfterSeconds = 1
+	maxRetryAfterSeconds = 30
+)
+
+// admission is the bounded in-flight + bounded queue controller. A nil
+// *admission admits everything (the disabled state).
+type admission struct {
+	// sem has one slot per admitted in-flight request.
+	sem chan struct{}
+	// queueCap bounds how many requests may wait for a slot.
+	queueCap int
+	// maxWait bounds how long one request may wait in the queue.
+	maxWait time.Duration
+	// depth mirrors the live queue occupancy into the registry.
+	depth *metrics.Gauge
+}
+
+// newAdmission builds the controller, or nil when maxInFlight is zero
+// (admission control disabled).
+func newAdmission(maxInFlight, maxQueue int, maxWait time.Duration, depth *metrics.Gauge) *admission {
+	if maxInFlight <= 0 {
+		return nil
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	if maxWait <= 0 {
+		maxWait = DefaultQueueWait
+	}
+	return &admission{
+		sem:      make(chan struct{}, maxInFlight),
+		queueCap: maxQueue,
+		maxWait:  maxWait,
+		depth:    depth,
+	}
+}
+
+// admitErr is why a request was not admitted.
+type admitErr int
+
+const (
+	admitOK admitErr = iota
+	// admitQueueFull: the queue was at capacity on arrival.
+	admitQueueFull
+	// admitWaitExpired: the request queued but capacity never freed within
+	// the wait bound.
+	admitWaitExpired
+)
+
+// acquire admits one request, blocking in the bounded queue when the
+// in-flight bound is reached. On admitOK the caller must call release
+// exactly once. A context error (client gone, deadline past) is returned
+// as-is so it keeps its transport status code.
+func (a *admission) acquire(ctx context.Context) (admitErr, error) {
+	if a == nil {
+		return admitOK, nil
+	}
+	select {
+	case a.sem <- struct{}{}:
+		return admitOK, nil
+	default:
+	}
+	// The fast path missed: try to take a queue slot. queued() is the only
+	// coordination point, so hostile floods cost one atomic add each.
+	if !a.enqueue() {
+		return admitQueueFull, nil
+	}
+	defer a.dequeue()
+	timer := time.NewTimer(a.maxWait)
+	defer timer.Stop()
+	select {
+	case a.sem <- struct{}{}:
+		return admitOK, nil
+	case <-timer.C:
+		return admitWaitExpired, nil
+	case <-ctx.Done():
+		return admitOK, ctx.Err()
+	}
+}
+
+// release frees one in-flight slot.
+func (a *admission) release() {
+	if a == nil {
+		return
+	}
+	<-a.sem
+}
+
+// enqueue claims a queue slot, reporting false at capacity.
+func (a *admission) enqueue() bool {
+	if a.queueCap == 0 {
+		return false
+	}
+	// The gauge doubles as the occupancy counter: Add returns nothing, so
+	// read-modify under the registry gauge's CAS loop via Inc, then check.
+	// Over-claim is corrected immediately, so the bound holds exactly from
+	// the shedding side: at most queueCap requests ever wait.
+	a.depth.Inc()
+	if int(a.depth.Value()) > a.queueCap {
+		a.depth.Dec()
+		return false
+	}
+	return true
+}
+
+// dequeue returns a queue slot.
+func (a *admission) dequeue() { a.depth.Dec() }
+
+// retryAfterSeconds computes the Retry-After hint for a shed or rate-limited
+// request: at least wait (the known time until the next opportunity), floored
+// at one second and capped so a transient spike never tells clients to go
+// away for minutes.
+func retryAfterSeconds(wait time.Duration) int {
+	secs := int(math.Ceil(wait.Seconds()))
+	if secs < minRetryAfterSeconds {
+		return minRetryAfterSeconds
+	}
+	if secs > maxRetryAfterSeconds {
+		return maxRetryAfterSeconds
+	}
+	return secs
+}
+
+// admissionRetryAfter estimates how long a shed client should back off: the
+// time for the whole standing queue (plus the client itself) to drain at the
+// endpoint's observed median latency. Before any latency observation the
+// estimate degrades to the queue wait bound.
+func (s *Service) admissionRetryAfter(endpoint string) int {
+	est := s.met.latency.With(endpoint).Quantile(0.5)
+	if math.IsNaN(est) || est <= 0 {
+		return retryAfterSeconds(s.admit.maxWait)
+	}
+	depth := s.met.queueDepth.Value()
+	return retryAfterSeconds(time.Duration((depth + 1) * est * float64(time.Second)))
+}
+
+// writeRetryAfter writes the 429 refusal: Retry-After header plus the
+// strict-JSON error body carrying the same hint.
+func writeRetryAfter(w http.ResponseWriter, seconds int, msg string) {
+	w.Header().Set("Retry-After", strconv.Itoa(seconds))
+	writeJSON(w, http.StatusTooManyRequests, errorBody{Error: msg, RetryAfterSeconds: seconds})
+}
+
+// admitted wraps one /v1 endpoint handler with the admission controller.
+// Shed requests (queue full, queue wait expired) get a 429 with Retry-After
+// and count into memsd_http_requests_shed_total; a request whose own context
+// died while queued keeps its transport status instead.
+func (s *Service) admitted(endpoint string, h http.Handler) http.Handler {
+	if s.admit == nil {
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		verdict, err := s.admit.acquire(r.Context())
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		if verdict != admitOK {
+			s.met.shed.Inc()
+			writeRetryAfter(w, s.admissionRetryAfter(endpoint),
+				"service: overloaded: in-flight and queue bounds reached, retry later")
+			return
+		}
+		defer s.admit.release()
+		h.ServeHTTP(w, r)
+	})
+}

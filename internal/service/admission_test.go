@@ -1,0 +1,219 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestAdmissionDisabled(t *testing.T) {
+	if a := newAdmission(0, 16, time.Second, nil); a != nil {
+		t.Fatal("MaxInFlight 0 must disable admission control")
+	}
+	var a *admission
+	verdict, err := a.acquire(context.Background())
+	if verdict != admitOK || err != nil {
+		t.Fatalf("nil admission acquire = (%v, %v); want admitOK", verdict, err)
+	}
+	a.release() // must not panic
+}
+
+// TestAdmissionBounds drives the controller through its full state space
+// deterministically: fill the in-flight bound, fill the queue, overflow the
+// queue, then free capacity and watch the queued request admit.
+func TestAdmissionBounds(t *testing.T) {
+	svc := New(Config{MaxInFlight: 1, MaxQueue: 1, QueueWait: time.Minute})
+	a := svc.admit
+
+	verdict, err := a.acquire(context.Background())
+	if verdict != admitOK || err != nil {
+		t.Fatalf("first acquire = (%v, %v); want admitOK", verdict, err)
+	}
+
+	queued := make(chan admitErr, 1)
+	go func() {
+		v, _ := a.acquire(context.Background())
+		queued <- v
+	}()
+	waitForQueueDepth(t, svc, 1)
+
+	// The queue is now full: a third arrival is refused immediately.
+	verdict, err = a.acquire(context.Background())
+	if verdict != admitQueueFull || err != nil {
+		t.Fatalf("overflow acquire = (%v, %v); want admitQueueFull", verdict, err)
+	}
+
+	// Freeing the slot admits the queued request.
+	a.release()
+	select {
+	case v := <-queued:
+		if v != admitOK {
+			t.Fatalf("queued acquire = %v; want admitOK after release", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued request never admitted after capacity freed")
+	}
+	a.release()
+	if got := svc.met.queueDepth.Value(); got != 0 {
+		t.Fatalf("queue depth after drain = %v; want 0", got)
+	}
+}
+
+func TestAdmissionQueueWaitExpires(t *testing.T) {
+	svc := New(Config{MaxInFlight: 1, MaxQueue: 4, QueueWait: 20 * time.Millisecond})
+	a := svc.admit
+	if v, _ := a.acquire(context.Background()); v != admitOK {
+		t.Fatal("first acquire refused")
+	}
+	defer a.release()
+	verdict, err := a.acquire(context.Background())
+	if verdict != admitWaitExpired || err != nil {
+		t.Fatalf("expired acquire = (%v, %v); want admitWaitExpired", verdict, err)
+	}
+}
+
+func TestAdmissionQueuedContextCancel(t *testing.T) {
+	svc := New(Config{MaxInFlight: 1, MaxQueue: 4, QueueWait: time.Minute})
+	a := svc.admit
+	if v, _ := a.acquire(context.Background()); v != admitOK {
+		t.Fatal("first acquire refused")
+	}
+	defer a.release()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// Fast-path miss, queue entry, then the dead context wins the select.
+	if _, err := a.acquire(ctx); err != context.Canceled {
+		t.Fatalf("cancelled queued acquire err = %v; want context.Canceled", err)
+	}
+	if got := svc.met.queueDepth.Value(); got != 0 {
+		t.Fatalf("queue depth after cancel = %v; want 0 (slot leaked)", got)
+	}
+}
+
+// waitForQueueDepth polls the queue-depth gauge until it reaches want.
+func waitForQueueDepth(t *testing.T, svc *Service, want float64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for svc.met.queueDepth.Value() != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue depth never reached %v (at %v)", want, svc.met.queueDepth.Value())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestAdmittedMiddlewareSheds is the HTTP-level saturation contract: with
+// the in-flight bound and queue both full, the middleware answers 429 with
+// a parseable Retry-After header, a strict-JSON body carrying the same
+// hint, and one shed-counter increment; when capacity frees, the queued
+// request is admitted and served. The wrapped handler records its own
+// concurrency so the test proves the configured bound is never exceeded.
+func TestAdmittedMiddlewareSheds(t *testing.T) {
+	svc := New(Config{MaxInFlight: 1, MaxQueue: 1, QueueWait: time.Minute})
+	var inHandler, maxInHandler atomic.Int64
+	release := make(chan struct{})
+	entered := make(chan struct{}, 8)
+	h := svc.admitted("/v1/test", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := inHandler.Add(1)
+		defer inHandler.Add(-1)
+		for {
+			old := maxInHandler.Load()
+			if n <= old || maxInHandler.CompareAndSwap(old, n) {
+				break
+			}
+		}
+		entered <- struct{}{}
+		<-release
+		w.WriteHeader(http.StatusOK)
+	}))
+
+	serve := func() *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/test", nil))
+		return rec
+	}
+
+	var wg sync.WaitGroup
+	first := make(chan *httptest.ResponseRecorder, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		first <- serve()
+	}()
+	<-entered // the first request holds the only in-flight slot
+
+	queuedResult := make(chan *httptest.ResponseRecorder, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		queuedResult <- serve()
+	}()
+	waitForQueueDepth(t, svc, 1)
+
+	// Queue full: the third request is shed, now, with the full refusal
+	// contract.
+	rec := serve()
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("overflow status = %d; want 429", rec.Code)
+	}
+	ra := rec.Header().Get("Retry-After")
+	secs, err := strconv.Atoi(ra)
+	if err != nil || secs < 1 {
+		t.Fatalf("Retry-After = %q; want a positive integer of seconds", ra)
+	}
+	var body struct {
+		Error             string `json:"error"`
+		RetryAfterSeconds int    `json:"retry_after_seconds"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("shed body is not strict JSON: %v (%s)", err, rec.Body.Bytes())
+	}
+	if body.Error == "" || body.RetryAfterSeconds != secs {
+		t.Fatalf("shed body = %+v; want an error and retry_after_seconds == header %d", body, secs)
+	}
+	if got := svc.met.shed.Value(); got != 1 {
+		t.Fatalf("shed counter = %d; want 1", got)
+	}
+	if got := svc.Stats().Shed; got != 1 {
+		t.Fatalf("statsz shed = %d; want 1", got)
+	}
+
+	// Free capacity: the queued request must be admitted and served.
+	release <- struct{}{} // first request finishes
+	release <- struct{}{} // queued request runs
+	wg.Wait()
+	if rec := <-first; rec.Code != http.StatusOK {
+		t.Fatalf("first request status = %d; want 200", rec.Code)
+	}
+	if rec := <-queuedResult; rec.Code != http.StatusOK {
+		t.Fatalf("queued request status = %d; want 200 once capacity freed", rec.Code)
+	}
+	if got := maxInHandler.Load(); got > 1 {
+		t.Fatalf("handler concurrency reached %d; the in-flight bound is 1", got)
+	}
+}
+
+// TestRetryAfterSeconds pins the clamp: sub-second waits round up to one
+// second, long waits cap at the maximum.
+func TestRetryAfterSeconds(t *testing.T) {
+	cases := []struct {
+		wait time.Duration
+		want int
+	}{
+		{0, 1},
+		{10 * time.Millisecond, 1},
+		{1500 * time.Millisecond, 2},
+		{5 * time.Minute, maxRetryAfterSeconds},
+	}
+	for _, c := range cases {
+		if got := retryAfterSeconds(c.wait); got != c.want {
+			t.Errorf("retryAfterSeconds(%v) = %d; want %d", c.wait, got, c.want)
+		}
+	}
+}

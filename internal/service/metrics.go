@@ -9,8 +9,12 @@ package service
 //	memsd_http_requests_total{endpoint,code}          counter: requests by status class
 //	memsd_http_request_duration_seconds{endpoint}     histogram: request latency (p50/p99 derivable)
 //	memsd_http_in_flight_requests                     gauge: requests currently in the handler
+//	memsd_http_inflight_limit                         gauge: configured admission bound (0 = unbounded)
+//	memsd_http_queue_depth                            gauge: requests waiting for an in-flight slot
 //	memsd_http_deadline_aborts_total                  counter: requests lost to the compute deadline
-//	memsd_http_requests_shed_total                    counter: requests refused before computing
+//	memsd_http_requests_shed_total                    counter: admission-control refusals (429)
+//	memsd_http_rate_limited_total{reason}             counter: per-client limiter refusals (429) by key kind
+//	memsd_http_body_too_large_total                   counter: oversized-body rejections (413)
 //	memsd_requests_served_total / _failed_total       counter: typed-API outcomes (HTTP and library)
 //	memsd_compute_in_flight                           gauge: computations between begin and finish
 //	memsd_cache_{hits,misses,evictions}_total         counter: result-cache totals
@@ -53,8 +57,12 @@ type serviceMetrics struct {
 	httpRequests   *metrics.CounterVec
 	latency        *metrics.HistogramVec
 	httpInFlight   *metrics.Gauge
+	inflightLimit  *metrics.Gauge
+	queueDepth     *metrics.Gauge
 	deadlineAborts *metrics.Counter
 	shed           *metrics.Counter
+	rateLimited    *metrics.CounterVec
+	bodyTooLarge   *metrics.Counter
 
 	served          *metrics.Counter
 	failed          *metrics.Counter
@@ -77,10 +85,12 @@ type serviceMetrics struct {
 	simulatedHours *metrics.Gauge
 }
 
-// newServiceMetrics builds the registry and registers every family.
+// newServiceMetrics builds the registry and registers every family. Labeled
+// traffic-control series are created eagerly so every family appears in the
+// exposition from the first scrape, refusals or not.
 func newServiceMetrics() *serviceMetrics {
 	reg := metrics.NewRegistry()
-	return &serviceMetrics{
+	m := &serviceMetrics{
 		reg: reg,
 		httpRequests: reg.CounterVec("memsd_http_requests_total",
 			"HTTP requests by endpoint and status class.", "endpoint", "code"),
@@ -89,10 +99,18 @@ func newServiceMetrics() *serviceMetrics {
 			metrics.DefLatencyBuckets(), "endpoint"),
 		httpInFlight: reg.Gauge("memsd_http_in_flight_requests",
 			"HTTP requests currently being handled."),
+		inflightLimit: reg.Gauge("memsd_http_inflight_limit",
+			"Configured admission-control in-flight bound (0 = unbounded)."),
+		queueDepth: reg.Gauge("memsd_http_queue_depth",
+			"Requests currently waiting in the admission queue."),
 		deadlineAborts: reg.Counter("memsd_http_deadline_aborts_total",
 			"Requests aborted by the per-request compute deadline."),
 		shed: reg.Counter("memsd_http_requests_shed_total",
-			"Requests refused before computing (oversized bodies; admission control when enabled)."),
+			"Requests refused by admission control (queue full or queue wait expired)."),
+		rateLimited: reg.CounterVec("memsd_http_rate_limited_total",
+			"Requests refused by the per-client rate limiter, by client key kind.", "reason"),
+		bodyTooLarge: reg.Counter("memsd_http_body_too_large_total",
+			"Requests rejected for exceeding the body size bound."),
 		served: reg.Counter("memsd_requests_served_total",
 			"Typed-API requests answered successfully."),
 		failed: reg.Counter("memsd_requests_failed_total",
@@ -126,6 +144,17 @@ func newServiceMetrics() *serviceMetrics {
 		simulatedHours: reg.Gauge("memsd_engine_simulated_hours",
 			"Total simulated time covered by completed runs, in hours."),
 	}
+	// Both limiter key kinds exist from the first scrape, so an idle
+	// service exposes the family and a double scrape stays byte-identical
+	// whether or not anything was ever refused.
+	m.rateLimited.With(keyKindAPIKey)
+	m.rateLimited.With(keyKindIP)
+	return m
+}
+
+// rateLimitedTotal sums the limiter refusals across key kinds.
+func (m *serviceMetrics) rateLimitedTotal() uint64 {
+	return m.rateLimited.With(keyKindAPIKey).Value() + m.rateLimited.With(keyKindIP).Value()
 }
 
 // sync mirrors the externally maintained counters (cache, pool, sim,
@@ -268,9 +297,29 @@ func noteWorkers(ctx context.Context, workers int) {
 	}
 }
 
-// requestID returns the client-supplied X-Request-ID, or a fresh random ID.
+// maxRequestIDBytes caps an echoed client-supplied X-Request-ID.
+const maxRequestIDBytes = 128
+
+// validRequestID reports whether a client-supplied request ID is safe to
+// echo into response headers and structured logs: bounded length, printable
+// ASCII only. Control bytes (header/log injection), high bytes and
+// megabyte values all fail.
+func validRequestID(id string) bool {
+	if id == "" || len(id) > maxRequestIDBytes {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		if id[i] < 0x21 || id[i] > 0x7e {
+			return false
+		}
+	}
+	return true
+}
+
+// requestID returns the client-supplied X-Request-ID when it is safe to
+// echo, or a fresh random ID otherwise.
 func requestID(r *http.Request) string {
-	if id := r.Header.Get("X-Request-ID"); id != "" {
+	if id := r.Header.Get("X-Request-ID"); validRequestID(id) {
 		return id
 	}
 	var b [8]byte
@@ -283,10 +332,10 @@ func requestID(r *http.Request) string {
 }
 
 // AccessLog wraps h with structured request logging: one slog record per
-// request carrying the request ID (honored from X-Request-ID or generated,
-// and echoed back in the response), method, endpoint, status, response
-// bytes, latency, result-cache outcome and worker bound. A nil logger
-// returns h unchanged.
+// request carrying the request ID (honored from X-Request-ID when it is
+// bounded printable ASCII, generated otherwise, and echoed back in the
+// response), method, endpoint, status, response bytes, latency,
+// result-cache outcome and worker bound. A nil logger returns h unchanged.
 func AccessLog(log *slog.Logger, h http.Handler) http.Handler {
 	if log == nil {
 		return h

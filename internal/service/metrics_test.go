@@ -44,7 +44,8 @@ func mustContainLine(t *testing.T, exposition, line string) {
 // TestMetricszAfterKnownSequence drives a known request sequence and
 // asserts the exact counter and histogram values it must produce: two
 // identical dimension requests (one cache miss, one hit), one invalid
-// request (400), and one healthz probe.
+// request (400), one oversized body (413, its own counter — not "shed"),
+// and one healthz probe.
 func TestMetricszAfterKnownSequence(t *testing.T) {
 	_, srv := newTestServer(t, Config{})
 	body := `{"rate":"1024 kbps","goal":` + goalJSON + `}`
@@ -56,6 +57,10 @@ func TestMetricszAfterKnownSequence(t *testing.T) {
 	if status, _ := post(t, srv, "/v1/dimension", `{"rate":"not a rate"}`); status != http.StatusBadRequest {
 		t.Fatalf("invalid dimension status = %d; want 400", status)
 	}
+	oversized := `{"rate":"` + strings.Repeat(" ", maxBodyBytes) + `"}`
+	if status, _ := post(t, srv, "/v1/dimension", oversized); status != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized dimension status = %d; want 413", status)
+	}
 	if resp, err := http.Get(srv.URL + "/healthz"); err != nil {
 		t.Fatal(err)
 	} else {
@@ -65,9 +70,9 @@ func TestMetricszAfterKnownSequence(t *testing.T) {
 	got := scrape(t, srv)
 	mustContainLine(t, got, `memsd_http_requests_total{endpoint="/healthz",code="2xx"} 1`)
 	mustContainLine(t, got, `memsd_http_requests_total{endpoint="/v1/dimension",code="2xx"} 2`)
-	mustContainLine(t, got, `memsd_http_requests_total{endpoint="/v1/dimension",code="4xx"} 1`)
-	mustContainLine(t, got, `memsd_http_request_duration_seconds_count{endpoint="/v1/dimension"} 3`)
-	mustContainLine(t, got, `memsd_http_request_duration_seconds_bucket{endpoint="/v1/dimension",le="+Inf"} 3`)
+	mustContainLine(t, got, `memsd_http_requests_total{endpoint="/v1/dimension",code="4xx"} 2`)
+	mustContainLine(t, got, `memsd_http_request_duration_seconds_count{endpoint="/v1/dimension"} 4`)
+	mustContainLine(t, got, `memsd_http_request_duration_seconds_bucket{endpoint="/v1/dimension",le="+Inf"} 4`)
 	// The identical second request is the hit; the first is the one miss.
 	mustContainLine(t, got, `memsd_cache_hits_total 1`)
 	mustContainLine(t, got, `memsd_cache_misses_total 1`)
@@ -76,6 +81,15 @@ func TestMetricszAfterKnownSequence(t *testing.T) {
 	mustContainLine(t, got, `memsd_http_in_flight_requests 0`)
 	mustContainLine(t, got, `memsd_compute_in_flight 0`)
 	mustContainLine(t, got, `memsd_cache_entries 1`)
+	// The oversized body counts as a 413, never as load shedding; the
+	// traffic-control families exist (at zero) without any limits
+	// configured.
+	mustContainLine(t, got, `memsd_http_body_too_large_total 1`)
+	mustContainLine(t, got, `memsd_http_requests_shed_total 0`)
+	mustContainLine(t, got, `memsd_http_rate_limited_total{reason="api_key"} 0`)
+	mustContainLine(t, got, `memsd_http_rate_limited_total{reason="ip"} 0`)
+	mustContainLine(t, got, `memsd_http_inflight_limit 0`)
+	mustContainLine(t, got, `memsd_http_queue_depth 0`)
 	// Latency histograms exist for every endpoint from the first scrape,
 	// traffic or not.
 	for _, endpoint := range []string{"/statsz", "/v1/sweep", "/v1/simulate", "/v1/multisim", "/v1/breakeven", "/v1/multistream"} {
@@ -235,6 +249,62 @@ func (l lockedWriter) Write(p []byte) (int, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.w.Write(p)
+}
+
+// TestRequestIDSanitized checks that hostile X-Request-ID values are never
+// echoed: control characters (header/log injection), oversized values and
+// non-ASCII all fall back to a generated ID, while a sane client ID is
+// honored byte for byte.
+func TestRequestIDSanitized(t *testing.T) {
+	svc := New(Config{})
+	var buf bytes.Buffer
+	mu := &sync.Mutex{}
+	logger := slog.New(slog.NewJSONHandler(lockedWriter{mu: mu, w: &buf}, nil))
+	// The handler is driven directly: Go's HTTP client refuses to even send
+	// control bytes in headers, but a hostile peer speaking raw TCP is not
+	// so polite, and the server must not rely on client manners.
+	h := AccessLog(logger, svc.Handler())
+
+	hostile := []string{
+		"evil\nid=injected",       // newline: log/header injection
+		"evil\x00id",              // control byte
+		"tab\tseparated",          // control byte
+		strings.Repeat("x", 4096), // oversized
+		"caf\xc3\xa9",             // non-ASCII
+		"spaced out",              // embedded space
+	}
+	for _, id := range hostile {
+		req := httptest.NewRequest("GET", "/healthz", nil)
+		req.Header["X-Request-Id"] = []string{id} // canonical key, no Set validation
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		echoed := rec.Header().Get("X-Request-ID")
+		if echoed == id {
+			t.Errorf("hostile X-Request-ID %q echoed verbatim", id)
+		}
+		if len(echoed) != 16 || !validRequestID(echoed) {
+			t.Errorf("fallback ID for %q = %q; want a 16-hex generated ID", id, echoed)
+		}
+	}
+	// A maximum-length clean ID is still honored.
+	sane := strings.Repeat("a", maxRequestIDBytes)
+	req := httptest.NewRequest("GET", "/healthz", nil)
+	req.Header.Set("X-Request-ID", sane)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if got := rec.Header().Get("X-Request-ID"); got != sane {
+		t.Errorf("sane maximum-length ID not echoed (got %q)", got)
+	}
+
+	// No hostile byte ever reached the structured log.
+	mu.Lock()
+	logged := buf.String()
+	mu.Unlock()
+	for _, needle := range []string{"evil", "injected", "caf", "spaced"} {
+		if strings.Contains(logged, needle) {
+			t.Errorf("hostile ID fragment %q leaked into the access log", needle)
+		}
+	}
 }
 
 // TestAccessLogNilLogger checks the nil-logger fast path returns the

@@ -1,0 +1,172 @@
+package service
+
+// This file is the per-client rate-limiting layer: a token bucket per
+// client key (the X-API-Key header when present, the client IP otherwise),
+// held in an LRU-bounded table so hostile key churn recycles table entries
+// instead of growing memory. Refused requests get a 429 whose Retry-After
+// is the exact time until the bucket next holds a whole token.
+
+import (
+	"container/list"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// rate-limiter defaults shared by Config resolution and cmd/memsd flags.
+const (
+	// DefaultRateLimitClients bounds the limiter key table when
+	// Config.RateLimitClients is zero.
+	DefaultRateLimitClients = 4096
+	// maxClientKeyBytes caps the accepted X-API-Key length; longer keys are
+	// truncated before use so a hostile client cannot store megabytes in
+	// the key table.
+	maxClientKeyBytes = 128
+)
+
+// limiterKeyKind labels where a client key came from, and is the reason
+// label of memsd_http_rate_limited_total.
+const (
+	keyKindIP     = "ip"
+	keyKindAPIKey = "api_key"
+)
+
+// rateLimiter is a table of per-client token buckets. A nil *rateLimiter
+// allows everything (the disabled state).
+type rateLimiter struct {
+	// rate is the sustained allowance in tokens (requests) per second.
+	rate float64
+	// burst is the bucket capacity: the largest instantaneous batch.
+	burst float64
+	// maxClients bounds the table; the least recently used key is evicted.
+	maxClients int
+	// now is the clock, swappable in tests.
+	now func() time.Time
+
+	mu      sync.Mutex
+	byKey   map[string]*list.Element
+	recency *list.List // front = most recently used
+}
+
+// clientBucket is one client's token bucket.
+type clientBucket struct {
+	key    string
+	tokens float64
+	last   time.Time
+}
+
+// newRateLimiter builds the limiter, or nil when ratePerSec is zero
+// (rate limiting disabled). A zero burst defaults to the integer ceiling of
+// the rate (at least one), a zero maxClients to DefaultRateLimitClients.
+func newRateLimiter(ratePerSec float64, burst, maxClients int) *rateLimiter {
+	if ratePerSec <= 0 {
+		return nil
+	}
+	if burst <= 0 {
+		burst = int(ratePerSec)
+		if float64(burst) < ratePerSec {
+			burst++
+		}
+		if burst < 1 {
+			burst = 1
+		}
+	}
+	if maxClients <= 0 {
+		maxClients = DefaultRateLimitClients
+	}
+	return &rateLimiter{
+		rate:       ratePerSec,
+		burst:      float64(burst),
+		maxClients: maxClients,
+		now:        time.Now,
+		byKey:      make(map[string]*list.Element, maxClients),
+		recency:    list.New(),
+	}
+}
+
+// allow spends one token from key's bucket. When the bucket is empty it
+// reports the time until a whole token accrues, for the Retry-After hint.
+func (l *rateLimiter) allow(key string) (ok bool, wait time.Duration) {
+	if l == nil {
+		return true, 0
+	}
+	now := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var b *clientBucket
+	if el, hit := l.byKey[key]; hit {
+		l.recency.MoveToFront(el)
+		b = el.Value.(*clientBucket)
+		b.tokens += now.Sub(b.last).Seconds() * l.rate
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+		b.last = now
+	} else {
+		// A fresh key starts with a full bucket; evict the coldest entry
+		// first so the table never exceeds its bound.
+		if l.recency.Len() >= l.maxClients {
+			oldest := l.recency.Back()
+			l.recency.Remove(oldest)
+			delete(l.byKey, oldest.Value.(*clientBucket).key)
+		}
+		b = &clientBucket{key: key, tokens: l.burst, last: now}
+		l.byKey[key] = l.recency.PushFront(b)
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	deficit := 1 - b.tokens
+	return false, time.Duration(deficit / l.rate * float64(time.Second))
+}
+
+// clients returns the current key-table occupancy.
+func (l *rateLimiter) clients() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.recency.Len()
+}
+
+// clientKey identifies the client of a request: the X-API-Key header when
+// present (truncated to maxClientKeyBytes), otherwise the host half of the
+// remote address. The kind is the rate-limit metric's reason label.
+func clientKey(r *http.Request) (key, kind string) {
+	if k := r.Header.Get("X-API-Key"); k != "" {
+		if len(k) > maxClientKeyBytes {
+			k = k[:maxClientKeyBytes]
+		}
+		return k, keyKindAPIKey
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil || host == "" {
+		// No port (or a bare value a proxy filled in): limit on the whole
+		// string rather than not at all.
+		host = r.RemoteAddr
+	}
+	return host, keyKindIP
+}
+
+// rateLimited wraps one /v1 endpoint handler with the per-client limiter.
+// Refusals get a 429 with the exact token-accrual wait as Retry-After and
+// count into memsd_http_rate_limited_total{reason}.
+func (s *Service) rateLimited(h http.Handler) http.Handler {
+	if s.limiter == nil {
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		key, kind := clientKey(r)
+		ok, wait := s.limiter.allow(key)
+		if !ok {
+			s.met.rateLimited.With(kind).Inc()
+			writeRetryAfter(w, retryAfterSeconds(wait),
+				"service: client rate limit exceeded, retry later")
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
+}

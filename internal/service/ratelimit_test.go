@@ -1,0 +1,224 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRateLimiterDisabled(t *testing.T) {
+	if l := newRateLimiter(0, 10, 10); l != nil {
+		t.Fatal("RateLimit 0 must disable the limiter")
+	}
+	var l *rateLimiter
+	if ok, _ := l.allow("anyone"); !ok {
+		t.Fatal("nil limiter must allow everything")
+	}
+	if got := l.clients(); got != 0 {
+		t.Fatalf("nil limiter clients = %d; want 0", got)
+	}
+}
+
+// fakeClock advances only when told, making token accrual exact.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time { return c.t }
+
+func TestRateLimiterTokenBucket(t *testing.T) {
+	l := newRateLimiter(1, 2, 16)
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	l.now = clock.now
+
+	// The burst is spendable immediately; the bucket is then empty.
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.allow("client"); !ok {
+			t.Fatalf("burst request %d refused", i)
+		}
+	}
+	ok, wait := l.allow("client")
+	if ok {
+		t.Fatal("third immediate request must be refused")
+	}
+	if wait <= 0 || wait > time.Second {
+		t.Fatalf("refusal wait = %v; want (0, 1s] for a 1 rps bucket", wait)
+	}
+
+	// Exactly one token accrues per second at rate 1.
+	clock.t = clock.t.Add(time.Second)
+	if ok, _ := l.allow("client"); !ok {
+		t.Fatal("request after a full token accrued must pass")
+	}
+	if ok, _ := l.allow("client"); ok {
+		t.Fatal("the accrued token was already spent")
+	}
+
+	// Tokens cap at the burst: a long idle stretch does not bank more.
+	clock.t = clock.t.Add(time.Hour)
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.allow("client"); !ok {
+			t.Fatalf("post-idle burst request %d refused", i)
+		}
+	}
+	if ok, _ := l.allow("client"); ok {
+		t.Fatal("burst must cap the banked tokens at 2")
+	}
+}
+
+func TestRateLimiterDefaults(t *testing.T) {
+	// Burst defaults to the integer ceiling of the rate, at least one.
+	if l := newRateLimiter(2.5, 0, 0); l.burst != 3 {
+		t.Errorf("burst for rate 2.5 = %v; want ceiling 3", l.burst)
+	}
+	if l := newRateLimiter(0.5, 0, 0); l.burst != 1 {
+		t.Errorf("burst for rate 0.5 = %v; want at least 1", l.burst)
+	}
+	if l := newRateLimiter(1, 0, 0); l.maxClients != DefaultRateLimitClients {
+		t.Errorf("maxClients = %d; want default %d", l.maxClients, DefaultRateLimitClients)
+	}
+}
+
+// TestRateLimiterLRUBound floods the limiter with distinct keys and checks
+// the table never grows past its bound and that eviction recycles the
+// coldest key (which then returns with a full bucket — churn cannot be used
+// to starve legitimate clients of their burst).
+func TestRateLimiterLRUBound(t *testing.T) {
+	l := newRateLimiter(1, 1, 2)
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	l.now = clock.now
+
+	l.allow("a") // spends a's only token
+	l.allow("b")
+	l.allow("c") // evicts a, the coldest
+	if got := l.clients(); got != 2 {
+		t.Fatalf("clients after churn = %d; want the bound 2", got)
+	}
+	// a's bucket was evicted, so a returns with a fresh (full) bucket even
+	// though no time passed (displacing b, now the coldest); c stays
+	// tracked and its empty bucket persists.
+	if ok, _ := l.allow("a"); !ok {
+		t.Fatal("evicted key must return with a fresh bucket")
+	}
+	if ok, _ := l.allow("c"); ok {
+		t.Fatal("c was never evicted; its empty bucket must persist")
+	}
+
+	// Hostile churn: ten thousand one-shot keys never grow the table.
+	for i := 0; i < 10000; i++ {
+		l.allow("churn-" + strconv.Itoa(i))
+	}
+	if got := l.clients(); got != 2 {
+		t.Fatalf("clients after hostile churn = %d; want the bound 2", got)
+	}
+}
+
+func TestClientKey(t *testing.T) {
+	r := httptest.NewRequest("POST", "/v1/breakeven", nil)
+	r.RemoteAddr = "203.0.113.9:4711"
+	key, kind := clientKey(r)
+	if key != "203.0.113.9" || kind != keyKindIP {
+		t.Errorf("clientKey = (%q, %q); want (203.0.113.9, ip)", key, kind)
+	}
+
+	r.Header.Set("X-API-Key", "tenant-42")
+	key, kind = clientKey(r)
+	if key != "tenant-42" || kind != keyKindAPIKey {
+		t.Errorf("clientKey with API key = (%q, %q); want (tenant-42, api_key)", key, kind)
+	}
+
+	// Oversized keys are truncated so the key table cannot store megabytes.
+	r.Header.Set("X-API-Key", strings.Repeat("k", 4096))
+	key, _ = clientKey(r)
+	if len(key) != maxClientKeyBytes {
+		t.Errorf("oversized API key length = %d; want truncated to %d", len(key), maxClientKeyBytes)
+	}
+
+	// A RemoteAddr without a port still yields a usable key.
+	r.Header.Del("X-API-Key")
+	r.RemoteAddr = "203.0.113.9"
+	if key, _ = clientKey(r); key != "203.0.113.9" {
+		t.Errorf("portless RemoteAddr key = %q; want 203.0.113.9", key)
+	}
+}
+
+// TestRateLimitedEndToEnd drives the full handler stack: a 1 rps / burst 2
+// client sees its third immediate request refused with the whole 429
+// contract, separate API keys get separate buckets, and the refusal lands
+// in memsd_http_rate_limited_total{reason} and /statsz.
+func TestRateLimitedEndToEnd(t *testing.T) {
+	svc, srv := newTestServer(t, Config{RateLimit: 1, RateBurst: 2})
+	body := `{"rate":"1024 kbps"}`
+
+	for i := 0; i < 2; i++ {
+		if status, out := post(t, srv, "/v1/breakeven", body); status != http.StatusOK {
+			t.Fatalf("burst request %d status = %d, body %s", i, status, out)
+		}
+	}
+	resp, err := http.Post(srv.URL+"/v1/breakeven", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-limit status = %d; want 429", resp.StatusCode)
+	}
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || secs < 1 {
+		t.Fatalf("Retry-After = %q; want a positive integer of seconds", resp.Header.Get("Retry-After"))
+	}
+	var refusal struct {
+		Error             string `json:"error"`
+		RetryAfterSeconds int    `json:"retry_after_seconds"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&refusal); err != nil {
+		t.Fatalf("decode refusal body: %v", err)
+	}
+	if !strings.Contains(refusal.Error, "rate limit") || refusal.RetryAfterSeconds != secs {
+		t.Fatalf("refusal body = %+v; want a rate-limit error mirroring Retry-After %d", refusal, secs)
+	}
+
+	// A different client (distinct API key) has its own untouched bucket.
+	req, err := http.NewRequest("POST", srv.URL+"/v1/breakeven", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-API-Key", "other-tenant")
+	keyResp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyResp.Body.Close()
+	if keyResp.StatusCode != http.StatusOK {
+		t.Fatalf("fresh API key status = %d; want 200 (per-key buckets)", keyResp.StatusCode)
+	}
+
+	// healthz and the other non-/v1 surfaces are never rate limited.
+	for i := 0; i < 5; i++ {
+		hr, err := http.Get(srv.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		hr.Body.Close()
+		if hr.StatusCode != http.StatusOK {
+			t.Fatalf("healthz under client over-limit = %d; want 200", hr.StatusCode)
+		}
+	}
+
+	if got := svc.met.rateLimited.With(keyKindIP).Value(); got != 1 {
+		t.Errorf("rate_limited{reason=ip} = %d; want 1", got)
+	}
+	st := svc.Stats()
+	if st.RateLimited != 1 {
+		t.Errorf("statsz rate_limited = %d; want 1", st.RateLimited)
+	}
+	if st.RateLimitClients != 2 {
+		t.Errorf("statsz rate_limit_clients = %d; want 2 (one IP, one API key)", st.RateLimitClients)
+	}
+	got := scrape(t, srv)
+	mustContainLine(t, got, `memsd_http_rate_limited_total{reason="ip"} 1`)
+	mustContainLine(t, got, `memsd_http_rate_limited_total{reason="api_key"} 0`)
+}

@@ -57,6 +57,31 @@ type Config struct {
 	MaxWorkers int
 	// Timeout is the per-request compute deadline. Zero disables it.
 	Timeout time.Duration
+
+	// MaxInFlight bounds how many /v1 requests may execute at once
+	// (admission control). Zero disables admission control.
+	MaxInFlight int
+	// MaxQueue bounds how many /v1 requests may wait for an in-flight slot
+	// beyond MaxInFlight; arrivals past the queue bound are shed with a 429
+	// and a Retry-After hint. Zero queues nothing: the bound alone decides.
+	MaxQueue int
+	// QueueWait bounds how long one queued request waits for capacity
+	// before being shed (default DefaultQueueWait). Only meaningful with
+	// MaxInFlight > 0.
+	QueueWait time.Duration
+
+	// RateLimit is the sustained per-client allowance on /v1 endpoints, in
+	// requests per second (clients are keyed on X-API-Key when present,
+	// client IP otherwise). Zero disables rate limiting.
+	RateLimit float64
+	// RateBurst is the token-bucket capacity: the largest instantaneous
+	// request batch one client may spend. Zero defaults to the integer
+	// ceiling of RateLimit (at least 1).
+	RateBurst int
+	// RateLimitClients bounds the limiter's client-key table (LRU evicted;
+	// default DefaultRateLimitClients), so hostile key churn recycles
+	// entries instead of growing memory.
+	RateLimitClients int
 }
 
 // Service answers dimensioning questions through a shared result cache. It
@@ -66,6 +91,8 @@ type Service struct {
 	cfg      Config
 	cache    *cache.Cache
 	met      *serviceMetrics
+	admit    *admission
+	limiter  *rateLimiter
 	start    time.Time
 	inflight atomic.Int64
 	served   atomic.Uint64
@@ -74,12 +101,19 @@ type Service struct {
 
 // New builds a Service.
 func New(cfg Config) *Service {
-	return &Service{
-		cfg:   cfg,
-		cache: cache.New(cfg.CacheEntries, cfg.CacheShards),
-		met:   newServiceMetrics(),
-		start: time.Now(),
+	met := newServiceMetrics()
+	s := &Service{
+		cfg:     cfg,
+		cache:   cache.New(cfg.CacheEntries, cfg.CacheShards),
+		met:     met,
+		admit:   newAdmission(cfg.MaxInFlight, cfg.MaxQueue, cfg.QueueWait, met.queueDepth),
+		limiter: newRateLimiter(cfg.RateLimit, cfg.RateBurst, cfg.RateLimitClients),
+		start:   time.Now(),
 	}
+	if cfg.MaxInFlight > 0 {
+		met.inflightLimit.Set(float64(cfg.MaxInFlight))
+	}
+	return s
 }
 
 // CacheStats returns a snapshot of the result-cache counters.
@@ -97,6 +131,21 @@ type Stats struct {
 	Served uint64 `json:"served"`
 	// Failed counts requests that ended in an error since start.
 	Failed uint64 `json:"failed"`
+	// Shed counts /v1 requests refused by admission control (queue full or
+	// queue wait expired) since start.
+	Shed uint64 `json:"shed"`
+	// RateLimited counts /v1 requests refused by the per-client rate
+	// limiter since start.
+	RateLimited uint64 `json:"rate_limited"`
+	// BodyTooLarge counts requests refused for an oversized body since
+	// start.
+	BodyTooLarge uint64 `json:"body_too_large"`
+	// InFlightLimit is the configured admission bound (0 = unbounded).
+	InFlightLimit int `json:"in_flight_limit"`
+	// QueueDepth is the number of requests waiting for an in-flight slot.
+	QueueDepth int `json:"queue_depth"`
+	// RateLimitClients is the limiter key-table occupancy.
+	RateLimitClients int `json:"rate_limit_clients"`
 	// UptimeSeconds is the time since the Service was built.
 	UptimeSeconds float64 `json:"uptime_seconds"`
 }
@@ -105,12 +154,18 @@ type Stats struct {
 func (s *Service) Stats() Stats {
 	cs := s.cache.Stats()
 	return Stats{
-		Cache:         cs,
-		CacheHitRate:  cs.HitRate(),
-		InFlight:      s.inflight.Load(),
-		Served:        s.served.Load(),
-		Failed:        s.failed.Load(),
-		UptimeSeconds: time.Since(s.start).Seconds(),
+		Cache:            cs,
+		CacheHitRate:     cs.HitRate(),
+		InFlight:         s.inflight.Load(),
+		Served:           s.served.Load(),
+		Failed:           s.failed.Load(),
+		Shed:             s.met.shed.Value(),
+		RateLimited:      s.met.rateLimitedTotal(),
+		BodyTooLarge:     s.met.bodyTooLarge.Value(),
+		InFlightLimit:    s.cfg.MaxInFlight,
+		QueueDepth:       int(s.met.queueDepth.Value()),
+		RateLimitClients: s.limiter.clients(),
+		UptimeSeconds:    time.Since(s.start).Seconds(),
 	}
 }
 
@@ -998,11 +1053,18 @@ func (s *Service) Health() Health {
 // Handler returns the HTTP handler serving every endpoint. Every route
 // except GET /metricsz is instrumented with the request counter and latency
 // histogram families (scrapes must not observe themselves, so that two
-// scrapes of an idle service stay byte-identical).
+// scrapes of an idle service stay byte-identical). The /v1 compute
+// endpoints additionally pass the traffic controls, outermost first: the
+// per-client rate limiter, then the admission controller, then the strict
+// JSON decode — so refusals are counted and logged like any response but
+// cost no decode or compute.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	handle := func(pattern, endpointLabel string, h http.Handler) {
 		mux.Handle(pattern, s.instrument(endpointLabel, h))
+	}
+	v1 := func(pattern, endpointLabel string, h http.Handler) {
+		handle(pattern, endpointLabel, s.rateLimited(s.admitted(endpointLabel, h)))
 	}
 	handle("GET /healthz", "/healthz", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Health())
@@ -1011,12 +1073,12 @@ func (s *Service) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, s.Stats())
 	}))
 	mux.Handle("GET /metricsz", s.MetricsHandler())
-	handle("POST /v1/dimension", "/v1/dimension", endpoint(s, s.DimensionBytes))
-	handle("POST /v1/sweep", "/v1/sweep", endpoint(s, s.SweepBytes))
-	handle("POST /v1/simulate", "/v1/simulate", endpoint(s, s.SimulateBytes))
-	handle("POST /v1/multisim", "/v1/multisim", endpoint(s, s.MultiSimBytes))
-	handle("POST /v1/breakeven", "/v1/breakeven", endpoint(s, s.BreakEvenBytes))
-	handle("POST /v1/multistream", "/v1/multistream", endpoint(s, s.MultiStreamBytes))
+	v1("POST /v1/dimension", "/v1/dimension", endpoint(s, s.DimensionBytes))
+	v1("POST /v1/sweep", "/v1/sweep", endpoint(s, s.SweepBytes))
+	v1("POST /v1/simulate", "/v1/simulate", endpoint(s, s.SimulateBytes))
+	v1("POST /v1/multisim", "/v1/multisim", endpoint(s, s.MultiSimBytes))
+	v1("POST /v1/breakeven", "/v1/breakeven", endpoint(s, s.BreakEvenBytes))
+	v1("POST /v1/multistream", "/v1/multistream", endpoint(s, s.MultiStreamBytes))
 	return mux
 }
 
@@ -1029,7 +1091,10 @@ func endpoint[Req any](s *Service, serve func(context.Context, Req) ([]byte, err
 		if err := dec.Decode(&req); err != nil {
 			var tooLarge *http.MaxBytesError
 			if errors.As(err, &tooLarge) {
-				s.met.shed.Inc()
+				// An oversized body is a malformed request, not load
+				// shedding: it gets its own counter so the shed total means
+				// admission-control refusals only.
+				s.met.bodyTooLarge.Inc()
 				writeJSON(w, http.StatusRequestEntityTooLarge,
 					errorBody{Error: fmt.Sprintf("service: request body exceeds %d bytes", tooLarge.Limit)})
 				return
@@ -1052,9 +1117,13 @@ func endpoint[Req any](s *Service, serve func(context.Context, Req) ([]byte, err
 	})
 }
 
-// errorBody is the JSON error payload of every non-200 response.
+// errorBody is the JSON error payload of every non-200 response. 429
+// refusals additionally carry the Retry-After hint in the body, so strict
+// JSON clients need not parse headers.
 type errorBody struct {
 	Error string `json:"error"`
+	// RetryAfterSeconds mirrors the Retry-After header on 429 responses.
+	RetryAfterSeconds int `json:"retry_after_seconds,omitempty"`
 }
 
 // writeError maps an error onto a status code and a JSON body.

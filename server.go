@@ -19,9 +19,12 @@ type (
 	// cache; identical requests return byte-identical cached answers.
 	Service = service.Service
 	// ServiceConfig parameterises a Service (cache bounds, worker cap,
-	// per-request deadline).
+	// per-request deadline, and the traffic controls: in-flight admission
+	// bound with a short wait queue, and a per-client token-bucket rate
+	// limit keyed on X-API-Key or client IP).
 	ServiceConfig = service.Config
-	// ServiceStats is the /statsz payload: cache plus request counters.
+	// ServiceStats is the /statsz payload: cache, request and
+	// traffic-control counters.
 	ServiceStats = service.Stats
 	// ServiceHealth is the /healthz payload: status, uptime and build
 	// version.
@@ -89,7 +92,8 @@ func NewService(cfg ServiceConfig) *Service { return service.New(cfg) }
 
 // AccessLog wraps h with structured per-request logging on log: one
 // "request" record per request carrying the request ID (honored from
-// X-Request-ID or generated, and echoed on the response), method, endpoint,
+// X-Request-ID when it is bounded printable ASCII, generated otherwise, and
+// echoed on the response), method, endpoint,
 // status, response bytes, latency, cache outcome and worker bound. A nil
 // logger returns h unchanged.
 func AccessLog(log *slog.Logger, h http.Handler) http.Handler {
